@@ -1,0 +1,100 @@
+package imdpp
+
+// Ablation benchmarks for the engineering design choices DESIGN.md
+// calls out (not paper figures): the nominee-clustering strategy, the
+// AIS form used in π, and the CELF laziness of nominee selection.
+
+import (
+	"testing"
+
+	"imdpp/internal/cluster"
+	"imdpp/internal/core"
+	"imdpp/internal/dataset"
+	"imdpp/internal/diffusion"
+)
+
+func ablationProblem(b *testing.B) *diffusion.Problem {
+	d, err := dataset.Amazon(0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d.Clone(300, 5)
+}
+
+// BenchmarkAblationClusterStrategy compares the POT-like proximity
+// clustering against the FGCC-like co-clustering inside a full Dysim
+// solve.
+func BenchmarkAblationClusterStrategy(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		s    cluster.Strategy
+	}{
+		{"Proximity", cluster.Proximity},
+		{"CoCluster", cluster.CoCluster},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			p := ablationProblem(b)
+			eval := diffusion.NewEstimator(p, 32, 0xE)
+			for i := 0; i < b.N; i++ {
+				sol, err := core.Solve(p, core.Options{
+					MC: 8, MCSI: 4, CandidateCap: 64, Seed: 1,
+					Cluster: cluster.Options{Strategy: tc.s, MaxHops: 1, MinRelGap: 0.02},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(eval.Sigma(sol.Seeds), "sigma")
+				b.ReportMetric(float64(sol.Stats.MarketCount), "markets")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAISModel compares the IC and LT forms of the
+// aggregated influence in π (footnote 31) through TDSI.
+func BenchmarkAblationAISModel(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		ais  diffusion.AISModel
+	}{
+		{"IC", diffusion.AISIndependentCascade},
+		{"LT", diffusion.AISLinearThreshold},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			p := ablationProblem(b)
+			p.Params.AIS = tc.ais
+			eval := diffusion.NewEstimator(p, 32, 0xE)
+			for i := 0; i < b.N; i++ {
+				sol, err := core.Solve(p, core.Options{MC: 8, MCSI: 4, CandidateCap: 64, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(eval.Sigma(sol.Seeds), "sigma")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAdaptive compares planned Dysim with the adaptive
+// variant of Sec. V-D under the same budget.
+func BenchmarkAblationAdaptive(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		solve func(*diffusion.Problem, core.Options) (core.Solution, error)
+	}{
+		{"Planned", core.Solve},
+		{"Adaptive", core.SolveAdaptive},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			p := ablationProblem(b)
+			eval := diffusion.NewEstimator(p, 32, 0xE)
+			for i := 0; i < b.N; i++ {
+				sol, err := tc.solve(p, core.Options{MC: 8, MCSI: 4, CandidateCap: 32, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(eval.Sigma(sol.Seeds), "sigma")
+			}
+		})
+	}
+}

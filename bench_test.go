@@ -1,0 +1,230 @@
+package imdpp
+
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation as a testing.B benchmark (DESIGN.md §4 maps ids to
+// drivers). Benchmarks run the figure at a reduced dataset scale and
+// Monte-Carlo budget so `go test -bench=.` completes on a laptop; the
+// full-scale runs go through cmd/imdppbench. Key outcomes are attached
+// as benchmark metrics so `-bench` output records the reproduced
+// numbers alongside the timings.
+
+import (
+	"testing"
+
+	"imdpp/internal/dataset"
+	"imdpp/internal/exp"
+)
+
+// benchCfg is the reduced-budget harness configuration for benchmarks.
+func benchCfg() exp.Config {
+	return exp.Config{
+		Scale:        0.25,
+		EvalMC:       16,
+		SolverMC:     8,
+		SolverMCSI:   4,
+		CandidateCap: 96,
+		Seed:         1,
+	}
+}
+
+func BenchmarkTableII_DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.TableII(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("want 4 datasets, got %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkTableIII_ClassStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.TableIII(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatalf("want 5 classes, got %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFig8a_SmallBudgetVsOPT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig8a(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := fig.At(exp.AlgoDysim, 100); ok {
+			b.ReportMetric(v, "sigmaDysim@b=100")
+		}
+	}
+}
+
+func BenchmarkFig8b_SmallPromosVsOPT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig8b(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := fig.At(exp.AlgoDysim, 3); ok {
+			b.ReportMetric(v, "sigmaDysim@T=3")
+		}
+	}
+}
+
+func benchFig9Influence(b *testing.B, ds string) {
+	for i := 0; i < b.N; i++ {
+		fig, _, err := exp.Fig9Influence(benchCfg(), ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := fig.At(exp.AlgoDysim, 500); ok {
+			b.ReportMetric(v, "sigmaDysim@b=500")
+		}
+	}
+}
+
+func BenchmarkFig9a_InfluenceYelp(b *testing.B)   { benchFig9Influence(b, "Yelp") }
+func BenchmarkFig9b_InfluenceAmazon(b *testing.B) { benchFig9Influence(b, "Amazon") }
+func BenchmarkFig9c_InfluenceDouban(b *testing.B) { benchFig9Influence(b, "Douban") }
+
+func BenchmarkFig9d_TimeVsBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, timeFig, err := exp.Fig9Influence(benchCfg(), "Amazon")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := timeFig.At(exp.AlgoDysim, 500); ok {
+			b.ReportMetric(v, "secDysim@b=500")
+		}
+	}
+}
+
+func benchFig9VsT(b *testing.B, ds string) {
+	for i := 0; i < b.N; i++ {
+		fig, _, err := exp.Fig9VsT(benchCfg(), ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := fig.At(exp.AlgoDysim, 20); ok {
+			b.ReportMetric(v, "sigmaDysim@T=20")
+		}
+	}
+}
+
+func BenchmarkFig9e_InfluenceVsT_Yelp(b *testing.B)   { benchFig9VsT(b, "Yelp") }
+func BenchmarkFig9f_InfluenceVsT_Amazon(b *testing.B) { benchFig9VsT(b, "Amazon") }
+
+func BenchmarkFig9g_TimeVsT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, timeFig, err := exp.Fig9VsT(benchCfg(), "Amazon")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := timeFig.At(exp.AlgoDysim, 40); ok {
+			b.ReportMetric(v, "secDysim@T=40")
+		}
+	}
+}
+
+func BenchmarkFig9h_TimeAcrossDatasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig9h(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10_Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, ds := range []string{"Yelp", "Amazon"} {
+			if _, err := exp.Fig10VsBudget(benchCfg(), ds); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exp.Fig10VsT(benchCfg(), ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig11_MarketOrders(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, ds := range []string{"Yelp", "Amazon"} {
+			if _, err := exp.Fig11VsBudget(benchCfg(), ds); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exp.Fig11VsT(benchCfg(), ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig12_EmpiricalStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig12(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := fig.At(exp.AlgoDysim, 1); ok {
+			b.ReportMetric(v, "selectionsClassA")
+		}
+	}
+}
+
+func BenchmarkFig13_MetaGraphs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, ds := range []string{"Yelp", "Gowalla", "Amazon", "Douban"} {
+			if _, err := exp.Fig13(benchCfg(), ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig14_ThetaSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, ds := range []string{"Yelp", "Gowalla", "Amazon", "Douban"} {
+			if _, err := exp.Fig14(benchCfg(), ds, []int{1, 2, 4, 8}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkCaseStudies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cs, err := exp.CaseStudies(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		holds := 0
+		for _, c := range cs {
+			if c.Holds() {
+				holds++
+			}
+		}
+		b.ReportMetric(float64(holds), "caseStudiesHolding")
+	}
+}
+
+// BenchmarkSigmaEstimate measures the raw Monte-Carlo estimator — the
+// inner loop every solver pays for (not a paper figure; an engineering
+// baseline for the harness itself).
+func BenchmarkSigmaEstimate(b *testing.B) {
+	d, err := dataset.Amazon(0.35)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := d.Clone(500, 10)
+	est := NewEstimator(p, 24, 7)
+	seeds := []Seed{{User: 1, Item: 0, T: 1}, {User: 2, Item: 1, T: 2}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Sigma(seeds)
+	}
+}

@@ -1,0 +1,120 @@
+// Command imdppbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	imdppbench -fig all                # everything (slow)
+//	imdppbench -fig 8a,8b              # Fig. 8 only
+//	imdppbench -fig 9 -scale 0.5       # Fig. 9 at half dataset scale
+//	imdppbench -fig tables,case        # Table II/III + case studies
+//
+// Figure ids: tables, 8a, 8b, 9, 9h, 10, 11, 12, 13, 14, case.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"imdpp/internal/dataset"
+	"imdpp/internal/exp"
+)
+
+func main() {
+	figs := flag.String("fig", "all", "comma-separated figure ids (tables,8a,8b,9,9h,10,11,12,13,14,case) or 'all'")
+	scale := flag.Float64("scale", 1.0, "dataset scale multiplier")
+	evalMC := flag.Int("evalmc", 64, "Monte-Carlo samples for final evaluation")
+	solverMC := flag.Int("mc", 24, "Monte-Carlo samples inside solvers")
+	seed := flag.Uint64("seed", 1, "master RNG seed")
+	flag.Parse()
+
+	cfg := exp.Config{
+		Scale:    dataset.Scale(*scale),
+		EvalMC:   *evalMC,
+		SolverMC: *solverMC,
+		Seed:     *seed,
+		Out:      os.Stdout,
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	run := func(id string, f func() error) {
+		if !all && !want[id] {
+			return
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("tables", func() error {
+		if _, err := exp.TableII(cfg); err != nil {
+			return err
+		}
+		_, err := exp.TableIII(cfg)
+		return err
+	})
+	run("8a", func() error { _, err := exp.Fig8a(cfg); return err })
+	run("8b", func() error { _, err := exp.Fig8b(cfg); return err })
+	run("9", func() error {
+		for _, ds := range []string{"Yelp", "Amazon", "Douban"} {
+			if _, _, err := exp.Fig9Influence(cfg, ds); err != nil {
+				return err
+			}
+		}
+		for _, ds := range []string{"Yelp", "Amazon"} {
+			if _, _, err := exp.Fig9VsT(cfg, ds); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	run("9h", func() error { _, err := exp.Fig9h(cfg); return err })
+	run("10", func() error {
+		for _, ds := range []string{"Yelp", "Amazon"} {
+			if _, err := exp.Fig10VsBudget(cfg, ds); err != nil {
+				return err
+			}
+			if _, err := exp.Fig10VsT(cfg, ds); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	run("11", func() error {
+		for _, ds := range []string{"Yelp", "Amazon"} {
+			if _, err := exp.Fig11VsBudget(cfg, ds); err != nil {
+				return err
+			}
+			if _, err := exp.Fig11VsT(cfg, ds); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	run("12", func() error { _, err := exp.Fig12(cfg); return err })
+	run("13", func() error {
+		for _, ds := range []string{"Yelp", "Gowalla", "Amazon", "Douban"} {
+			if _, err := exp.Fig13(cfg, ds); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	run("14", func() error {
+		for _, ds := range []string{"Yelp", "Gowalla", "Amazon", "Douban"} {
+			if _, err := exp.Fig14(cfg, ds, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	run("case", func() error { _, err := exp.CaseStudies(cfg); return err })
+}

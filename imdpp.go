@@ -1,0 +1,161 @@
+// Package imdpp is a Go implementation of Influence Maximization based
+// on Dynamic Personal Perception in Knowledge Graphs (IMDPP) and of
+// the Dysim approximation algorithm, reproducing Teng et al.,
+// ICDE 2021 (arXiv:2010.07125).
+//
+// IMDPP plans a campaign of T promotions over a social network: which
+// items to promote, which users to hire as seeds (each with its own
+// cost, under a total budget), and at which promotion to start each
+// seed, maximizing the importance-weighted expected number of
+// adoptions. The diffusion model couples four dynamic factors driven
+// by a knowledge graph and per-user weighted meta-graphs: personal
+// perception of complementary/substitutable item relationships,
+// preference for items, social influence strength, and item
+// associations.
+//
+// # Quickstart
+//
+//	d, _ := imdpp.AmazonDataset(1.0)       // synthetic Amazon-shaped workload
+//	p := d.Clone(500, 10)                  // budget 500, 10 promotions
+//	sol, _ := imdpp.Solve(p, imdpp.Options{})
+//	est := imdpp.NewEstimator(p, 200, 42)
+//	fmt.Println(est.Sigma(sol.Seeds))      // importance-aware influence
+//
+// The subpackages under internal implement the substrates (social
+// graph, knowledge graph, personal item networks, diffusion engine,
+// MIOA, clustering, baselines, datasets, experiment harness); this
+// package re-exports the surface a downstream user needs.
+package imdpp
+
+import (
+	"imdpp/internal/baselines"
+	"imdpp/internal/core"
+	"imdpp/internal/dataset"
+	"imdpp/internal/diffusion"
+	"imdpp/internal/exp"
+)
+
+// Core problem and diffusion types.
+type (
+	// Problem is one IMDPP instance: social network, knowledge graph,
+	// meta-graph model, importances, preferences, costs, budget and T.
+	Problem = diffusion.Problem
+	// Seed is one (user, item, promotion) element of a seed group.
+	Seed = diffusion.Seed
+	// Params are the diffusion-model hyper-parameters.
+	Params = diffusion.Params
+	// Estimator is the Monte-Carlo influence estimator.
+	Estimator = diffusion.Estimator
+	// Estimate is one Monte-Carlo estimate (σ, π, per-item adoptions).
+	Estimate = diffusion.Estimate
+	// State is one mutable simulation state, for scripted scenarios.
+	State = diffusion.State
+)
+
+// Dysim solver types.
+type (
+	// Options configure the Dysim solver.
+	Options = core.Options
+	// Solution is a solver result: seeds, cost, σ, markets, stats.
+	Solution = core.Solution
+	// Market is one identified target market.
+	Market = core.Market
+	// OrderMetric selects the target-market ordering (AE/PF/SZ/RMS/RD).
+	OrderMetric = core.OrderMetric
+)
+
+// Market ordering metrics (Sec. VI-D of the paper).
+const (
+	OrderAE  = core.OrderAE
+	OrderPF  = core.OrderPF
+	OrderSZ  = core.OrderSZ
+	OrderRMS = core.OrderRMS
+	OrderRD  = core.OrderRD
+)
+
+// Baseline types.
+type (
+	// BaselineOptions configure the baseline solvers.
+	BaselineOptions = baselines.Options
+	// BaselineSolution is a baseline result.
+	BaselineSolution = baselines.Solution
+	// OPTOptions bound the brute-force optimum.
+	OPTOptions = baselines.OPTOptions
+)
+
+// Dataset types.
+type (
+	// Dataset bundles a generated problem with its spec.
+	Dataset = dataset.Dataset
+	// DatasetSpec parameterises a synthetic dataset.
+	DatasetSpec = dataset.Spec
+	// DatasetStats is a Table II row.
+	DatasetStats = dataset.Stats
+	// Scale multiplies preset dataset sizes.
+	Scale = dataset.Scale
+)
+
+// Experiment harness types.
+type (
+	// ExpConfig tunes the figure/table reproduction harness.
+	ExpConfig = exp.Config
+	// Figure is one reproduced plot.
+	Figure = exp.Figure
+	// CaseStudy is one Sec. VI-F qualitative dynamic.
+	CaseStudy = exp.CaseStudy
+)
+
+// DefaultParams returns the diffusion defaults documented in DESIGN.md.
+func DefaultParams() Params { return diffusion.DefaultParams() }
+
+// Solve runs Dysim on the problem.
+func Solve(p *Problem, opt Options) (Solution, error) { return core.Solve(p, opt) }
+
+// SolveAdaptive runs the adaptive variant of Dysim (Sec. V-D: no
+// predefined budget allocation across promotions).
+func SolveAdaptive(p *Problem, opt Options) (Solution, error) { return core.SolveAdaptive(p, opt) }
+
+// NewEstimator creates a Monte-Carlo influence estimator with m
+// samples and the given master seed.
+func NewEstimator(p *Problem, m int, seed uint64) *Estimator {
+	return diffusion.NewEstimator(p, m, seed)
+}
+
+// NewState allocates a simulation state for scripted scenarios.
+func NewState(p *Problem) *State { return diffusion.NewState(p) }
+
+// Baselines.
+var (
+	// BGRD is the utility-driven bundle baseline [38].
+	BGRD = baselines.BGRD
+	// HAG is the user-item pair greedy baseline [37].
+	HAG = baselines.HAG
+	// PS is the path-based single-seed baseline [35].
+	PS = baselines.PS
+	// DRHGA is the per-item greedy baseline [19].
+	DRHGA = baselines.DRHGA
+	// OPT is the bounded brute-force optimum.
+	OPT = baselines.OPT
+)
+
+// Dataset builders (synthetic, Table II / Table III shaped).
+var (
+	// AmazonDataset builds the Amazon-shaped dataset at the scale.
+	AmazonDataset = dataset.Amazon
+	// YelpDataset builds the Yelp-shaped dataset.
+	YelpDataset = dataset.Yelp
+	// DoubanDataset builds the Douban-shaped dataset.
+	DoubanDataset = dataset.Douban
+	// GowallaDataset builds the Gowalla-shaped dataset.
+	GowallaDataset = dataset.Gowalla
+	// AmazonSampleDataset builds the 100-user sample used against OPT.
+	AmazonSampleDataset = dataset.AmazonSample
+	// GenerateDataset builds a dataset from a custom spec.
+	GenerateDataset = dataset.Generate
+	// BuildClass builds one empirical-study class (Table III).
+	BuildClass = dataset.BuildClass
+	// ClassSpecs returns the Table III class sizes.
+	ClassSpecs = dataset.ClassSpecs
+	// CourseName resolves a course item id to its human-readable name.
+	CourseName = dataset.CourseName
+)

@@ -1,0 +1,231 @@
+package baselines
+
+import (
+	"testing"
+
+	"imdpp/internal/dataset"
+	"imdpp/internal/diffusion"
+)
+
+func sampleProblem(t *testing.T, budget float64, T int) *diffusion.Problem {
+	t.Helper()
+	d, err := dataset.AmazonSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Clone(budget, T)
+}
+
+type namedBaseline struct {
+	name string
+	run  func(*diffusion.Problem, Options) (Solution, error)
+}
+
+func allBaselines() []namedBaseline {
+	return []namedBaseline{
+		{"BGRD", BGRD},
+		{"HAG", HAG},
+		{"PS", PS},
+		{"DRHGA", DRHGA},
+	}
+}
+
+func TestBaselinesRespectBudgetAndTimings(t *testing.T) {
+	p := sampleProblem(t, 120, 3)
+	for _, bl := range allBaselines() {
+		sol, err := bl.run(p, Options{MC: 8, Seed: 3, CandidateCap: 48})
+		if err != nil {
+			t.Fatalf("%s: %v", bl.name, err)
+		}
+		if len(sol.Seeds) == 0 {
+			t.Fatalf("%s selected nothing", bl.name)
+		}
+		if sol.Cost > p.Budget+1e-9 {
+			t.Fatalf("%s cost %v over budget", bl.name, sol.Cost)
+		}
+		if err := p.ValidateSeeds(sol.Seeds); err != nil {
+			t.Fatalf("%s: %v", bl.name, err)
+		}
+		if sol.Sigma <= 0 {
+			t.Fatalf("%s sigma %v", bl.name, sol.Sigma)
+		}
+		for _, s := range sol.Seeds {
+			if s.T < 1 || s.T > p.T {
+				t.Fatalf("%s timing %d outside campaign", bl.name, s.T)
+			}
+		}
+	}
+}
+
+func TestBaselinesDeterministic(t *testing.T) {
+	p := sampleProblem(t, 100, 2)
+	for _, bl := range allBaselines() {
+		a, err := bl.run(p, Options{MC: 8, Seed: 5, CandidateCap: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := bl.run(p, Options{MC: 8, Seed: 5, CandidateCap: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Seeds) != len(b.Seeds) {
+			t.Fatalf("%s nondeterministic seed count", bl.name)
+		}
+		for i := range a.Seeds {
+			if a.Seeds[i] != b.Seeds[i] {
+				t.Fatalf("%s nondeterministic seeds", bl.name)
+			}
+		}
+	}
+}
+
+func TestMaxSeedsCap(t *testing.T) {
+	p := sampleProblem(t, 500, 2)
+	for _, bl := range allBaselines() {
+		sol, err := bl.run(p, Options{MC: 8, Seed: 3, CandidateCap: 48, MaxSeeds: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// BGRD adds whole bundles, so allow a small overshoot there
+		limit := 2
+		if bl.name == "BGRD" {
+			limit = 6
+		}
+		if len(sol.Seeds) > limit {
+			t.Fatalf("%s ignored MaxSeeds: %d seeds", bl.name, len(sol.Seeds))
+		}
+	}
+}
+
+func TestBGRDBundlesUsers(t *testing.T) {
+	p := sampleProblem(t, 300, 2)
+	sol, err := BGRD(p, Options{MC: 8, Seed: 3, CandidateCap: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the bundle baseline concentrates multiple items on few users
+	users := map[int]int{}
+	for _, s := range sol.Seeds {
+		users[s.User]++
+	}
+	multi := 0
+	for _, n := range users {
+		if n > 1 {
+			multi++
+		}
+	}
+	if multi == 0 && len(sol.Seeds) > 2 {
+		t.Fatalf("BGRD never bundled: %v", sol.Seeds)
+	}
+}
+
+func TestDRHGASpreadsItems(t *testing.T) {
+	p := sampleProblem(t, 400, 2)
+	sol, err := DRHGA(p, Options{MC: 8, Seed: 3, CandidateCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// per-item selection: distinct items, distinct users
+	items := map[int]bool{}
+	users := map[int]bool{}
+	for _, s := range sol.Seeds {
+		if items[s.Item] {
+			t.Fatalf("DRHGA repeated item %d", s.Item)
+		}
+		items[s.Item] = true
+		if users[s.User] {
+			t.Fatalf("DRHGA repeated user %d", s.User)
+		}
+		users[s.User] = true
+	}
+}
+
+func TestOPTBeatsSingleGreedyPick(t *testing.T) {
+	p := sampleProblem(t, 125, 2)
+	opt, err := OPT(p, OPTOptions{
+		Options:      Options{MC: 16, Seed: 3},
+		MaxGroupSize: 4,
+		UniverseCap:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Seeds) == 0 || opt.Sigma <= 0 {
+		t.Fatalf("OPT degenerate: %+v", opt)
+	}
+	if opt.Cost > p.Budget+1e-9 {
+		t.Fatalf("OPT over budget: %v", opt.Cost)
+	}
+	// OPT over the same universe must match or beat any single seed
+	pairs := candidatePairs(p, 8)
+	est := diffusion.NewEstimator(p, 16, 3)
+	for _, nm := range pairs {
+		single := est.Sigma([]diffusion.Seed{{User: nm.User, Item: nm.Item, T: 1}})
+		if single > opt.Sigma+1e-9 {
+			t.Fatalf("single seed (%d,%d) σ=%v beats OPT %v", nm.User, nm.Item, single, opt.Sigma)
+		}
+	}
+}
+
+func TestOPTGroupSizeBound(t *testing.T) {
+	p := sampleProblem(t, 1e6, 1) // effectively unbounded budget
+	opt, err := OPT(p, OPTOptions{
+		Options:      Options{MC: 4, Seed: 3},
+		MaxGroupSize: 2,
+		UniverseCap:  5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Seeds) > 2 {
+		t.Fatalf("OPT exceeded group size: %d", len(opt.Seeds))
+	}
+}
+
+func TestCandidatePairsDiverseAndAffordable(t *testing.T) {
+	p := sampleProblem(t, 120, 1)
+	pairs := candidatePairs(p, 30)
+	if len(pairs) == 0 || len(pairs) > 30 {
+		t.Fatalf("%d pairs", len(pairs))
+	}
+	perUser := map[int]int{}
+	for _, nm := range pairs {
+		if c := p.CostOf(nm.User, nm.Item); c > p.Budget {
+			t.Fatalf("unaffordable candidate cost %v", c)
+		}
+		perUser[nm.User]++
+	}
+	if len(perUser) < len(pairs)/3 {
+		t.Fatalf("candidate universe not user-diverse: %d users for %d pairs",
+			len(perUser), len(pairs))
+	}
+}
+
+func TestScheduleCRGreedyTimings(t *testing.T) {
+	p := sampleProblem(t, 200, 4)
+	r := newRunner(p, Options{MC: 8, Seed: 3})
+	pairs := candidatePairs(p, 3)
+	seeds := r.scheduleCRGreedy(pairs)
+	if len(seeds) != len(pairs) {
+		t.Fatalf("scheduled %d of %d", len(seeds), len(pairs))
+	}
+	for _, s := range seeds {
+		if s.T < 1 || s.T > p.T {
+			t.Fatalf("timing %d", s.T)
+		}
+	}
+}
+
+func TestBaselinesValidateProblem(t *testing.T) {
+	p := sampleProblem(t, 100, 2)
+	bad := *p
+	bad.T = 0
+	for _, bl := range allBaselines() {
+		if _, err := bl.run(&bad, Options{MC: 4}); err == nil {
+			t.Fatalf("%s accepted invalid problem", bl.name)
+		}
+	}
+	if _, err := OPT(&bad, OPTOptions{}); err == nil {
+		t.Fatal("OPT accepted invalid problem")
+	}
+}

@@ -1,0 +1,135 @@
+package baselines
+
+import (
+	"sort"
+
+	"imdpp/internal/cluster"
+	"imdpp/internal/diffusion"
+)
+
+// BGRD is the utility-driven welfare baseline [38]: users are selected
+// greedily, and a selected user promotes the items as one bundle —
+// BGRD "neglects the substitutable relationship and regards all items
+// as a bundle to be promoted" (Sec. VI-B). Per the paper's cost
+// extension, a user's bundle is filled with items in decreasing
+// utility (w_x · P0pref) for as long as the remaining budget allows.
+// CR-Greedy then schedules the resulting pairs across promotions.
+func BGRD(p *diffusion.Problem, opt Options) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	r := newRunner(p, opt)
+
+	// rank items once by bundle utility per user lazily
+	type userScore struct {
+		u     int
+		score float64
+	}
+	users := make([]userScore, 0, p.NumUsers())
+	for u := 0; u < p.NumUsers(); u++ {
+		if p.G.OutDegree(u) == 0 {
+			continue
+		}
+		users = append(users, userScore{u, float64(p.G.OutDegree(u))})
+	}
+	sort.Slice(users, func(i, j int) bool {
+		if users[i].score != users[j].score {
+			return users[i].score > users[j].score
+		}
+		return users[i].u < users[j].u
+	})
+	if r.opt.CandidateCap > 0 && len(users) > r.opt.CandidateCap {
+		users = users[:r.opt.CandidateCap]
+	}
+
+	var pairs []cluster.Nominee
+	var cur []diffusion.Seed
+	base := 0.0
+	spent := 0.0
+	picked := make(map[int]bool)
+	for {
+		bestRatio := 0.0
+		bestIdx := -1
+		var bestBundle []cluster.Nominee
+		var bestSigma float64
+		bundleCap := 0 // unlimited
+		if r.opt.MaxSeeds > 0 {
+			bundleCap = r.opt.MaxSeeds - len(pairs)
+			if bundleCap <= 0 {
+				break
+			}
+		}
+		for i, us := range users {
+			if picked[us.u] {
+				continue
+			}
+			bundle := bundleFor(p, us.u, p.Budget-spent, bundleCap)
+			if len(bundle) == 0 {
+				continue
+			}
+			cand := append([]diffusion.Seed(nil), cur...)
+			cost := 0.0
+			for _, nm := range bundle {
+				cand = append(cand, diffusion.Seed{User: nm.User, Item: nm.Item, T: 1})
+				cost += p.CostOf(nm.User, nm.Item)
+			}
+			sig := r.sigma(cand)
+			if ratio := (sig - base) / (cost + 1e-12); ratio > bestRatio {
+				bestRatio, bestIdx, bestBundle, bestSigma = ratio, i, bundle, sig
+			}
+		}
+		if bestIdx < 0 || bestRatio <= 0 {
+			break
+		}
+		u := users[bestIdx].u
+		picked[u] = true
+		for _, nm := range bestBundle {
+			pairs = append(pairs, nm)
+			cur = append(cur, diffusion.Seed{User: nm.User, Item: nm.Item, T: 1})
+			spent += p.CostOf(nm.User, nm.Item)
+		}
+		_ = bestSigma
+		base = r.reseedRound(len(pairs), cur)
+		if r.opt.MaxSeeds > 0 && len(pairs) >= r.opt.MaxSeeds {
+			break
+		}
+	}
+	seeds := r.scheduleCRGreedy(pairs)
+	return r.finish(seeds), nil
+}
+
+// bundleFor fills user u's bundle with items in decreasing utility
+// w_x·P0pref(u,x) while they fit the remaining budget; maxItems > 0
+// bounds the bundle size.
+func bundleFor(p *diffusion.Problem, u int, budget float64, maxItems int) []cluster.Nominee {
+	type it struct {
+		x    int
+		util float64
+	}
+	items := make([]it, 0, p.NumItems())
+	for x := 0; x < p.NumItems(); x++ {
+		pr := p.BasePrefOf(u, x)
+		if pr <= 0 {
+			continue
+		}
+		items = append(items, it{x, p.Importance[x] * pr})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].util != items[j].util {
+			return items[i].util > items[j].util
+		}
+		return items[i].x < items[j].x
+	})
+	var bundle []cluster.Nominee
+	for _, itx := range items {
+		if maxItems > 0 && len(bundle) >= maxItems {
+			break
+		}
+		c := p.CostOf(u, itx.x)
+		if c <= budget {
+			bundle = append(bundle, cluster.Nominee{User: u, Item: itx.x})
+			budget -= c
+		}
+	}
+	return bundle
+}

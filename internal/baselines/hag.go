@@ -1,0 +1,61 @@
+package baselines
+
+import (
+	"imdpp/internal/cluster"
+	"imdpp/internal/diffusion"
+)
+
+// HAG is the "social influence meets item inference" baseline [37]:
+// it greedily selects the most influential combination of user-item
+// pairs as seeds (Sec. VI-B). Every greedy round re-evaluates the
+// whole remaining pair universe against the current selection — the
+// combination search that makes HAG accurate at small budgets but
+// expensive at large ones (it is the baseline the paper could not run
+// on Douban within 12 hours). CR-Greedy assigns timings.
+func HAG(p *diffusion.Problem, opt Options) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	r := newRunner(p, opt)
+	universe := candidatePairs(p, r.opt.CandidateCap)
+
+	var pairs []cluster.Nominee
+	var cur []diffusion.Seed
+	base := 0.0
+	spent := 0.0
+	taken := make(map[cluster.Nominee]bool)
+	for {
+		bestRatio, bestIdx := 0.0, -1
+		var bestSigma float64
+		for i, nm := range universe {
+			if taken[nm] {
+				continue
+			}
+			c := p.CostOf(nm.User, nm.Item)
+			if c > p.Budget-spent {
+				continue
+			}
+			cand := append(append([]diffusion.Seed(nil), cur...),
+				diffusion.Seed{User: nm.User, Item: nm.Item, T: 1})
+			sig := r.sigma(cand)
+			if ratio := (sig - base) / (c + 1e-12); ratio > bestRatio {
+				bestRatio, bestIdx, bestSigma = ratio, i, sig
+			}
+		}
+		if bestIdx < 0 || bestRatio <= 0 {
+			break
+		}
+		nm := universe[bestIdx]
+		taken[nm] = true
+		pairs = append(pairs, nm)
+		cur = append(cur, diffusion.Seed{User: nm.User, Item: nm.Item, T: 1})
+		spent += p.CostOf(nm.User, nm.Item)
+		_ = bestSigma
+		base = r.reseedRound(len(pairs), cur)
+		if r.opt.MaxSeeds > 0 && len(pairs) >= r.opt.MaxSeeds {
+			break
+		}
+	}
+	seeds := r.scheduleCRGreedy(pairs)
+	return r.finish(seeds), nil
+}

@@ -1,0 +1,81 @@
+package baselines
+
+import (
+	"imdpp/internal/cluster"
+	"imdpp/internal/diffusion"
+)
+
+// OPTOptions bound the exact search.
+type OPTOptions struct {
+	Options
+	// MaxGroupSize caps the seed-group cardinality enumerated
+	// (default 4).
+	MaxGroupSize int
+	// UniverseCap caps the candidate (u,x) pairs considered
+	// (default 16); combined with T, the search enumerates
+	// O((UniverseCap·T)^MaxGroupSize) groups, so keep both small.
+	UniverseCap int
+}
+
+// OPT enumerates every feasible seed group over a bounded candidate
+// universe and all promotion timings, returning the σ-maximising one —
+// the brute-force optimum of Fig. 8. Intended for instances of around
+// a hundred users.
+func OPT(p *diffusion.Problem, opt OPTOptions) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if opt.MaxGroupSize <= 0 {
+		opt.MaxGroupSize = 4
+	}
+	if opt.UniverseCap <= 0 {
+		opt.UniverseCap = 16
+	}
+	opt.Options = opt.Options.withDefaults()
+	r := newRunner(p, opt.Options)
+
+	pairs := candidatePairs(p, opt.UniverseCap)
+	// expand to (u,x,t) triples
+	var triples []diffusion.Seed
+	for _, nm := range pairs {
+		for t := 1; t <= p.T; t++ {
+			triples = append(triples, diffusion.Seed{User: nm.User, Item: nm.Item, T: t})
+		}
+	}
+
+	best := Solution{Sigma: -1}
+	var rec func(start int, cur []diffusion.Seed, cost float64, usedPair map[cluster.Nominee]bool)
+	rec = func(start int, cur []diffusion.Seed, cost float64, usedPair map[cluster.Nominee]bool) {
+		if len(cur) > 0 {
+			sig := r.sigma(cur)
+			if sig > best.Sigma {
+				best.Sigma = sig
+				best.Seeds = append([]diffusion.Seed(nil), cur...)
+				best.Cost = cost
+			}
+		}
+		if len(cur) == opt.MaxGroupSize {
+			return
+		}
+		for i := start; i < len(triples); i++ {
+			s := triples[i]
+			nm := cluster.Nominee{User: s.User, Item: s.Item}
+			if usedPair[nm] {
+				continue // the same pair at two timings never helps: the first adoption blocks the second
+			}
+			c := p.CostOf(s.User, s.Item)
+			if cost+c > p.Budget {
+				continue
+			}
+			usedPair[nm] = true
+			rec(i+1, append(cur, s), cost+c, usedPair)
+			delete(usedPair, nm)
+		}
+	}
+	rec(0, nil, 0, map[cluster.Nominee]bool{})
+	if best.Sigma < 0 {
+		best.Sigma = 0
+	}
+	best.SigmaEvals = r.evals
+	return best, nil
+}

@@ -1,0 +1,108 @@
+package baselines
+
+import (
+	"sort"
+
+	"imdpp/internal/cluster"
+	"imdpp/internal/diffusion"
+	"imdpp/internal/mioa"
+)
+
+// PS is the multi-grade product baseline [35]: it estimates each
+// seed's influence in isolation from maximum-influence paths and
+// applies a discounting strategy for users already covered by selected
+// seeds ("PS requires much time to search for maximum influence paths
+// to evaluate the influence of a user ... employs a discounting
+// strategy to estimate a seed's influence under the impact of selected
+// seeds", Sec. VI-B). It never simulates combinations, which is why it
+// cannot exploit cross-promotion item impact. CR-Greedy assigns
+// timings.
+func PS(p *diffusion.Problem, opt Options) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	r := newRunner(p, opt)
+
+	// Per-user MIP coverage probabilities (the expensive path search).
+	type cov struct {
+		spread float64
+		prob   []float64
+	}
+	covOf := map[int]*cov{}
+	userSet := map[int]bool{}
+	universe := candidatePairs(p, r.opt.CandidateCap)
+	for _, nm := range universe {
+		userSet[nm.User] = true
+	}
+	for u := range userSet {
+		prob := mioa.Probabilities(p.G, []int{u})
+		s := 0.0
+		for _, pr := range prob {
+			if pr >= mioa.DefaultThreshold {
+				s += pr
+			}
+		}
+		covOf[u] = &cov{spread: s, prob: prob}
+	}
+
+	// residual coverage: discount factors per user, updated as seeds
+	// are picked.
+	residual := make([]float64, p.NumUsers())
+	for i := range residual {
+		residual[i] = 1
+	}
+	score := func(nm cluster.Nominee) float64 {
+		c := covOf[nm.User]
+		total := 0.0
+		for v, pr := range c.prob {
+			if pr >= mioa.DefaultThreshold {
+				total += pr * residual[v] * p.BasePrefOf(v, nm.Item)
+			}
+		}
+		return total * p.Importance[nm.Item]
+	}
+
+	var pairs []cluster.Nominee
+	spent := 0.0
+	taken := map[cluster.Nominee]bool{}
+	for {
+		best, bestIdx := 0.0, -1
+		for i, nm := range universe {
+			if taken[nm] {
+				continue
+			}
+			c := p.CostOf(nm.User, nm.Item)
+			if c > p.Budget-spent {
+				continue
+			}
+			if s := score(nm) / (c + 1e-12); s > best {
+				best, bestIdx = s, i
+			}
+		}
+		if bestIdx < 0 || best <= 0 {
+			break
+		}
+		nm := universe[bestIdx]
+		taken[nm] = true
+		pairs = append(pairs, nm)
+		spent += p.CostOf(nm.User, nm.Item)
+		// discount users the new seed already covers
+		c := covOf[nm.User]
+		for v, pr := range c.prob {
+			if pr >= mioa.DefaultThreshold {
+				residual[v] *= 1 - pr
+			}
+		}
+		if r.opt.MaxSeeds > 0 && len(pairs) >= r.opt.MaxSeeds {
+			break
+		}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool {
+		if pairs[i].User != pairs[j].User {
+			return pairs[i].User < pairs[j].User
+		}
+		return pairs[i].Item < pairs[j].Item
+	})
+	seeds := r.scheduleCRGreedy(pairs)
+	return r.finish(seeds), nil
+}

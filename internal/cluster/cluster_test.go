@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"testing"
+
+	"imdpp/internal/graph"
+	"imdpp/internal/kg"
+	"imdpp/internal/pin"
+)
+
+// twoCommunityWorld builds two 4-user cliques joined by nothing, and a
+// KG with a complementary pair (0,1) and a substitutable pair (2,3).
+func twoCommunityWorld(t *testing.T) (*graph.Graph, *pin.Model) {
+	t.Helper()
+	gb := graph.NewBuilder(8, false)
+	for c := 0; c < 2; c++ {
+		base := c * 4
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				gb.AddEdge(base+i, base+j, 0.5)
+			}
+		}
+	}
+	g := gb.Build()
+
+	b := kg.NewBuilder()
+	tItem := b.NodeTypeID("ITEM")
+	tFeature := b.NodeTypeID("FEATURE")
+	tCategory := b.NodeTypeID("CATEGORY")
+	eSup := b.EdgeTypeID("SUPPORTS")
+	eCat := b.EdgeTypeID("IN_CATEGORY")
+	items := make([]int, 4)
+	for i := range items {
+		items[i] = b.AddNode(tItem)
+	}
+	f := b.AddNode(tFeature)
+	c := b.AddNode(tCategory)
+	b.AddEdge(items[0], f, eSup)
+	b.AddEdge(items[1], f, eSup)
+	b.AddEdge(items[2], c, eCat)
+	b.AddEdge(items[3], c, eCat)
+	kgr := b.Build()
+	model, err := pin.NewModel(kgr,
+		[]*kg.MetaGraph{kg.PathMetaGraph("c", kg.Complementary, tItem, tFeature, eSup, eSup)},
+		[]*kg.MetaGraph{kg.PathMetaGraph("s", kg.Substitutable, tItem, tCategory, eCat, eCat)},
+		[]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, model
+}
+
+func TestClusterEmpty(t *testing.T) {
+	g, m := twoCommunityWorld(t)
+	if got := Cluster(g, m, nil, DefaultOptions()); got != nil {
+		t.Fatalf("empty nominees clustered: %v", got)
+	}
+}
+
+func TestProximitySplitsBySocialDistance(t *testing.T) {
+	g, m := twoCommunityWorld(t)
+	// same item (always compatible) but users in different communities
+	noms := []Nominee{{User: 0, Item: 0}, {User: 1, Item: 0}, {User: 4, Item: 0}}
+	clusters := Cluster(g, m, noms, DefaultOptions())
+	if len(clusters) != 2 {
+		t.Fatalf("clusters: %v", clusters)
+	}
+	if len(clusters[0]) != 2 || clusters[0][0] != 0 || clusters[0][1] != 1 {
+		t.Fatalf("first cluster %v", clusters[0])
+	}
+	if len(clusters[1]) != 1 || clusters[1][0] != 2 {
+		t.Fatalf("second cluster %v", clusters[1])
+	}
+}
+
+func TestProximitySplitsSubstitutableItems(t *testing.T) {
+	g, m := twoCommunityWorld(t)
+	// same community, but items 2 and 3 are substitutable: they must
+	// not share a target market
+	noms := []Nominee{{User: 0, Item: 2}, {User: 1, Item: 3}}
+	clusters := Cluster(g, m, noms, DefaultOptions())
+	if len(clusters) != 2 {
+		t.Fatalf("substitutable items merged: %v", clusters)
+	}
+	// complementary items cluster together
+	noms = []Nominee{{User: 0, Item: 0}, {User: 1, Item: 1}}
+	clusters = Cluster(g, m, noms, DefaultOptions())
+	if len(clusters) != 1 {
+		t.Fatalf("complementary items split: %v", clusters)
+	}
+}
+
+func TestProximityMaxHops(t *testing.T) {
+	// line 0-1-2: users 0 and 2 are 2 hops apart
+	gb := graph.NewBuilder(3, false)
+	gb.AddEdge(0, 1, 0.5)
+	gb.AddEdge(1, 2, 0.5)
+	g := gb.Build()
+	_, m := twoCommunityWorld(t)
+	noms := []Nominee{{User: 0, Item: 0}, {User: 2, Item: 0}}
+	if got := Cluster(g, m, noms, Options{MaxHops: 1}); len(got) != 2 {
+		t.Fatalf("1-hop clustering merged 2-hop users: %v", got)
+	}
+	if got := Cluster(g, m, noms, Options{MaxHops: 2}); len(got) != 1 {
+		t.Fatalf("2-hop clustering split reachable users: %v", got)
+	}
+}
+
+func TestCoCluster(t *testing.T) {
+	g, m := twoCommunityWorld(t)
+	noms := []Nominee{
+		{User: 0, Item: 0}, {User: 1, Item: 1}, // community A, complement pair
+		{User: 4, Item: 0}, // community B, same item
+		{User: 2, Item: 2}, // community A, substitute pool
+	}
+	clusters := Cluster(g, m, noms, Options{Strategy: CoCluster, MaxHops: 1})
+	// user clusters: {0,1,2} and {4}; item clusters: {0,1} and {2}(+{3})
+	// → cells: (A,{0,1})={0,1}, (B,{0,1})={2}, (A,{2})={3}
+	if len(clusters) != 3 {
+		t.Fatalf("co-clusters: %v", clusters)
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	g, m := twoCommunityWorld(t)
+	noms := []Nominee{
+		{User: 0, Item: 0}, {User: 1, Item: 1}, {User: 4, Item: 2},
+		{User: 5, Item: 3}, {User: 2, Item: 0},
+	}
+	a := Cluster(g, m, noms, DefaultOptions())
+	b := Cluster(g, m, noms, DefaultOptions())
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic cluster count")
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("nondeterministic cluster sizes")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("nondeterministic membership")
+			}
+		}
+	}
+}
+
+func TestClustersPartitionNominees(t *testing.T) {
+	g, m := twoCommunityWorld(t)
+	noms := []Nominee{
+		{User: 0, Item: 0}, {User: 1, Item: 1}, {User: 4, Item: 2},
+		{User: 5, Item: 3}, {User: 2, Item: 0}, {User: 6, Item: 1},
+	}
+	for _, strat := range []Strategy{Proximity, CoCluster} {
+		clusters := Cluster(g, m, noms, Options{Strategy: strat, MaxHops: 1})
+		seen := make([]bool, len(noms))
+		total := 0
+		for _, cl := range clusters {
+			for _, idx := range cl {
+				if seen[idx] {
+					t.Fatalf("strategy %d: nominee %d in two clusters", strat, idx)
+				}
+				seen[idx] = true
+				total++
+			}
+		}
+		if total != len(noms) {
+			t.Fatalf("strategy %d: %d of %d nominees clustered", strat, total, len(noms))
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package core implements Dysim — Dynamic perception for seeding in
+// target markets — the approximation algorithm for IMDPP (Sec. IV of
+// the paper), with its three phases:
+//
+//   - TMI (Target Market Identification): selects nominees by marginal
+//     cost-performance ratio (MCP, Procedure 2), clusters them
+//     (Procedure 3), expands clusters into target markets via MIOA,
+//     and prioritises overlapping markets by Antagonistic Extent
+//     (Procedure 4).
+//   - DRE (Dynamic Reachability Evaluation): ranks each market's items
+//     by DR = PI + RI (Eq. 1, 9, 10) under the post-promotion expected
+//     perception.
+//   - TDSI (Timing Determination by Substantial Inﬂuence): assigns each
+//     nominee the promotional timing in [t̂, min(t̂+1, ΣTτ)] with the
+//     largest SI = MA + (T−t+1)/T·ML (Eq. 2, 11, 12).
+//
+// Options expose the ablations of Sec. VI-C (w/o TM, w/o IP), the
+// market-order metrics of Sec. VI-D (AE/PF/SZ/RMS/RD), the θ
+// sensitivity of Sec. VI-G, and the adaptive mode of Sec. V-D.
+package core
+
+import (
+	"time"
+
+	"imdpp/internal/cluster"
+	"imdpp/internal/diffusion"
+)
+
+// OrderMetric selects how target markets within an overlap group G are
+// ordered (Sec. VI-D).
+type OrderMetric uint8
+
+// Market ordering metrics.
+const (
+	OrderAE  OrderMetric = iota // antagonistic extent, ascending (default)
+	OrderPF                     // profitability, descending
+	OrderSZ                     // market size, descending
+	OrderRMS                    // relative market share, descending
+	OrderRD                     // random
+)
+
+func (m OrderMetric) String() string {
+	switch m {
+	case OrderAE:
+		return "AE"
+	case OrderPF:
+		return "PF"
+	case OrderSZ:
+		return "SZ"
+	case OrderRMS:
+		return "RMS"
+	default:
+		return "RD"
+	}
+}
+
+// Options configure a Dysim run. The zero value is usable; unset
+// fields fall back to the defaults noted per field.
+type Options struct {
+	// MC is the Monte-Carlo sample count for σ evaluations during
+	// nominee selection (default 32).
+	MC int
+	// MCSI is the sample count for SI evaluations in TDSI and for the
+	// expected-perception estimate in DRE (default 16).
+	MCSI int
+	// Seed is the master RNG seed (default 1).
+	Seed uint64
+	// Theta is the common-user threshold θ for grouping overlapping
+	// target markets (default 1).
+	Theta int
+	// MIOAThreshold is the path-probability cutoff when expanding
+	// nominees into a target market (default 1/320).
+	MIOAThreshold float64
+	// CandidateCap bounds the nominee universe scanned by MCP
+	// selection; the top candidates by outdeg·w_x·P0pref are kept
+	// (default 512, ≤0 means no cap).
+	CandidateCap int
+	// Cluster configures nominee clustering.
+	Cluster cluster.Options
+	// Order selects the market-order metric (default AE).
+	Order OrderMetric
+	// DisableTargetMarkets runs the w/o TM ablation: all nominees form
+	// a single target market.
+	DisableTargetMarkets bool
+	// DisableItemPriority runs the w/o IP ablation: DRE is skipped and
+	// a market's items enter TDSI as one merged pool.
+	DisableItemPriority bool
+	// Workers bounds estimator parallelism (0 → GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MC <= 0 {
+		o.MC = 32
+	}
+	if o.MCSI <= 0 {
+		o.MCSI = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Theta <= 0 {
+		o.Theta = 1
+	}
+	if o.CandidateCap == 0 {
+		o.CandidateCap = 512
+	}
+	if o.Cluster.MaxHops == 0 {
+		o.Cluster = cluster.DefaultOptions()
+	}
+	return o
+}
+
+// Market is one identified target market τ.
+type Market struct {
+	ID       int
+	Nominees []cluster.Nominee
+	Users    []int  // MIOA region
+	Mask     []bool // len |V| membership mask
+	Diameter int    // d_τ: eccentricity from the nominee users
+	Items    []int  // distinct items promoted by the nominees
+	Ttau     int    // promotional duration T_τ
+	Group    int    // overlap-group id
+	OrderKey float64
+}
+
+// Stats reports solver effort, for the execution-time figures.
+type Stats struct {
+	SigmaEvals   int
+	SIEvals      int
+	NomineeCount int
+	MarketCount  int
+	GroupCount   int
+	SelectTime   time.Duration
+	MarketTime   time.Duration
+	ScheduleTime time.Duration
+	TotalTime    time.Duration
+}
+
+// Solution is the output of a solver run.
+type Solution struct {
+	Seeds   []diffusion.Seed
+	Cost    float64
+	Sigma   float64 // final MC estimate of σ(Seeds)
+	Markets []Market
+	Stats   Stats
+}
+
+// solver carries shared run state.
+type solver struct {
+	p     *diffusion.Problem
+	opt   Options
+	est   *diffusion.Estimator // MC-sample estimator for selection
+	estSI *diffusion.Estimator // MCSI-sample estimator for DRE/TDSI
+	stats Stats
+}
+
+func newSolver(p *diffusion.Problem, opt Options) *solver {
+	opt = opt.withDefaults()
+	s := &solver{p: p, opt: opt}
+	s.est = diffusion.NewEstimator(p, opt.MC, opt.Seed)
+	s.est.Workers = opt.Workers
+	s.estSI = diffusion.NewEstimator(p, opt.MCSI, opt.Seed+0x9e37)
+	s.estSI.Workers = opt.Workers
+	return s
+}
+
+// sigma evaluates σ with the selection estimator, counting the call.
+func (s *solver) sigma(seeds []diffusion.Seed) float64 {
+	s.stats.SigmaEvals++
+	return s.est.Sigma(seeds)
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"sort"
+
+	"imdpp/internal/cluster"
+	"imdpp/internal/diffusion"
+	"imdpp/internal/mioa"
+	"imdpp/internal/rng"
+)
+
+// identifyMarkets is the middle of TMI: cluster the selected nominees
+// (Procedure 3), expand each cluster into a target market through MIOA
+// (footnote 17), and measure each market's diameter d_τ.
+func (s *solver) identifyMarkets(nominees []cluster.Nominee) []*Market {
+	p := s.p
+	var clusters [][]int
+	if s.opt.DisableTargetMarkets {
+		// w/o TM ablation: one market holding every nominee
+		all := make([]int, len(nominees))
+		for i := range all {
+			all[i] = i
+		}
+		clusters = [][]int{all}
+	} else {
+		clusters = cluster.Cluster(p.G, p.PIN, nominees, s.opt.Cluster)
+	}
+	markets := make([]*Market, 0, len(clusters))
+	for ci, members := range clusters {
+		m := &Market{ID: ci}
+		userSet := map[int]bool{}
+		itemSet := map[int]bool{}
+		for _, idx := range members {
+			m.Nominees = append(m.Nominees, nominees[idx])
+			userSet[nominees[idx].User] = true
+			itemSet[nominees[idx].Item] = true
+		}
+		srcs := make([]int, 0, len(userSet))
+		for u := range userSet {
+			srcs = append(srcs, u)
+		}
+		sort.Ints(srcs)
+		m.Users = mioa.Region(p.G, srcs, s.opt.MIOAThreshold)
+		m.Mask = make([]bool, p.NumUsers())
+		for _, u := range m.Users {
+			m.Mask[u] = true
+		}
+		m.Diameter = p.G.EccentricityFrom(srcs)
+		if m.Diameter < 1 {
+			m.Diameter = 1
+		}
+		for x := range itemSet {
+			m.Items = append(m.Items, x)
+		}
+		sort.Ints(m.Items)
+		markets = append(markets, m)
+	}
+	return markets
+}
+
+// groupMarkets is Procedure 4's first half: markets sharing more than
+// θ common users land in the same group G (transitively, via
+// union-find). Returns groups as ordered market-index lists.
+func (s *solver) groupMarkets(markets []*Market) [][]int {
+	n := len(markets)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if commonUsers(markets[i], markets[j]) > s.opt.Theta {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					parent[ri] = rj
+				}
+			}
+		}
+	}
+	byRoot := map[int][]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	groups := make([][]int, 0, len(byRoot))
+	for _, g := range byRoot {
+		sort.Ints(g)
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a][0] < groups[b][0] })
+	for gi, g := range groups {
+		for _, mi := range g {
+			markets[mi].Group = gi
+		}
+	}
+	return groups
+}
+
+func commonUsers(a, b *Market) int {
+	// both Users slices are sorted
+	i, j, c := 0, 0, 0
+	for i < len(a.Users) && j < len(b.Users) {
+		switch {
+		case a.Users[i] < b.Users[j]:
+			i++
+		case a.Users[i] > b.Users[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// orderGroup is Procedure 4's second half: arrange the markets of one
+// group by the configured metric. AE ascending is the paper's default;
+// PF/SZ/RMS order descending; RD shuffles (Sec. VI-D).
+func (s *solver) orderGroup(markets []*Market, group []int) []int {
+	ordered := append([]int(nil), group...)
+	switch s.opt.Order {
+	case OrderPF:
+		for _, mi := range group {
+			markets[mi].OrderKey = s.profitability(markets[mi])
+		}
+		sortByKey(ordered, markets, false)
+	case OrderSZ:
+		for _, mi := range group {
+			markets[mi].OrderKey = float64(len(markets[mi].Users))
+		}
+		sortByKey(ordered, markets, false)
+	case OrderRMS:
+		shares := s.marketShares()
+		for _, mi := range group {
+			markets[mi].OrderKey = s.relativeMarketShare(markets[mi], shares)
+		}
+		sortByKey(ordered, markets, false)
+	case OrderRD:
+		r := rng.New(s.opt.Seed ^ 0xabcdef)
+		r.Shuffle(len(ordered), func(i, j int) {
+			ordered[i], ordered[j] = ordered[j], ordered[i]
+		})
+	default: // OrderAE
+		for _, mi := range group {
+			markets[mi].OrderKey = s.antagonisticExtent(markets, markets[mi], group)
+		}
+		sortByKey(ordered, markets, true)
+	}
+	return ordered
+}
+
+func sortByKey(idx []int, markets []*Market, ascending bool) {
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := markets[idx[a]].OrderKey, markets[idx[b]].OrderKey
+		if ka != kb {
+			if ascending {
+				return ka < kb
+			}
+			return ka > kb
+		}
+		return idx[a] < idx[b]
+	})
+}
+
+// antagonisticExtent computes AE(τi) = Σ_{x∈τi, y∈τj, j≠i} r̄S_{x,y}
+// over the other markets of the same group, under the static
+// (pre-campaign) perception.
+func (s *solver) antagonisticExtent(markets []*Market, mi *Market, group []int) float64 {
+	ae := 0.0
+	for _, oj := range group {
+		mj := markets[oj]
+		if mj == mi {
+			continue
+		}
+		for _, x := range mi.Items {
+			for _, y := range mj.Items {
+				_, rs := s.p.PIN.RelStatic(x, y)
+				ae += rs
+			}
+		}
+	}
+	return ae
+}
+
+// profitability (PF, Sec. VI-D): expected adoptions under the market's
+// own nominees seeded at t=1, minus the nominees' cost.
+func (s *solver) profitability(m *Market) float64 {
+	seeds := make([]diffusion.Seed, len(m.Nominees))
+	cost := 0.0
+	for i, nm := range m.Nominees {
+		seeds[i] = diffusion.Seed{User: nm.User, Item: nm.Item, T: 1}
+		cost += s.p.CostOf(nm.User, nm.Item)
+	}
+	est := s.estSI.Run(seeds, m.Mask, false)
+	return est.MarketSigma - cost
+}
+
+// marketShares returns, per item, the number of users whose highest
+// base preference is that item ("users preferring the item most").
+func (s *solver) marketShares() []int {
+	p := s.p
+	shares := make([]int, p.NumItems())
+	for u := 0; u < p.NumUsers(); u++ {
+		best, bestPref := -1, 0.0
+		for x := 0; x < p.NumItems(); x++ {
+			if pr := p.BasePrefOf(u, x); pr > bestPref {
+				bestPref = pr
+				best = x
+			}
+		}
+		if best >= 0 {
+			shares[best]++
+		}
+	}
+	return shares
+}
+
+// relativeMarketShare (RMS, Sec. VI-D): per promoted item, the ratio
+// of its share to the largest share among its substitutable items;
+// the market's key is the mean over its items.
+func (s *solver) relativeMarketShare(m *Market, shares []int) float64 {
+	if len(m.Items) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, x := range m.Items {
+		maxSub := 0
+		for _, y := range s.p.PIN.Neighbors(x) {
+			if _, rs := s.p.PIN.RelStatic(x, int(y)); rs > 0 && shares[y] > maxSub {
+				maxSub = shares[y]
+			}
+		}
+		if maxSub == 0 {
+			total += float64(shares[x]) + 1 // no substitutable rival: dominant
+		} else {
+			total += float64(shares[x]) / float64(maxSub)
+		}
+	}
+	return total / float64(len(m.Items))
+}
+
+// allocateDurations splits the T promotions of one group across its
+// markets proportionally to nominee counts: T_τk = ⌊|Nτk|·T / Σ|Nτi|⌋,
+// with a floor of 1 (Algorithm 1 line 10).
+func allocateDurations(markets []*Market, ordered []int, T int) {
+	total := 0
+	for _, mi := range ordered {
+		total += len(markets[mi].Nominees)
+	}
+	if total == 0 {
+		return
+	}
+	for _, mi := range ordered {
+		tt := len(markets[mi].Nominees) * T / total
+		if tt < 1 {
+			tt = 1
+		}
+		markets[mi].Ttau = tt
+	}
+}

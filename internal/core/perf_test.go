@@ -1,0 +1,24 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"imdpp/internal/dataset"
+)
+
+func TestPerfLarge(t *testing.T) {
+	start := time.Now()
+	d, err := dataset.Amazon(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("dataset gen: %v users=%d items=%d", time.Since(start), d.Problem.NumUsers(), d.Problem.NumItems())
+	p := d.Clone(500, 10)
+	start = time.Now()
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("solve: %v seeds=%d sigma=%.1f markets=%d evals=%d si=%d", time.Since(start), len(sol.Seeds), sol.Sigma, sol.Stats.MarketCount, sol.Stats.SigmaEvals, sol.Stats.SIEvals)
+}

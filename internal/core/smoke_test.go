@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+
+	"imdpp/internal/dataset"
+)
+
+// TestSolveSmoke runs Dysim end-to-end on the small Amazon sample.
+func TestSolveSmoke(t *testing.T) {
+	d, err := dataset.AmazonSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Clone(100, 2)
+	sol, err := Solve(p, Options{MC: 16, MCSI: 8, CandidateCap: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Seeds) == 0 {
+		t.Fatal("no seeds selected")
+	}
+	if sol.Cost > p.Budget+1e-9 {
+		t.Fatalf("cost %.2f over budget %.2f", sol.Cost, p.Budget)
+	}
+	if sol.Sigma <= 0 {
+		t.Fatalf("sigma %.3f not positive", sol.Sigma)
+	}
+	if err := p.ValidateSeeds(sol.Seeds); err != nil {
+		t.Fatalf("invalid seeds: %v", err)
+	}
+	t.Logf("seeds=%d cost=%.1f sigma=%.2f markets=%d evals=%d time=%v",
+		len(sol.Seeds), sol.Cost, sol.Sigma, sol.Stats.MarketCount,
+		sol.Stats.SigmaEvals, sol.Stats.TotalTime)
+}

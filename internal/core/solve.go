@@ -1,0 +1,79 @@
+package core
+
+import (
+	"time"
+
+	"imdpp/internal/diffusion"
+)
+
+// Solve runs Dysim (Algorithm 1) on the problem and returns the seed
+// group, its cost and the final σ estimate.
+func Solve(p *diffusion.Problem, opt Options) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	s := newSolver(p, opt)
+	start := time.Now()
+
+	// --- TMI: nominee selection ----------------------------------------
+	t0 := time.Now()
+	universe := s.candidateUniverse()
+	selected, emax, emaxSigma, _ := s.selectNominees(universe, p.Budget)
+	s.stats.NomineeCount = len(selected)
+	s.stats.SelectTime = time.Since(t0)
+
+	// --- TMI: markets, groups, order ------------------------------------
+	t0 = time.Now()
+	markets := s.identifyMarkets(selected)
+	groups := s.groupMarkets(markets)
+	s.stats.MarketCount = len(markets)
+	s.stats.GroupCount = len(groups)
+	s.stats.MarketTime = time.Since(t0)
+
+	// --- DRE + TDSI per group -------------------------------------------
+	t0 = time.Now()
+	var all []diffusion.Seed
+	for _, group := range groups {
+		ordered := s.orderGroup(markets, group)
+		allocateDurations(markets, ordered, p.T)
+		var sg []diffusion.Seed
+		cum := 0
+		for _, mi := range ordered {
+			cum += markets[mi].Ttau
+			if cum > p.T {
+				cum = p.T
+			}
+			s.scheduleMarket(markets[mi], &sg, cum)
+		}
+		all = append(all, sg...)
+	}
+	s.stats.ScheduleTime = time.Since(t0)
+
+	// --- Theorem 3/5 safeguard: compare with the best single seed --------
+	// emaxSigma is a max over many noisy evaluations and therefore
+	// positively biased; cross-validate the comparison on the SI
+	// estimator (independent master seed) before replacing the full
+	// plan with a single seed.
+	sigAll := s.sigma(all)
+	if emax.User >= 0 && emaxSigma > sigAll && p.CostOf(emax.User, emax.Item) <= p.Budget {
+		emaxSeeds := []diffusion.Seed{{User: emax.User, Item: emax.Item, T: 1}}
+		sigAll2 := s.estSI.Run(all, nil, false).Sigma
+		sigE2 := s.estSI.Run(emaxSeeds, nil, false).Sigma
+		if sigE2 > sigAll2 {
+			all = emaxSeeds
+			sigAll = emaxSigma
+		}
+	}
+
+	s.stats.TotalTime = time.Since(start)
+	sol := Solution{
+		Seeds: all,
+		Cost:  p.SeedCost(all),
+		Sigma: sigAll,
+		Stats: s.stats,
+	}
+	for _, m := range markets {
+		sol.Markets = append(sol.Markets, *m)
+	}
+	return sol, nil
+}

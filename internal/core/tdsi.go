@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+
+	"imdpp/internal/cluster"
+	"imdpp/internal/diffusion"
+)
+
+// scheduleMarket runs DRE + TDSI for market τk of a group: pick the
+// unpromoted item with the highest DR, assign its nominees timings by
+// SI, repeat until the market's nominees are all seeded (Algorithm 1
+// lines 9–28). lastT is Σ_{i≤k} T_{τi}, the last promotional timing
+// this market may use.
+func (s *solver) scheduleMarket(m *Market, sg *[]diffusion.Seed, lastT int) {
+	if s.opt.DisableItemPriority {
+		// w/o IP ablation: no DR ordering; all the market's nominees
+		// enter TDSI as one merged pool.
+		pool := append([]cluster.Nominee(nil), m.Nominees...)
+		s.tdsiAssign(m, pool, sg, lastT)
+		return
+	}
+	remaining := append([]int(nil), m.Items...)
+	taken := make(map[int]bool)
+	for len(remaining) > 0 {
+		xp := s.bestItemByDR(m, *sg, remaining)
+		// drop xp from remaining
+		out := remaining[:0]
+		for _, x := range remaining {
+			if x != xp {
+				out = append(out, x)
+			}
+		}
+		remaining = out
+		taken[xp] = true
+		var pool []cluster.Nominee
+		for _, nm := range m.Nominees {
+			if nm.Item == xp {
+				pool = append(pool, nm)
+			}
+		}
+		s.tdsiAssign(m, pool, sg, lastT)
+	}
+}
+
+// tdsiAssign assigns every nominee of the pool a promotional timing:
+// at each iteration the candidate set is C = pool × [t̂, min(t̂+1,
+// lastT)] (the bounded search window justified in Sec. IV-B.3) and the
+// candidate with the highest substantial influence
+//
+//	SI = MA + (T−t+1)/T · ML            (Eq. 2)
+//
+// joins the seed group, where MA = σ_τ(SG∪{s}) − σ_τ(SG) (Eq. 11) and
+// ML = π_τ(SG∪{s}) − π_τ(SG) (Eq. 12) are Monte-Carlo estimates
+// restricted to the market.
+func (s *solver) tdsiAssign(m *Market, pool []cluster.Nominee, sg *[]diffusion.Seed, lastT int) {
+	p := s.p
+	for len(pool) > 0 {
+		// fresh sample streams per assignment round (winner's curse)
+		s.estSI.Reseed(s.opt.Seed + 0x9e37 + uint64(len(*sg))*0x85EB)
+		tHat := 1
+		for _, sd := range *sg {
+			if sd.T > tHat {
+				tHat = sd.T
+			}
+		}
+		lo := tHat
+		hi := tHat + 1
+		if hi > lastT {
+			hi = lastT
+		}
+		if hi < lo {
+			hi = lo
+		}
+		if lo > p.T {
+			lo = p.T
+		}
+		if hi > p.T {
+			hi = p.T
+		}
+		base := s.estSI.Run(*sg, m.Mask, true)
+		s.stats.SIEvals++
+		bestSI := math.Inf(-1)
+		bestIdx, bestT := -1, lo
+		for i, nm := range pool {
+			for t := lo; t <= hi; t++ {
+				cand := append(append([]diffusion.Seed(nil), *sg...),
+					diffusion.Seed{User: nm.User, Item: nm.Item, T: t})
+				est := s.estSI.Run(cand, m.Mask, true)
+				s.stats.SIEvals++
+				ma := est.MarketSigma - base.MarketSigma
+				ml := est.Pi - base.Pi
+				si := ma + float64(p.T-t+1)/float64(p.T)*ml
+				if si > bestSI || (si == bestSI && (bestIdx == -1 || pool[i].User < pool[bestIdx].User)) {
+					bestSI = si
+					bestIdx = i
+					bestT = t
+				}
+			}
+		}
+		nm := pool[bestIdx]
+		*sg = append(*sg, diffusion.Seed{User: nm.User, Item: nm.Item, T: bestT})
+		pool = append(pool[:bestIdx], pool[bestIdx+1:]...)
+	}
+}

@@ -1,0 +1,340 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"imdpp/internal/diffusion"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Spec{Name: "tiny", Users: 2, Items: 2}); err == nil {
+		t.Fatal("tiny spec accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{
+		Name: "det", Users: 60, Items: 12, AttachM: 3,
+		AvgInfluence: 0.1, Features: 8, Brands: 3, Categories: 3,
+		Ecosystems: 3, AvgImportance: 1.5, Seed: 42,
+	}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Problem.G.M() != b.Problem.G.M() {
+		t.Fatal("social graphs differ across identical specs")
+	}
+	for i := range a.Problem.BasePref {
+		if a.Problem.BasePref[i] != b.Problem.BasePref[i] {
+			t.Fatal("preferences differ")
+		}
+	}
+	for i := range a.Problem.Cost {
+		if a.Problem.Cost[i] != b.Problem.Cost[i] {
+			t.Fatal("costs differ")
+		}
+	}
+}
+
+func TestGeneratedProblemValid(t *testing.T) {
+	for _, build := range []func(Scale) (*Dataset, error){Douban, Gowalla, Yelp, Amazon} {
+		d, err := build(0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := d.Clone(100, 3)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Spec.Name, err)
+		}
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	cases := []struct {
+		build     func(Scale) (*Dataset, error)
+		nodeTypes int
+		edgeTypes int
+		directed  bool
+		avgInf    float64
+		avgImp    float64
+	}{
+		{Douban, 3, 4, false, 0.03, 2.1},
+		{Gowalla, 3, 4, false, 0.092, 0.5},
+		{Yelp, 6, 6, false, 0.121, 1.6},
+		{Amazon, 6, 6, true, 0.05, 1.8},
+	}
+	for _, tc := range cases {
+		d, err := tc.build(0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := d.Stats()
+		if st.NodeTypes != tc.nodeTypes {
+			t.Errorf("%s node types = %d want %d", st.Name, st.NodeTypes, tc.nodeTypes)
+		}
+		if st.EdgeTypes != tc.edgeTypes {
+			t.Errorf("%s edge types = %d want %d", st.Name, st.EdgeTypes, tc.edgeTypes)
+		}
+		if st.Directed != tc.directed {
+			t.Errorf("%s directed = %v", st.Name, st.Directed)
+		}
+		if math.Abs(st.AvgInfluence-tc.avgInf) > tc.avgInf*0.25 {
+			t.Errorf("%s avg influence %v want ~%v", st.Name, st.AvgInfluence, tc.avgInf)
+		}
+		if math.Abs(st.AvgImportance-tc.avgImp) > tc.avgImp*0.2 {
+			t.Errorf("%s avg importance %v want ~%v", st.Name, st.AvgImportance, tc.avgImp)
+		}
+		if st.Users <= 0 || st.Items <= 0 || st.Friendships <= 0 {
+			t.Errorf("%s degenerate: %+v", st.Name, st)
+		}
+	}
+}
+
+func TestUserItemRatioOrdering(t *testing.T) {
+	// Douban has the most users of the four presets, Yelp the fewest
+	// (Table II ordering by user count: Yelp < Gowalla < Amazon < Douban).
+	names := []func(Scale) (*Dataset, error){Yelp, Gowalla, Amazon, Douban}
+	prev := 0
+	for _, build := range names {
+		d, err := build(0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u := d.Problem.G.N(); u < prev {
+			t.Fatalf("user-count ordering broken at %s (%d < %d)", d.Spec.Name, u, prev)
+		} else {
+			prev = u
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d, err := Yelp(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := d.Clone(100, 2)
+	p2 := d.Clone(500, 10)
+	if p1.Budget != 100 || p1.T != 2 || p2.Budget != 500 || p2.T != 10 {
+		t.Fatal("clone budgets/T wrong")
+	}
+	if d.Problem.Budget != 0 {
+		t.Fatal("clone mutated the shared problem")
+	}
+	// shares the expensive immutable parts
+	if p1.G != p2.G || p1.PIN != p2.PIN {
+		t.Fatal("clones rebuilt immutable substrates")
+	}
+}
+
+func TestCostsPositiveAndCalibrated(t *testing.T) {
+	d, err := Amazon(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Problem
+	sum := 0.0
+	for _, c := range p.Cost {
+		if c < 1 {
+			t.Fatalf("cost below floor: %v", c)
+		}
+		sum += c
+	}
+	mean := sum / float64(len(p.Cost))
+	want := Scale(0.25).avgCost()
+	if mean < want*0.6 || mean > want*1.6 {
+		t.Fatalf("mean cost %v, want ~%v", mean, want)
+	}
+}
+
+func TestPreferencesInRange(t *testing.T) {
+	d, err := Gowalla(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range d.Problem.BasePref {
+		if v < 0 || v > 1 {
+			t.Fatalf("preference out of range: %v", v)
+		}
+	}
+}
+
+func TestMetaGraphListsUsable(t *testing.T) {
+	d, err := Yelp(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.MetaC) < 2 || len(d.MetaS) < 1 {
+		t.Fatalf("meta lists: C=%d S=%d", len(d.MetaC), len(d.MetaS))
+	}
+	// the PIN must actually contain relevant pairs of both kinds
+	model := d.Problem.PIN
+	var anyC, anyS bool
+	for x := 0; x < model.NumItems() && !(anyC && anyS); x++ {
+		for _, y := range model.Neighbors(x) {
+			rc, rs := model.RelStatic(x, int(y))
+			if rc > 0 {
+				anyC = true
+			}
+			if rs > 0 {
+				anyS = true
+			}
+		}
+	}
+	if !anyC || !anyS {
+		t.Fatalf("missing relationships: complementary=%v substitutable=%v", anyC, anyS)
+	}
+}
+
+func TestAmazonSampleScale(t *testing.T) {
+	d, err := AmazonSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Problem.G.N() != 100 {
+		t.Fatalf("sample users = %d", d.Problem.G.N())
+	}
+	// seeds must be expensive enough that OPT's bounded enumeration is
+	// the true optimum: budget 125 buys at most ~6 seeds
+	minCost := math.Inf(1)
+	for _, c := range d.Problem.Cost {
+		if c < minCost {
+			minCost = c
+		}
+	}
+	if 125/minCost > 7 {
+		t.Fatalf("sample seeds too cheap: min cost %v", minCost)
+	}
+}
+
+func TestClassSpecsTableIII(t *testing.T) {
+	specs := ClassSpecs()
+	want := map[string][2]int{
+		"A": {33, 293}, "B": {26, 420}, "C": {22, 387}, "D": {20, 227}, "E": {20, 308},
+	}
+	if len(specs) != 5 {
+		t.Fatalf("%d classes", len(specs))
+	}
+	for _, s := range specs {
+		w := want[s.ID]
+		if s.Users != w[0] || s.Edges != w[1] {
+			t.Fatalf("class %s: %d/%d want %v", s.ID, s.Users, s.Edges, w)
+		}
+	}
+}
+
+func TestBuildClassShape(t *testing.T) {
+	for _, spec := range ClassSpecs() {
+		d, err := BuildClass(spec, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := d.Problem
+		if p.G.N() != spec.Users {
+			t.Fatalf("class %s users = %d", spec.ID, p.G.N())
+		}
+		if p.KG.NumItems() != 30 {
+			t.Fatalf("class %s courses = %d", spec.ID, p.KG.NumItems())
+		}
+		// edge count within 20% of Table III
+		if m := p.G.M(); math.Abs(float64(m-spec.Edges)) > 0.2*float64(spec.Edges) {
+			t.Fatalf("class %s edges = %d want ~%d", spec.ID, m, spec.Edges)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("class %s: %v", spec.ID, err)
+		}
+		// uniform importance: σ equals expected selections
+		for _, w := range p.Importance {
+			if w != 1 {
+				t.Fatalf("class %s importance %v", spec.ID, w)
+			}
+		}
+	}
+}
+
+func TestBuildClassTooSmall(t *testing.T) {
+	if _, err := BuildClass(ClassSpec{ID: "X", Users: 2, Edges: 1}, 1); err == nil {
+		t.Fatal("degenerate class accepted")
+	}
+}
+
+func TestCourseNames(t *testing.T) {
+	if CourseName(0) != "AI" {
+		t.Fatalf("course 0 = %s", CourseName(0))
+	}
+	if CourseName(999) == "" {
+		t.Fatal("out-of-range course name empty")
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 30; i++ {
+		n := CourseName(i)
+		if seen[n] {
+			t.Fatalf("duplicate course name %s", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestAllPresets(t *testing.T) {
+	ds, err := All(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 4 {
+		t.Fatalf("%d datasets", len(ds))
+	}
+	names := []string{"Douban", "Gowalla", "Yelp", "Amazon"}
+	for i, d := range ds {
+		if d.Spec.Name != names[i] {
+			t.Fatalf("order: %s at %d", d.Spec.Name, i)
+		}
+	}
+}
+
+func TestScaleAvgCost(t *testing.T) {
+	if got := Scale(1).avgCost(); got != 12 {
+		t.Fatalf("scale 1 cost %v", got)
+	}
+	if got := Scale(0.5).avgCost(); got != 24 {
+		t.Fatalf("scale 0.5 cost %v", got)
+	}
+	if got := Scale(2).avgCost(); got != 12 {
+		t.Fatalf("scale 2 cost %v", got)
+	}
+	if got := Scale(0).avgCost(); got != 12 {
+		t.Fatalf("scale 0 cost %v", got)
+	}
+}
+
+// smoke: a campaign on a generated dataset actually spreads influence.
+func TestGeneratedDatasetDiffuses(t *testing.T) {
+	d, err := Yelp(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Clone(1e9, 2)
+	est := diffusion.NewEstimator(p, 50, 3)
+	// seed the highest-degree user with its best item
+	best, bestDeg := 0, -1
+	for u := 0; u < p.NumUsers(); u++ {
+		if deg := p.G.OutDegree(u); deg > bestDeg {
+			best, bestDeg = u, deg
+		}
+	}
+	bestItem := 0
+	for x := 1; x < p.NumItems(); x++ {
+		if p.BasePrefOf(best, x) > p.BasePrefOf(best, bestItem) {
+			bestItem = x
+		}
+	}
+	res := est.Run([]diffusion.Seed{{User: best, Item: bestItem, T: 1}}, nil, false)
+	if res.Adoptions <= 1 {
+		t.Fatalf("hub seed never spreads: %v mean adoptions", res.Adoptions)
+	}
+}

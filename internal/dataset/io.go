@@ -1,0 +1,58 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Save writes the dataset spec to w. Datasets are fully determined by
+// their spec (generation is deterministic), so persisting the spec is
+// both compact and future-proof; Load regenerates the dataset.
+func (d *Dataset) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(d.Spec); err != nil {
+		return fmt.Errorf("dataset: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a spec written by Save and regenerates the dataset.
+func Load(r io.Reader) (*Dataset, error) {
+	dec := gob.NewDecoder(r)
+	var spec Spec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	return Generate(spec)
+}
+
+// SaveFile writes the dataset spec to path.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := d.Save(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset spec from path and regenerates the dataset.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}

@@ -1,0 +1,69 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig, err := Yelp(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Spec != orig.Spec {
+		t.Fatalf("spec mismatch:\n%+v\n%+v", loaded.Spec, orig.Spec)
+	}
+	// regeneration is deterministic: identical graph and economics
+	if loaded.Problem.G.M() != orig.Problem.G.M() {
+		t.Fatal("graph differs after round-trip")
+	}
+	for i := range orig.Problem.BasePref {
+		if loaded.Problem.BasePref[i] != orig.Problem.BasePref[i] {
+			t.Fatal("preferences differ after round-trip")
+		}
+	}
+	for i := range orig.Problem.Importance {
+		if loaded.Problem.Importance[i] != orig.Problem.Importance[i] {
+			t.Fatal("importance differs after round-trip")
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	orig, err := Gowalla(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "gowalla.imdpp")
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Spec.Name != "Gowalla" || loaded.Problem.G.N() != orig.Problem.G.N() {
+		t.Fatalf("loaded %s with %d users", loaded.Spec.Name, loaded.Problem.G.N())
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/path.imdpp"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

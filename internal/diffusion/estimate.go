@@ -1,0 +1,240 @@
+package diffusion
+
+import (
+	"runtime"
+	"sync"
+
+	"imdpp/internal/rng"
+)
+
+// Estimate is the Monte-Carlo estimate of σ and π for a seed group.
+type Estimate struct {
+	Sigma       float64   // importance-aware influence (Def. 1)
+	MarketSigma float64   // σ restricted to the market mask
+	Pi          float64   // future-adoption likelihood (Eq. 13) over the market
+	PerItem     []float64 // mean unweighted adoptions per item
+	Adoptions   float64   // mean total adoptions
+}
+
+// Estimator evaluates σ by Monte-Carlo simulation (footnote 12: σ is
+// estimated by simulating the diffusion M times). It is safe for
+// sequential reuse; Concurrent evaluation happens internally across
+// workers with deterministic per-sample RNG streams.
+type Estimator struct {
+	P       *Problem
+	M       int // samples per estimate
+	Seed    uint64
+	Workers int // 0 → GOMAXPROCS
+
+	mu     sync.Mutex
+	states []*State
+}
+
+// NewEstimator creates an estimator with M samples and master seed.
+func NewEstimator(p *Problem, m int, seed uint64) *Estimator {
+	if m < 1 {
+		m = 1
+	}
+	return &Estimator{P: p, M: m, Seed: seed}
+}
+
+// Reseed changes the master seed for subsequent estimates. Greedy
+// selection loops reseed between rounds so the positive bias of the
+// round's winning (max-over-candidates) estimate does not persist into
+// the next round's baseline — the "winner's curse" stall of greedy
+// maximisation with a fixed deterministic Monte-Carlo oracle.
+func (e *Estimator) Reseed(seed uint64) { e.Seed = seed }
+
+func (e *Estimator) workers() int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > e.M {
+		w = e.M
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// getState borrows a pooled state (allocating on demand).
+func (e *Estimator) getState() *State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n := len(e.states); n > 0 {
+		st := e.states[n-1]
+		e.states = e.states[:n-1]
+		return st
+	}
+	return NewState(e.P)
+}
+
+func (e *Estimator) putState(st *State) {
+	e.mu.Lock()
+	e.states = append(e.states, st)
+	e.mu.Unlock()
+}
+
+// Sigma returns the Monte-Carlo estimate of σ(S).
+func (e *Estimator) Sigma(seeds []Seed) float64 {
+	est := e.Run(seeds, nil, false)
+	return est.Sigma
+}
+
+// Run estimates σ (and π over market when withPi) for the seed group.
+// market may be nil, meaning all users. The estimate is deterministic
+// for a fixed Estimator seed, M and GOMAXPROCS-independent (sample i
+// always uses stream Split(i)).
+func (e *Estimator) Run(seeds []Seed, market []bool, withPi bool) Estimate {
+	master := rng.New(e.Seed)
+	w := e.workers()
+	type partial struct {
+		sigma, msigma, pi, adopt float64
+		perItem                  []float64
+	}
+	parts := make([]partial, w)
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			st := e.getState()
+			defer e.putState(st)
+			var res Result
+			res.PerItem = make([]float64, e.P.NumItems())
+			acc := &parts[wi]
+			acc.perItem = make([]float64, e.P.NumItems())
+			for i := wi; i < e.M; i += w {
+				st.Reset(master.Split(uint64(i)))
+				res.Sigma, res.MarketSigma, res.Adoptions, res.Steps = 0, 0, 0, 0
+				for j := range res.PerItem {
+					res.PerItem[j] = 0
+				}
+				st.RunCampaign(seeds, market, &res)
+				acc.sigma += res.Sigma
+				acc.msigma += res.MarketSigma
+				acc.adopt += float64(res.Adoptions)
+				for j, v := range res.PerItem {
+					acc.perItem[j] += v
+				}
+				if withPi {
+					acc.pi += st.LikelihoodPi(market)
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	out := Estimate{PerItem: make([]float64, e.P.NumItems())}
+	for _, pt := range parts {
+		out.Sigma += pt.sigma
+		out.MarketSigma += pt.msigma
+		out.Pi += pt.pi
+		out.Adoptions += pt.adopt
+		for j, v := range pt.perItem {
+			out.PerItem[j] += v
+		}
+	}
+	inv := 1 / float64(e.M)
+	out.Sigma *= inv
+	out.MarketSigma *= inv
+	out.Pi *= inv
+	out.Adoptions *= inv
+	for j := range out.PerItem {
+		out.PerItem[j] *= inv
+	}
+	return out
+}
+
+// MeanWeights runs the campaign M times and returns the expected
+// meta-graph weighting vector averaged over the given users at the end
+// of the campaign — the "expectation of the personal item network"
+// step of the paper's Example 2 (Fig. 6(c)), aggregated over a target
+// market's users. DRE derives r̄C/r̄S from this vector; relevance is
+// linear in the weights (up to clamping), so averaging the weights
+// first is equivalent to averaging per-user relevance.
+func (e *Estimator) MeanWeights(seeds []Seed, users []int) []float64 {
+	master := rng.New(e.Seed ^ 0x5bd1e995)
+	st := e.getState()
+	defer e.putState(st)
+	nm := e.P.PIN.NumMeta()
+	acc := make([]float64, nm)
+	var res Result
+	res.PerItem = make([]float64, e.P.NumItems())
+	for i := 0; i < e.M; i++ {
+		st.Reset(master.Split(uint64(i)))
+		res.Sigma, res.MarketSigma, res.Adoptions, res.Steps = 0, 0, 0, 0
+		st.RunCampaign(seeds, nil, &res)
+		for _, u := range users {
+			w := st.Weights(u)
+			for j := 0; j < nm; j++ {
+				acc[j] += w[j]
+			}
+		}
+	}
+	denom := float64(e.M) * float64(len(users))
+	if denom == 0 {
+		copy(acc, e.P.PIN.InitWeights)
+		return acc
+	}
+	for j := range acc {
+		acc[j] /= denom
+	}
+	return acc
+}
+
+// LikelihoodPi evaluates Eq. 13 on the current (post-campaign) state:
+// the total likelihood of the market's users adopting their
+// not-yet-adopted items in the next promotion,
+//
+//	π = Σ_{v∈τ} Σ_{y∉A(v)} AIS(v,y) · Ppref(v,y)
+//
+// AIS aggregates influence from in-neighbours who have adopted y
+// (IC: 1−Π(1−Pact); LT: ΣPact clamped).
+func (st *State) LikelihoodPi(market []bool) float64 {
+	p := st.p
+	oneMinus := make([]float64, st.items)
+	sum := make([]float64, st.items)
+	touched := make([]int32, 0, 32)
+	total := 0.0
+	for v := 0; v < p.NumUsers(); v++ {
+		if market != nil && !market[v] {
+			continue
+		}
+		touched = touched[:0]
+		for _, e := range p.G.In(v) {
+			vp := int(e.To)
+			lst := st.adoptList[vp]
+			if len(lst) == 0 {
+				continue
+			}
+			pact := st.Act(vp, v, e.W)
+			for _, y := range lst {
+				if oneMinus[y] == 0 && sum[y] == 0 {
+					oneMinus[y] = 1
+					touched = append(touched, y)
+				}
+				oneMinus[y] *= 1 - pact
+				sum[y] += pact
+			}
+		}
+		for _, y := range touched {
+			if !st.Adopted(v, int(y)) {
+				var ais float64
+				if p.Params.AIS == AISLinearThreshold {
+					ais = sum[y]
+					if ais > 1 {
+						ais = 1
+					}
+				} else {
+					ais = 1 - oneMinus[y]
+				}
+				total += ais * st.Pref(v, int(y))
+			}
+			oneMinus[y] = 0
+			sum[y] = 0
+		}
+	}
+	return total
+}

@@ -1,0 +1,156 @@
+// Package diffusion implements the IMDPP diffusion process of Sec. III:
+// a campaign of T promotions, each with steps ζ = 0,1,... in which
+// users adopting items promote them to friends, extra adoptions are
+// triggered by item associations, and the four dynamic factors —
+// relevance measurement, preference estimation, influence learning and
+// item associations — are updated at the end of every step. A parallel
+// Monte-Carlo estimator computes the importance-aware influence σ
+// (Def. 1) and the future-adoption likelihood π (Eq. 13).
+package diffusion
+
+import (
+	"fmt"
+
+	"imdpp/internal/graph"
+	"imdpp/internal/kg"
+	"imdpp/internal/pin"
+)
+
+// Seed is one element (u, x, t) of a seed group: user u is hired to
+// promote item x starting at promotion t (1-based).
+type Seed struct {
+	User int
+	Item int
+	T    int
+}
+
+// AISModel selects the aggregated-influence form used in Eq. 13.
+type AISModel uint8
+
+// AIS variants (footnote 31 of the paper).
+const (
+	AISIndependentCascade AISModel = iota // 1 − Π(1 − Pact)
+	AISLinearThreshold                    // Σ Pact, clamped to 1
+)
+
+// Params are the diffusion-model hyper-parameters. The zero value is
+// invalid; use DefaultParams.
+type Params struct {
+	// Eta is the learning rate of the meta-graph weighting update
+	// (relevance measurement).
+	Eta float64
+	// Lambda scales the cross-elasticity preference update: adopting a
+	// complement of y raises Ppref(·,y), a substitute lowers it.
+	Lambda float64
+	// Gamma scales influence learning: Pact grows by up to Gamma
+	// relative to the base strength as similarity reaches 1.
+	Gamma float64
+	// Chi scales the extra-adoption probability Pext of item
+	// associations.
+	Chi float64
+	// MaxSteps caps the number of steps per promotion (safety net; the
+	// process stops by itself when no new adoptions occur).
+	MaxSteps int
+	// AIS selects the aggregated influence form for π (Eq. 13).
+	AIS AISModel
+	// Static freezes Ppref, Pact and Pext at their initial values
+	// (Lemma 1 / Theorem 4 regime): no weighting updates, no
+	// preference updates, no influence learning. Item associations
+	// still fire but with initial relevance.
+	Static bool
+}
+
+// DefaultParams returns the defaults documented in DESIGN.md §2.
+func DefaultParams() Params {
+	return Params{Eta: 0.25, Lambda: 0.5, Gamma: 0.5, Chi: 0.5, MaxSteps: 64, AIS: AISIndependentCascade}
+}
+
+// Problem is one immutable IMDPP instance.
+type Problem struct {
+	G   *graph.Graph // social network G_SN; arc weights are P0act
+	KG  *kg.KG       // knowledge graph G_KG
+	PIN *pin.Model   // meta-graphs + relevance tables
+
+	// Importance is w_x per item (len = KG.NumItems()).
+	Importance []float64
+	// BasePref is P0(u,y), the initial preference of user u for item
+	// y, indexed [u*NumItems+y].
+	BasePref []float64
+	// Cost is c_{u,x}, the cost of hiring user u to promote item x,
+	// indexed [u*NumItems+x].
+	Cost []float64
+
+	// Budget is b; T is the total number of promotions.
+	Budget float64
+	T      int
+
+	Params Params
+}
+
+// Validate checks structural consistency.
+func (p *Problem) Validate() error {
+	n := p.G.N()
+	items := p.KG.NumItems()
+	if p.PIN.NumItems() != items {
+		return fmt.Errorf("diffusion: PIN items %d != KG items %d", p.PIN.NumItems(), items)
+	}
+	if len(p.Importance) != items {
+		return fmt.Errorf("diffusion: importance len %d != %d items", len(p.Importance), items)
+	}
+	if len(p.BasePref) != n*items {
+		return fmt.Errorf("diffusion: basePref len %d != %d users × %d items", len(p.BasePref), n, items)
+	}
+	if len(p.Cost) != n*items {
+		return fmt.Errorf("diffusion: cost len %d != %d users × %d items", len(p.Cost), n, items)
+	}
+	if p.T < 1 {
+		return fmt.Errorf("diffusion: T=%d < 1", p.T)
+	}
+	if p.Budget < 0 {
+		return fmt.Errorf("diffusion: negative budget")
+	}
+	if p.Params.MaxSteps <= 0 {
+		return fmt.Errorf("diffusion: MaxSteps must be positive")
+	}
+	return nil
+}
+
+// NumUsers returns |V|.
+func (p *Problem) NumUsers() int { return p.G.N() }
+
+// NumItems returns |I|.
+func (p *Problem) NumItems() int { return p.KG.NumItems() }
+
+// BasePrefOf returns P0(u, y).
+func (p *Problem) BasePrefOf(u, y int) float64 { return p.BasePref[u*p.NumItems()+y] }
+
+// CostOf returns c_{u,x}.
+func (p *Problem) CostOf(u, x int) float64 { return p.Cost[u*p.NumItems()+x] }
+
+// SeedCost returns the total cost of a seed group.
+func (p *Problem) SeedCost(seeds []Seed) float64 {
+	total := 0.0
+	for _, s := range seeds {
+		total += p.CostOf(s.User, s.Item)
+	}
+	return total
+}
+
+// ValidateSeeds checks ranges, budget and promotion indices.
+func (p *Problem) ValidateSeeds(seeds []Seed) error {
+	for _, s := range seeds {
+		if s.User < 0 || s.User >= p.NumUsers() {
+			return fmt.Errorf("diffusion: seed user %d out of range", s.User)
+		}
+		if s.Item < 0 || s.Item >= p.NumItems() {
+			return fmt.Errorf("diffusion: seed item %d out of range", s.Item)
+		}
+		if s.T < 1 || s.T > p.T {
+			return fmt.Errorf("diffusion: seed timing %d outside [1,%d]", s.T, p.T)
+		}
+	}
+	if c := p.SeedCost(seeds); c > p.Budget+1e-9 {
+		return fmt.Errorf("diffusion: seed cost %.3f exceeds budget %.3f", c, p.Budget)
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package diffusion
+
+// Result accumulates the outcome of one simulated campaign.
+type Result struct {
+	// Sigma is the importance-weighted adoption count Σ w_x·n_x.
+	Sigma float64
+	// MarketSigma is Sigma restricted to users of the market mask
+	// passed to RunCampaign (equal to Sigma when mask is nil).
+	MarketSigma float64
+	// PerItem is the unweighted adoption count per item.
+	PerItem []float64
+	// Adoptions is the total number of (user,item) adoptions.
+	Adoptions int
+	// Steps is the total number of diffusion steps over all promotions.
+	Steps int
+}
+
+// RunCampaign simulates one realisation of the full T-promotion
+// campaign for the seed group. market, when non-nil, marks the users
+// whose adoptions count toward MarketSigma. The state must have been
+// Reset with a fresh RNG stream. Results are accumulated into res.
+func (st *State) RunCampaign(seeds []Seed, market []bool, res *Result) {
+	p := st.p
+	if res.PerItem == nil {
+		res.PerItem = make([]float64, st.items)
+	}
+	byPromo := make([][]Seed, p.T+1)
+	for _, s := range seeds {
+		byPromo[s.T] = append(byPromo[s.T], s)
+	}
+	for t := 1; t <= p.T; t++ {
+		st.runPromotion(t, byPromo[t], market, res)
+	}
+}
+
+// runPromotion executes promotion t: seed adoptions at ζ=0, then
+// propagation steps until no new adoptions.
+func (st *State) runPromotion(t int, seeds []Seed, market []bool, res *Result) {
+	st.frontier = st.frontier[:0]
+	// ζ = 0: seeded users newly adopt the promoted items.
+	clearStep(st)
+	for _, s := range seeds {
+		if st.Adopted(s.User, s.Item) {
+			// A re-seeded user promotes the already-adopted item to
+			// neighbours again ("these nominees can still try to
+			// promote their neighbors in the second promotion since
+			// they are chosen as new seeds again", Lemma 1 proof) —
+			// no new adoption is counted.
+			st.frontier = append(st.frontier, adoptEvent{user: int32(s.User), item: int32(s.Item)})
+			continue
+		}
+		st.adopt(s.User, s.Item, t, 0, TriggerSeed, market, res)
+	}
+	st.endOfStep()
+	res.Steps++
+	for step := 1; step <= st.p.Params.MaxSteps && len(st.frontier) > 0; step++ {
+		st.nextFront = st.nextFront[:0]
+		cur := st.frontier
+		clearStep(st)
+		for _, ev := range cur {
+			st.propagateFrom(ev, t, step, market, res)
+		}
+		st.endOfStep()
+		st.frontier, st.nextFront = st.nextFront, st.frontier
+		res.Steps++
+	}
+}
+
+// propagateFrom lets u′ (who newly adopted x last step) promote x to
+// every friend who has not adopted it.
+func (st *State) propagateFrom(ev adoptEvent, t, step int, market []bool, res *Result) {
+	p := st.p
+	uPrime := int(ev.user)
+	x := int(ev.item)
+	for _, e := range p.G.Out(uPrime) {
+		u := int(e.To)
+		if st.Adopted(u, x) {
+			continue
+		}
+		pact := st.Act(uPrime, u, e.W)
+		prefX := st.Pref(u, x)
+		// Purchase decision: influence strength × preference [51].
+		if st.rng.Bernoulli(pact * prefX) {
+			st.adopt(u, x, t, step, TriggerPromotion, market, res)
+		}
+		// Item associations (Sec. V-A(4)): being promoted x may trigger
+		// extra adoptions of relevant items regardless of the purchase
+		// decision on x itself (footnote 9).
+		if p.Params.Chi > 0 {
+			base := p.Params.Chi * pact * prefX
+			if base > 0 {
+				w := st.Weights(u)
+				for _, pr := range p.PIN.Row(x) {
+					if st.Adopted(u, int(pr.Y)) {
+						continue
+					}
+					rc, _ := p.PIN.EvalContribs(w, pr.Contribs)
+					if rc > 0 && st.rng.Bernoulli(base*rc) {
+						st.adopt(u, int(pr.Y), t, step, TriggerAssociation, market, res)
+					}
+				}
+			}
+		}
+	}
+}
+
+// adopt finalises an adoption: bookkeeping, σ accounting, frontier and
+// per-step update queues, trace hook.
+func (st *State) adopt(u, x, t, step int, trig AdoptTrigger, market []bool, res *Result) {
+	st.markAdopted(u, x)
+	w := st.p.Importance[x]
+	res.Sigma += w
+	if market == nil || market[u] {
+		res.MarketSigma += w
+	}
+	res.PerItem[x]++
+	res.Adoptions++
+	if step == 0 {
+		st.frontier = append(st.frontier, adoptEvent{user: int32(u), item: int32(x)})
+	} else {
+		st.nextFront = append(st.nextFront, adoptEvent{user: int32(u), item: int32(x)})
+	}
+	if _, ok := st.stepNew[int32(u)]; !ok {
+		st.stepUsers = append(st.stepUsers, int32(u))
+	}
+	st.stepNew[int32(u)] = append(st.stepNew[int32(u)], int32(x))
+	if st.OnAdopt != nil {
+		st.OnAdopt(u, x, t, step, trig)
+	}
+}
+
+// endOfStep applies the end-of-step factor updates (Sec. III): for
+// every user with new adoptions this step, update the meta-graph
+// weightings (relevance measurement) and then recompute preferences
+// (preference estimation). Influence learning is evaluated lazily in
+// Act from the updated adoption sets and weightings.
+func (st *State) endOfStep() {
+	if st.p.Params.Static {
+		clearStep(st)
+		return
+	}
+	for _, u := range st.stepUsers {
+		newItems := st.stepNew[u]
+		ints := make([]int, len(newItems))
+		for i, it := range newItems {
+			ints[i] = int(it)
+		}
+		w := st.Weights(int(u))
+		st.p.PIN.UpdateWeights(w, ints, func(item int) bool {
+			return st.Adopted(int(u), item)
+		}, st.p.Params.Eta)
+		st.recomputePref(int(u))
+	}
+	clearStep(st)
+}
+
+func clearStep(st *State) {
+	for _, u := range st.stepUsers {
+		delete(st.stepNew, u)
+	}
+	st.stepUsers = st.stepUsers[:0]
+}

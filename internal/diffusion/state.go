@@ -1,0 +1,248 @@
+package diffusion
+
+import (
+	"math"
+	"math/bits"
+
+	"imdpp/internal/rng"
+)
+
+// State is the mutable per-sample simulation state: adoption sets,
+// per-user meta-graph weightings, preference deltas. One State is
+// reused across Monte-Carlo samples by each worker; Reset restores
+// initial conditions touching only the rows dirtied by the previous
+// sample, which keeps per-sample overhead proportional to cascade size
+// rather than |V|·|I|.
+type State struct {
+	p     *Problem
+	items int
+	words int // bitset words per user
+
+	adopted   []uint64  // [u*words .. ) adoption bitset
+	adoptList [][]int32 // per user, adopted items in adoption order
+	wmeta     []float64 // [u*numMeta .. ) meta-graph weightings
+	prefDelta []float64 // [u*items .. ) Σ λ(rC−rS) contribution
+	dirty     []bool    // user rows needing reset
+	touched   []int32   // dirty user list
+	rng       *rng.Rand
+
+	// scratch
+	frontier  []adoptEvent
+	nextFront []adoptEvent
+	stepNew   map[int32][]int32 // user -> items newly adopted this step
+	stepUsers []int32
+
+	// trace hook for case studies; nil on the hot path.
+	OnAdopt func(user, item, promo, step int, trigger AdoptTrigger)
+}
+
+// AdoptTrigger says why an adoption happened.
+type AdoptTrigger uint8
+
+// Adoption causes.
+const (
+	TriggerSeed        AdoptTrigger = iota // seeded at ζ=0
+	TriggerPromotion                       // friend promotion succeeded
+	TriggerAssociation                     // item-association extra adoption
+)
+
+func (t AdoptTrigger) String() string {
+	switch t {
+	case TriggerSeed:
+		return "seed"
+	case TriggerPromotion:
+		return "promotion"
+	default:
+		return "association"
+	}
+}
+
+type adoptEvent struct {
+	user int32
+	item int32
+}
+
+// NewState allocates a state for problem p.
+func NewState(p *Problem) *State {
+	n := p.NumUsers()
+	items := p.NumItems()
+	words := (items + 63) / 64
+	st := &State{
+		p:         p,
+		items:     items,
+		words:     words,
+		adopted:   make([]uint64, n*words),
+		adoptList: make([][]int32, n),
+		wmeta:     make([]float64, n*p.PIN.NumMeta()),
+		prefDelta: make([]float64, n*items),
+		dirty:     make([]bool, n),
+		stepNew:   make(map[int32][]int32),
+	}
+	// weightings start at the shared init vector; rows are lazily reset
+	for u := 0; u < n; u++ {
+		copy(st.wmeta[u*p.PIN.NumMeta():], p.PIN.InitWeights)
+	}
+	return st
+}
+
+// Reset restores the initial state, clearing only dirty rows.
+func (st *State) Reset(r *rng.Rand) {
+	nm := st.p.PIN.NumMeta()
+	for _, u := range st.touched {
+		base := int(u) * st.words
+		for i := 0; i < st.words; i++ {
+			st.adopted[base+i] = 0
+		}
+		st.adoptList[u] = st.adoptList[u][:0]
+		copy(st.wmeta[int(u)*nm:(int(u)+1)*nm], st.p.PIN.InitWeights)
+		pd := st.prefDelta[int(u)*st.items : (int(u)+1)*st.items]
+		for i := range pd {
+			pd[i] = 0
+		}
+		st.dirty[u] = false
+	}
+	st.touched = st.touched[:0]
+	st.frontier = st.frontier[:0]
+	st.nextFront = st.nextFront[:0]
+	st.rng = r
+}
+
+// Problem returns the problem this state simulates.
+func (st *State) Problem() *Problem { return st.p }
+
+// Adopted reports whether user u has adopted item x.
+func (st *State) Adopted(u, x int) bool {
+	return st.adopted[u*st.words+x/64]&(1<<(uint(x)%64)) != 0
+}
+
+// AdoptedList returns user u's adopted items in adoption order; the
+// slice must not be modified.
+func (st *State) AdoptedList(u int) []int32 { return st.adoptList[u] }
+
+// markAdopted sets the adoption bit and bookkeeping; callers must have
+// checked Adopted first.
+func (st *State) markAdopted(u, x int) {
+	st.adopted[u*st.words+x/64] |= 1 << (uint(x) % 64)
+	st.adoptList[u] = append(st.adoptList[u], int32(x))
+	if !st.dirty[u] {
+		st.dirty[u] = true
+		st.touched = append(st.touched, int32(u))
+	}
+}
+
+// ForceAdopt makes user u adopt item x outside a campaign (scripted
+// scenarios, case studies, examples), applying the end-of-step factor
+// updates immediately: weighting update then preference recompute.
+func (st *State) ForceAdopt(u, x int) {
+	if st.Adopted(u, x) {
+		return
+	}
+	st.markAdopted(u, x)
+	if st.p.Params.Static {
+		return
+	}
+	w := st.Weights(u)
+	st.p.PIN.UpdateWeights(w, []int{x}, func(item int) bool {
+		return st.Adopted(u, item)
+	}, st.p.Params.Eta)
+	st.recomputePref(u)
+}
+
+// Weights returns user u's meta-graph weighting vector (mutable view).
+func (st *State) Weights(u int) []float64 {
+	nm := st.p.PIN.NumMeta()
+	return st.wmeta[u*nm : (u+1)*nm]
+}
+
+// Pref returns Ppref(u, y) under the current state: the base
+// preference plus the cross-elasticity delta, clamped to [0,1]. Under
+// Params.Static the delta is always zero.
+func (st *State) Pref(u, y int) float64 {
+	v := st.p.BasePref[u*st.items+y] + st.prefDelta[u*st.items+y]
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Act returns Pact(u, v) for the arc with base strength baseW:
+// base·(1+γ·sim(u,v)) clamped to 1, where sim blends adoption-set
+// Jaccard similarity with weighting-vector cosine (influence
+// learning, Sec. V-A(3)). Under Params.Static it returns baseW.
+func (st *State) Act(u, v int, baseW float64) float64 {
+	if st.p.Params.Static || st.p.Params.Gamma == 0 {
+		return baseW
+	}
+	if !st.dirty[u] && !st.dirty[v] {
+		return baseW // nothing adopted on either side: sim would be 0
+	}
+	sim := st.similarity(u, v)
+	if sim == 0 {
+		return baseW
+	}
+	w := baseW * (1 + st.p.Params.Gamma*sim)
+	if w > 1 {
+		return 1
+	}
+	return w
+}
+
+// similarity is ½·Jaccard(A(u),A(v)) + ½·cos(Wmeta(u),Wmeta(v)) when
+// the users share at least one adoption, else just the Jaccard term
+// (which is then 0 unless one set is empty — friends with no common
+// items have not grown closer).
+func (st *State) similarity(u, v int) float64 {
+	bu := st.adopted[u*st.words : (u+1)*st.words]
+	bv := st.adopted[v*st.words : (v+1)*st.words]
+	var inter, union int
+	for i := 0; i < st.words; i++ {
+		inter += bits.OnesCount64(bu[i] & bv[i])
+		union += bits.OnesCount64(bu[i] | bv[i])
+	}
+	if union == 0 || inter == 0 {
+		return 0
+	}
+	jac := float64(inter) / float64(union)
+	nm := st.p.PIN.NumMeta()
+	cos := cosRange(st.wmeta[u*nm:(u+1)*nm], st.wmeta[v*nm:(v+1)*nm])
+	return 0.5*jac + 0.5*cos
+}
+
+func cosRange(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	// normalised dot; both vectors are non-negative so result ∈ [0,1]
+	return dot / math.Sqrt(na*nb)
+}
+
+// recomputePref rebuilds user u's preference delta from the adoption
+// set and current weights:
+//
+//	Δpref(u,y) = λ · Σ_{a∈A(u)} (rC(u,a,y) − rS(u,a,y))
+//
+// Only rows of adopted items' neighbours are affected, so the whole
+// row is zeroed and re-accumulated (adoption sets stay small).
+func (st *State) recomputePref(u int) {
+	pd := st.prefDelta[u*st.items : (u+1)*st.items]
+	for i := range pd {
+		pd[i] = 0
+	}
+	w := st.Weights(u)
+	lam := st.p.Params.Lambda
+	for _, a := range st.adoptList[u] {
+		for _, pr := range st.p.PIN.Row(int(a)) {
+			rc, rs := st.p.PIN.EvalContribs(w, pr.Contribs)
+			pd[pr.Y] += lam * (rc - rs)
+		}
+	}
+}

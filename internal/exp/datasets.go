@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"sync"
+
+	"imdpp/internal/dataset"
+)
+
+// Datasets are deterministic for a given scale, so the harness caches
+// them: every figure touching Amazon at scale 1 shares one build.
+var (
+	dsMu    sync.Mutex
+	dsCache = map[string]*dataset.Dataset{}
+)
+
+func cached(key string, build func() (*dataset.Dataset, error)) (*dataset.Dataset, error) {
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if d, ok := dsCache[key]; ok {
+		return d, nil
+	}
+	d, err := build()
+	if err != nil {
+		return nil, err
+	}
+	dsCache[key] = d
+	return d, nil
+}
+
+func datasetAmazonSample() (*dataset.Dataset, error) {
+	return cached("amazon-100", dataset.AmazonSample)
+}
+
+func datasetByName(name string, s dataset.Scale) (*dataset.Dataset, error) {
+	key := name + scaleKey(s)
+	switch name {
+	case "Yelp":
+		return cached(key, func() (*dataset.Dataset, error) { return dataset.Yelp(s) })
+	case "Amazon":
+		return cached(key, func() (*dataset.Dataset, error) { return dataset.Amazon(s) })
+	case "Douban":
+		return cached(key, func() (*dataset.Dataset, error) { return dataset.Douban(s) })
+	case "Gowalla":
+		return cached(key, func() (*dataset.Dataset, error) { return dataset.Gowalla(s) })
+	}
+	return nil, errUnknownDataset(name)
+}
+
+type errUnknownDataset string
+
+func (e errUnknownDataset) Error() string { return "exp: unknown dataset " + string(e) }
+
+func scaleKey(s dataset.Scale) string {
+	// two-decimal fixed key without fmt to keep this allocation-free
+	v := int(float64(s)*100 + 0.5)
+	return string([]byte{'@', byte('0' + v/100%10), byte('0' + v/10%10), byte('0' + v%10)})
+}

@@ -1,0 +1,246 @@
+// Package exp is the benchmark harness: one driver per table and
+// figure of the paper's evaluation (Sec. VI). Each driver builds the
+// workload, runs Dysim and the baselines, evaluates every returned
+// seed group with one shared high-sample estimator (so algorithms are
+// compared on identical footing), and emits the same rows/series the
+// paper plots. DESIGN.md §4 is the index; EXPERIMENTS.md records
+// paper-vs-measured shapes.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"imdpp/internal/baselines"
+	"imdpp/internal/core"
+	"imdpp/internal/dataset"
+	"imdpp/internal/diffusion"
+)
+
+// Config tunes the harness. Zero values fall back to quick defaults
+// sized for a laptop run of the full suite.
+type Config struct {
+	// Scale multiplies dataset sizes (default 1.0).
+	Scale dataset.Scale
+	// EvalMC is the sample count of the shared final evaluator
+	// (default 64).
+	EvalMC int
+	// SolverMC / SolverMCSI are the in-solver sample counts
+	// (default 24 / 8).
+	SolverMC   int
+	SolverMCSI int
+	// CandidateCap bounds candidate universes (default 384).
+	CandidateCap int
+	// MaxSeeds caps the baselines' seed counts (0 = budget-bound only).
+	// The bench tier uses it to bound the CR-Greedy scheduling cost.
+	MaxSeeds int
+	// Seed is the master seed (default 1).
+	Seed uint64
+	// Out receives the rendered tables; nil discards them.
+	Out io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.EvalMC <= 0 {
+		c.EvalMC = 64
+	}
+	if c.SolverMC <= 0 {
+		c.SolverMC = 24
+	}
+	if c.SolverMCSI <= 0 {
+		c.SolverMCSI = 8
+	}
+	if c.CandidateCap == 0 {
+		c.CandidateCap = 384
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	return c
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is one reproduced plot.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// find returns the series with the given name, or nil.
+func (f *Figure) find(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// At returns the Y value of series name at x (NaN-free; ok=false when
+// missing). Test helpers use it to assert shapes.
+func (f *Figure) At(name string, x float64) (float64, bool) {
+	s := f.find(name)
+	if s == nil {
+		return 0, false
+	}
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// AlgoRun is one algorithm's outcome at one parameter point.
+type AlgoRun struct {
+	Algo    string
+	Sigma   float64
+	Seeds   int
+	Cost    float64
+	Elapsed time.Duration
+}
+
+// Algo names used across figures.
+const (
+	AlgoOPT   = "OPT"
+	AlgoDysim = "Dysim"
+	AlgoBGRD  = "BGRD"
+	AlgoHAG   = "HAG"
+	AlgoPS    = "PS"
+	AlgoDRHGA = "DRHGA"
+)
+
+// evaluator builds the shared final evaluator for a problem.
+func (c Config) evaluator(p *diffusion.Problem) *diffusion.Estimator {
+	return diffusion.NewEstimator(p, c.EvalMC, c.Seed+0xEEE)
+}
+
+// runAlgo solves the problem with the named algorithm and re-evaluates
+// its seed group on the shared estimator.
+func (c Config) runAlgo(algo string, p *diffusion.Problem, eval *diffusion.Estimator) (AlgoRun, error) {
+	start := time.Now()
+	var seeds []diffusion.Seed
+	var err error
+	switch algo {
+	case AlgoDysim:
+		var sol core.Solution
+		sol, err = core.Solve(p, core.Options{
+			MC: c.SolverMC, MCSI: c.SolverMCSI,
+			CandidateCap: c.CandidateCap, Seed: c.Seed,
+		})
+		seeds = sol.Seeds
+	case AlgoBGRD:
+		var sol baselines.Solution
+		sol, err = baselines.BGRD(p, c.baseOpts())
+		seeds = sol.Seeds
+	case AlgoHAG:
+		var sol baselines.Solution
+		sol, err = baselines.HAG(p, c.baseOpts())
+		seeds = sol.Seeds
+	case AlgoPS:
+		var sol baselines.Solution
+		sol, err = baselines.PS(p, c.baseOpts())
+		seeds = sol.Seeds
+	case AlgoDRHGA:
+		var sol baselines.Solution
+		sol, err = baselines.DRHGA(p, c.baseOpts())
+		seeds = sol.Seeds
+	case AlgoOPT:
+		var sol baselines.Solution
+		sol, err = baselines.OPT(p, baselines.OPTOptions{
+			Options:      c.baseOpts(),
+			MaxGroupSize: 6,
+			UniverseCap:  14,
+		})
+		seeds = sol.Seeds
+	default:
+		err = fmt.Errorf("exp: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return AlgoRun{}, fmt.Errorf("exp: %s: %w", algo, err)
+	}
+	elapsed := time.Since(start)
+	sigma := eval.Sigma(seeds)
+	return AlgoRun{
+		Algo:    algo,
+		Sigma:   sigma,
+		Seeds:   len(seeds),
+		Cost:    p.SeedCost(seeds),
+		Elapsed: elapsed,
+	}, nil
+}
+
+func (c Config) baseOpts() baselines.Options {
+	return baselines.Options{MC: c.SolverMC, Seed: c.Seed, CandidateCap: c.CandidateCap, MaxSeeds: c.MaxSeeds}
+}
+
+// dysimWith runs Dysim with extra option tweaks (ablations, orders, θ).
+func (c Config) dysimWith(p *diffusion.Problem, mod func(*core.Options)) ([]diffusion.Seed, time.Duration, error) {
+	opt := core.Options{
+		MC: c.SolverMC, MCSI: c.SolverMCSI,
+		CandidateCap: c.CandidateCap, Seed: c.Seed,
+	}
+	if mod != nil {
+		mod(&opt)
+	}
+	start := time.Now()
+	sol, err := core.Solve(p, opt)
+	return sol.Seeds, time.Since(start), err
+}
+
+// renderFigure pretty-prints a figure as an ASCII table:
+// rows = x values, columns = series.
+func renderFigure(w io.Writer, f *Figure) {
+	fmt.Fprintf(w, "\n== %s: %s ==\n", f.ID, f.Title)
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	var sorted []float64
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] < sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	fmt.Fprintf(w, "%-10s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "%14s", s.Name)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 10+14*len(f.Series)))
+	for _, x := range sorted {
+		fmt.Fprintf(w, "%-10.4g", x)
+		for i := range f.Series {
+			if v, ok := f.At(f.Series[i].Name, x); ok {
+				fmt.Fprintf(w, "%14.2f", v)
+			} else {
+				fmt.Fprintf(w, "%14s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"fmt"
+
+	"imdpp/internal/core"
+)
+
+// ablation variants of Fig. 10.
+var ablationVariants = []struct {
+	name string
+	mod  func(*core.Options)
+}{
+	{"Dysim", nil},
+	{"w/o TM", func(o *core.Options) { o.DisableTargetMarkets = true }},
+	{"w/o IP", func(o *core.Options) { o.DisableItemPriority = true }},
+}
+
+// Fig10VsBudget reproduces Fig. 10(a)/(c): Dysim vs its ablations
+// across budgets with T = 20. Expected shape: full Dysim on top.
+func Fig10VsBudget(cfg Config, dsName string) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	return ablationFig(cfg, dsName, "Fig10-b-"+dsName,
+		"ablation vs budget (T=20, "+dsName+")", "b",
+		[]float64{250, 500, 750, 1000}, func(x float64) (float64, int) { return x, 20 })
+}
+
+// Fig10VsT reproduces Fig. 10(b)/(d): ablations across T with b=1000.
+func Fig10VsT(cfg Config, dsName string) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	return ablationFig(cfg, dsName, "Fig10-T-"+dsName,
+		"ablation vs T (b=1000, "+dsName+")", "T",
+		[]float64{5, 10, 20, 40}, func(x float64) (float64, int) { return 1000, int(x) })
+}
+
+func ablationFig(cfg Config, dsName, id, title, xlabel string, xs []float64, point func(x float64) (float64, int)) (*Figure, error) {
+	d, err := datasetByName(dsName, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: id, Title: title, XLabel: xlabel, YLabel: "sigma"}
+	for _, v := range ablationVariants {
+		fig.Series = append(fig.Series, Series{Name: v.name})
+	}
+	for _, x := range xs {
+		b, T := point(x)
+		p := d.Clone(b, T)
+		eval := cfg.evaluator(p)
+		for i, v := range ablationVariants {
+			seeds, _, err := cfg.dysimWith(p, v.mod)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s at %v: %w", id, v.name, x, err)
+			}
+			fig.Series[i].X = append(fig.Series[i].X, x)
+			fig.Series[i].Y = append(fig.Series[i].Y, eval.Sigma(seeds))
+		}
+	}
+	renderFigure(cfg.Out, fig)
+	return fig, nil
+}
+
+// orderVariants of Fig. 11 (Sec. VI-D market orders).
+var orderVariants = []struct {
+	name  string
+	order core.OrderMetric
+}{
+	{"AE", core.OrderAE},
+	{"PF", core.OrderPF},
+	{"SZ", core.OrderSZ},
+	{"RMS", core.OrderRMS},
+	{"RD", core.OrderRD},
+}
+
+// Fig11VsBudget reproduces Fig. 11(a)/(c): market-order metrics across
+// budgets with T = 40. Expected: AE and PF on top, RD at the bottom.
+func Fig11VsBudget(cfg Config, dsName string) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	return orderFig(cfg, dsName, "Fig11-b-"+dsName,
+		"market orders vs budget (T=40, "+dsName+")", "b",
+		[]float64{250, 500, 750, 1000}, func(x float64) (float64, int) { return x, 40 })
+}
+
+// Fig11VsT reproduces Fig. 11(b)/(d): market orders across T, b=1000.
+func Fig11VsT(cfg Config, dsName string) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	return orderFig(cfg, dsName, "Fig11-T-"+dsName,
+		"market orders vs T (b=1000, "+dsName+")", "T",
+		[]float64{5, 10, 20, 40}, func(x float64) (float64, int) { return 1000, int(x) })
+}
+
+func orderFig(cfg Config, dsName, id, title, xlabel string, xs []float64, point func(x float64) (float64, int)) (*Figure, error) {
+	d, err := datasetByName(dsName, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: id, Title: title, XLabel: xlabel, YLabel: "sigma"}
+	for _, v := range orderVariants {
+		fig.Series = append(fig.Series, Series{Name: v.name})
+	}
+	for _, x := range xs {
+		b, T := point(x)
+		p := d.Clone(b, T)
+		eval := cfg.evaluator(p)
+		for i, v := range orderVariants {
+			order := v.order
+			seeds, _, err := cfg.dysimWith(p, func(o *core.Options) { o.Order = order })
+			if err != nil {
+				return nil, fmt.Errorf("%s %s at %v: %w", id, v.name, x, err)
+			}
+			fig.Series[i].X = append(fig.Series[i].X, x)
+			fig.Series[i].Y = append(fig.Series[i].Y, eval.Sigma(seeds))
+		}
+	}
+	renderFigure(cfg.Out, fig)
+	return fig, nil
+}

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"fmt"
+
+	"imdpp/internal/dataset"
+)
+
+// fig12Algos is the empirical-study lineup (Sec. VI-E: Dysim, BGRD,
+// HAG, PS).
+var fig12Algos = []string{AlgoDysim, AlgoBGRD, AlgoHAG, AlgoPS}
+
+// Fig12 reproduces the course-promotion empirical study (Fig. 12):
+// for each of the five classes (Table III sizes), run a campaign with
+// b = 50 and T = 3 and count the students selecting elective courses.
+// The recruited students are substituted by the simulator (DESIGN.md
+// §2); expected shape: Dysim > BGRD > HAG > PS in every class.
+func Fig12(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	fig := &Figure{ID: "Fig12", Title: "course selections per class (b=50, T=3)", XLabel: "class", YLabel: "selections"}
+	for _, a := range fig12Algos {
+		fig.Series = append(fig.Series, Series{Name: a})
+	}
+	for ci, spec := range dataset.ClassSpecs() {
+		d, err := cached("class-"+spec.ID, func() (*dataset.Dataset, error) {
+			return dataset.BuildClass(spec, cfg.Seed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		p := d.Clone(50, 3)
+		eval := cfg.evaluator(p)
+		x := float64(ci + 1)
+		for i, algo := range fig12Algos {
+			run, err := cfg.runAlgo(algo, p, eval)
+			if err != nil {
+				return nil, fmt.Errorf("Fig12 class %s: %w", spec.ID, err)
+			}
+			// course importance is uniformly 1, so σ *is* the expected
+			// number of course selections
+			fig.Series[i].X = append(fig.Series[i].X, x)
+			fig.Series[i].Y = append(fig.Series[i].Y, run.Sigma)
+		}
+	}
+	renderFigure(cfg.Out, fig)
+	return fig, nil
+}

@@ -1,0 +1,53 @@
+package exp
+
+import "fmt"
+
+// fig8Algos is the algorithm lineup of Fig. 8 (small datasets with the
+// brute-force optimum).
+var fig8Algos = []string{AlgoOPT, AlgoDysim, AlgoBGRD, AlgoHAG, AlgoPS, AlgoDRHGA}
+
+// Fig8a reproduces Fig. 8(a): σ vs budget b ∈ {50,75,100,125} with
+// T = 2 on the 100-user Amazon sample, comparing all approaches with
+// OPT. Expected shape: Dysim closest to OPT, all above the baselines.
+func Fig8a(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	return fig8(cfg, "Fig8a", "sigma vs budget (T=2, Amazon-100)",
+		"b", []float64{50, 75, 100, 125}, func(b float64) (float64, int) { return b, 2 })
+}
+
+// Fig8b reproduces Fig. 8(b): σ vs number of promotions T ∈ {1,2,3}
+// with b = 100 on the same sample.
+func Fig8b(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	return fig8(cfg, "Fig8b", "sigma vs promotions (b=100, Amazon-100)",
+		"T", []float64{1, 2, 3}, func(t float64) (float64, int) { return 100, int(t) })
+}
+
+func fig8(cfg Config, id, title, xlabel string, xs []float64, point func(x float64) (budget float64, T int)) (*Figure, error) {
+	d, err := datasetAmazonSample()
+	if err != nil {
+		return nil, err
+	}
+	// All algorithms scan the same bounded universe OPT enumerates, so
+	// OPT is the true optimum of the shared search space.
+	cfg.CandidateCap = 14
+	fig := &Figure{ID: id, Title: title, XLabel: xlabel, YLabel: "sigma"}
+	for _, algo := range fig8Algos {
+		fig.Series = append(fig.Series, Series{Name: algo})
+	}
+	for _, x := range xs {
+		b, T := point(x)
+		p := d.Clone(b, T)
+		eval := cfg.evaluator(p)
+		for i, algo := range fig8Algos {
+			run, err := cfg.runAlgo(algo, p, eval)
+			if err != nil {
+				return nil, fmt.Errorf("%s at %s=%v: %w", id, xlabel, x, err)
+			}
+			fig.Series[i].X = append(fig.Series[i].X, x)
+			fig.Series[i].Y = append(fig.Series[i].Y, run.Sigma)
+		}
+	}
+	renderFigure(cfg.Out, fig)
+	return fig, nil
+}

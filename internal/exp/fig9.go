@@ -1,0 +1,110 @@
+package exp
+
+import "fmt"
+
+// fig9Algos is the large-dataset lineup (no OPT).
+var fig9Algos = []string{AlgoDysim, AlgoBGRD, AlgoHAG, AlgoPS, AlgoDRHGA}
+
+// fig9Budgets are the Fig. 9(a–d) budget sweep values.
+var fig9Budgets = []float64{100, 200, 300, 400, 500}
+
+// fig9Ts is the Fig. 9(e–g) promotion sweep (paper: up to 40,
+// following the multi-round IM literature).
+var fig9Ts = []float64{1, 5, 10, 20, 40}
+
+// Fig9Influence reproduces Fig. 9(a)/(b)/(c): σ vs budget with T = 10
+// on a large dataset. Per footnote 37, HAG is excluded on Douban
+// (execution time). It also returns the per-point wall-clock series,
+// which is Fig. 9(d) when the dataset is Amazon.
+func Fig9Influence(cfg Config, dsName string) (sigmaFig, timeFig *Figure, err error) {
+	cfg = cfg.withDefaults()
+	algos := fig9Algos
+	if dsName == "Douban" {
+		algos = []string{AlgoDysim, AlgoBGRD, AlgoPS, AlgoDRHGA}
+	}
+	d, err := datasetByName(dsName, cfg.Scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	sigmaFig = &Figure{ID: "Fig9-sigma-" + dsName, Title: "sigma vs budget (T=10, " + dsName + ")", XLabel: "b", YLabel: "sigma"}
+	timeFig = &Figure{ID: "Fig9-time-" + dsName, Title: "time vs budget (T=10, " + dsName + ")", XLabel: "b", YLabel: "seconds"}
+	for _, a := range algos {
+		sigmaFig.Series = append(sigmaFig.Series, Series{Name: a})
+		timeFig.Series = append(timeFig.Series, Series{Name: a})
+	}
+	for _, b := range fig9Budgets {
+		p := d.Clone(b, 10)
+		eval := cfg.evaluator(p)
+		for i, algo := range algos {
+			run, err := cfg.runAlgo(algo, p, eval)
+			if err != nil {
+				return nil, nil, fmt.Errorf("Fig9 %s b=%v: %w", dsName, b, err)
+			}
+			sigmaFig.Series[i].X = append(sigmaFig.Series[i].X, b)
+			sigmaFig.Series[i].Y = append(sigmaFig.Series[i].Y, run.Sigma)
+			timeFig.Series[i].X = append(timeFig.Series[i].X, b)
+			timeFig.Series[i].Y = append(timeFig.Series[i].Y, run.Elapsed.Seconds())
+		}
+	}
+	renderFigure(cfg.Out, sigmaFig)
+	renderFigure(cfg.Out, timeFig)
+	return sigmaFig, timeFig, nil
+}
+
+// Fig9VsT reproduces Fig. 9(e)/(f): σ vs T with b = 500, plus the
+// wall-clock series (Fig. 9(g) when the dataset is Amazon).
+func Fig9VsT(cfg Config, dsName string) (sigmaFig, timeFig *Figure, err error) {
+	cfg = cfg.withDefaults()
+	d, err := datasetByName(dsName, cfg.Scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	sigmaFig = &Figure{ID: "Fig9-sigmaT-" + dsName, Title: "sigma vs T (b=500, " + dsName + ")", XLabel: "T", YLabel: "sigma"}
+	timeFig = &Figure{ID: "Fig9-timeT-" + dsName, Title: "time vs T (b=500, " + dsName + ")", XLabel: "T", YLabel: "seconds"}
+	for _, a := range fig9Algos {
+		sigmaFig.Series = append(sigmaFig.Series, Series{Name: a})
+		timeFig.Series = append(timeFig.Series, Series{Name: a})
+	}
+	for _, tf := range fig9Ts {
+		p := d.Clone(500, int(tf))
+		eval := cfg.evaluator(p)
+		for i, algo := range fig9Algos {
+			run, err := cfg.runAlgo(algo, p, eval)
+			if err != nil {
+				return nil, nil, fmt.Errorf("Fig9 %s T=%v: %w", dsName, tf, err)
+			}
+			sigmaFig.Series[i].X = append(sigmaFig.Series[i].X, tf)
+			sigmaFig.Series[i].Y = append(sigmaFig.Series[i].Y, run.Sigma)
+			timeFig.Series[i].X = append(timeFig.Series[i].X, tf)
+			timeFig.Series[i].Y = append(timeFig.Series[i].Y, run.Elapsed.Seconds())
+		}
+	}
+	renderFigure(cfg.Out, sigmaFig)
+	renderFigure(cfg.Out, timeFig)
+	return sigmaFig, timeFig, nil
+}
+
+// Fig9h reproduces Fig. 9(h): Dysim execution time across the four
+// datasets at b = 500, T = 10, ordered by user count.
+func Fig9h(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	fig := &Figure{ID: "Fig9h", Title: "Dysim time across datasets (b=500, T=10)", XLabel: "dataset#", YLabel: "seconds"}
+	s := Series{Name: AlgoDysim}
+	names := []string{"Yelp", "Gowalla", "Amazon", "Douban"} // ascending users
+	for i, nm := range names {
+		d, err := datasetByName(nm, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		p := d.Clone(500, 10)
+		_, elapsed, err := cfg.dysimWith(p, nil)
+		if err != nil {
+			return nil, fmt.Errorf("Fig9h %s: %w", nm, err)
+		}
+		s.X = append(s.X, float64(i+1))
+		s.Y = append(s.Y, elapsed.Seconds())
+		fmt.Fprintf(cfg.Out, "Fig9h %-8s users=%-6d time=%.2fs\n", nm, p.NumUsers(), elapsed.Seconds())
+	}
+	fig.Series = []Series{s}
+	return fig, nil
+}

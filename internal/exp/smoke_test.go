@@ -1,0 +1,23 @@
+package exp
+
+import (
+	"os"
+	"testing"
+)
+
+func TestSmokeFig8a(t *testing.T) {
+	cfg := Config{EvalMC: 32, SolverMC: 16, SolverMCSI: 8, CandidateCap: 64, Out: os.Stderr}
+	fig, err := Fig8a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fig
+}
+
+func TestSmokeCaseStudies(t *testing.T) {
+	cs, err := CaseStudies(Config{Out: os.Stderr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d case studies", len(cs))
+}

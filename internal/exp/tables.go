@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"imdpp/internal/dataset"
+)
+
+// TableII prints the dataset-statistics table (Table II shape at our
+// scale) and returns the rows.
+func TableII(cfg Config) ([]dataset.Stats, error) {
+	cfg = cfg.withDefaults()
+	names := []string{"Douban", "Gowalla", "Yelp", "Amazon"}
+	var rows []dataset.Stats
+	for _, nm := range names {
+		d, err := datasetByName(nm, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, d.Stats())
+	}
+	renderTableII(cfg.Out, rows)
+	return rows, nil
+}
+
+func renderTableII(w io.Writer, rows []dataset.Stats) {
+	fmt.Fprintf(w, "\n== Table II: dataset statistics ==\n")
+	fmt.Fprintf(w, "%-22s", "Dataset")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12s", r.Name)
+	}
+	fmt.Fprintln(w)
+	row := func(label string, f func(dataset.Stats) string) {
+		fmt.Fprintf(w, "%-22s", label)
+		for _, r := range rows {
+			fmt.Fprintf(w, "%12s", f(r))
+		}
+		fmt.Fprintln(w)
+	}
+	row("# of node types", func(r dataset.Stats) string { return fmt.Sprint(r.NodeTypes) })
+	row("# of nodes", func(r dataset.Stats) string { return fmt.Sprint(r.Nodes) })
+	row("# of users", func(r dataset.Stats) string { return fmt.Sprint(r.Users) })
+	row("# of items", func(r dataset.Stats) string { return fmt.Sprint(r.Items) })
+	row("# of edge types", func(r dataset.Stats) string { return fmt.Sprint(r.EdgeTypes) })
+	row("# of edges", func(r dataset.Stats) string { return fmt.Sprint(r.Edges) })
+	row("# of friendships", func(r dataset.Stats) string { return fmt.Sprint(r.Friendships) })
+	row("Directed friendship?", func(r dataset.Stats) string {
+		if r.Directed {
+			return "Yes"
+		}
+		return "No"
+	})
+	row("Avg. influence", func(r dataset.Stats) string { return fmt.Sprintf("%.3f", r.AvgInfluence) })
+	row("Avg. importance", func(r dataset.Stats) string { return fmt.Sprintf("%.2f", r.AvgImportance) })
+}
+
+// TableIII prints the class-statistics table (Table III, exact sizes)
+// and returns the verified rows.
+func TableIII(cfg Config) ([]dataset.Stats, error) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "\n== Table III: class statistics ==\n")
+	fmt.Fprintf(cfg.Out, "%-10s %8s %8s\n", "Class", "users", "edges")
+	var rows []dataset.Stats
+	for _, spec := range dataset.ClassSpecs() {
+		d, err := cached("class-"+spec.ID, func() (*dataset.Dataset, error) {
+			return dataset.BuildClass(spec, cfg.Seed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		st := d.Stats()
+		rows = append(rows, st)
+		fmt.Fprintf(cfg.Out, "%-10s %8d %8d\n", spec.ID, st.Users, st.Friendships)
+	}
+	return rows, nil
+}

@@ -1,0 +1,349 @@
+// Package graph implements the social-network substrate for IMDPP:
+// a compact directed weighted graph with CSR-style adjacency, plus the
+// traversals (BFS, Dijkstra on influence probabilities) and statistics
+// the Dysim pipeline needs.
+//
+// Edge weights carry the *initial* social influence strength
+// P0act(u,v) in (0,1]. The diffusion engine layers a dynamic
+// multiplier on top of these base weights (influence learning), so the
+// graph itself is immutable after construction.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Edge is an outgoing (or incoming) arc with its base influence strength.
+type Edge struct {
+	To int32   // neighbour vertex id
+	W  float64 // base influence strength P0act in (0,1]
+}
+
+// Graph is a directed weighted graph over vertices 0..N-1. Undirected
+// social networks are represented by storing both arc directions.
+type Graph struct {
+	n        int
+	directed bool
+	out      [][]Edge
+	in       [][]Edge
+	m        int // number of stored arcs
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	n        int
+	directed bool
+	from     []int32
+	to       []int32
+	w        []float64
+}
+
+// NewBuilder creates a builder for a graph with n vertices. If directed
+// is false, AddEdge stores both directions with the same weight.
+func NewBuilder(n int, directed bool) *Builder {
+	return &Builder{n: n, directed: directed}
+}
+
+// AddEdge records an arc u->v with base influence strength w. For
+// undirected graphs the reverse arc v->u is implied. It panics on
+// out-of-range vertices; weight is clamped to (0,1].
+func (b *Builder) AddEdge(u, v int, w float64) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", u, v, b.n))
+	}
+	if u == v {
+		return // self-influence is meaningless in the diffusion model
+	}
+	if w <= 0 {
+		w = 1e-9
+	}
+	if w > 1 {
+		w = 1
+	}
+	b.from = append(b.from, int32(u))
+	b.to = append(b.to, int32(v))
+	b.w = append(b.w, w)
+}
+
+// Build finalises the graph. Duplicate arcs are kept (the generators
+// never emit them); adjacency is grouped per vertex.
+func (b *Builder) Build() *Graph {
+	g := &Graph{n: b.n, directed: b.directed}
+	g.out = make([][]Edge, b.n)
+	g.in = make([][]Edge, b.n)
+	outDeg := make([]int, b.n)
+	inDeg := make([]int, b.n)
+	count := func(u, v int32) {
+		outDeg[u]++
+		inDeg[v]++
+	}
+	for i := range b.from {
+		count(b.from[i], b.to[i])
+		if !b.directed {
+			count(b.to[i], b.from[i])
+		}
+	}
+	for v := 0; v < b.n; v++ {
+		if outDeg[v] > 0 {
+			g.out[v] = make([]Edge, 0, outDeg[v])
+		}
+		if inDeg[v] > 0 {
+			g.in[v] = make([]Edge, 0, inDeg[v])
+		}
+	}
+	add := func(u, v int32, w float64) {
+		g.out[u] = append(g.out[u], Edge{To: v, W: w})
+		g.in[v] = append(g.in[v], Edge{To: u, W: w})
+		g.m++
+	}
+	for i := range b.from {
+		add(b.from[i], b.to[i], b.w[i])
+		if !b.directed {
+			add(b.to[i], b.from[i], b.w[i])
+		}
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of stored arcs (an undirected edge counts twice).
+func (g *Graph) M() int { return g.m }
+
+// Directed reports whether the graph was built as directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// Out returns the outgoing arcs of u. The slice must not be modified.
+func (g *Graph) Out(u int) []Edge { return g.out[u] }
+
+// In returns the incoming arcs of u. The slice must not be modified.
+func (g *Graph) In(u int) []Edge { return g.in[u] }
+
+// OutDegree returns len(Out(u)).
+func (g *Graph) OutDegree(u int) int { return len(g.out[u]) }
+
+// InDegree returns len(In(u)).
+func (g *Graph) InDegree(u int) int { return len(g.in[u]) }
+
+// AvgInfluence returns the mean base influence strength over all arcs,
+// the "Avg. initial influence strength" row of Table II.
+func (g *Graph) AvgInfluence() float64 {
+	if g.m == 0 {
+		return 0
+	}
+	sum := 0.0
+	for u := 0; u < g.n; u++ {
+		for _, e := range g.out[u] {
+			sum += e.W
+		}
+	}
+	return sum / float64(g.m)
+}
+
+// BFSDepths runs a breadth-first search from each source over outgoing
+// arcs and returns hop distances (-1 when unreachable).
+func (g *Graph) BFSDepths(sources []int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int32, 0, len(sources))
+	for _, s := range sources {
+		if s >= 0 && s < g.n && dist[s] < 0 {
+			dist[s] = 0
+			queue = append(queue, int32(s))
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		for _, e := range g.out[u] {
+			if dist[e.To] < 0 {
+				dist[e.To] = du + 1
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return dist
+}
+
+// HopDistance returns the minimum hop count from u to v over outgoing
+// arcs, or -1 when unreachable.
+func (g *Graph) HopDistance(u, v int) int {
+	if u == v {
+		return 0
+	}
+	return g.BFSDepths([]int{u})[v]
+}
+
+// EccentricityFrom returns the maximum finite BFS depth from the
+// sources, i.e. the radius of the region they reach. Target-market
+// diameters d_tau are estimated this way.
+func (g *Graph) EccentricityFrom(sources []int) int {
+	dist := g.BFSDepths(sources)
+	max := 0
+	for _, d := range dist {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Components returns a component id per vertex, ignoring direction.
+func (g *Graph) Components() (comp []int, count int) {
+	comp = make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var stack []int32
+	for s := 0; s < g.n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = count
+		stack = append(stack[:0], int32(s))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range g.out[u] {
+				if comp[e.To] < 0 {
+					comp[e.To] = count
+					stack = append(stack, e.To)
+				}
+			}
+			for _, e := range g.in[u] {
+				if comp[e.To] < 0 {
+					comp[e.To] = count
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// MaxInfluencePaths runs Dijkstra from source on lengths -log(w) and
+// returns, per vertex, the probability of the maximum-influence path
+// (product of arc strengths along the best path; 0 when unreachable,
+// 1 for the source itself). This is the MIP machinery of Chen et al.
+// used by MIOA and by the PS baseline.
+func (g *Graph) MaxInfluencePaths(source int) []float64 {
+	prob := make([]float64, g.n)
+	g.MaxInfluencePathsInto(source, prob, nil)
+	return prob
+}
+
+// MaxInfluencePathsInto is the allocation-free form of
+// MaxInfluencePaths. prob must have length N; parent, when non-nil,
+// receives the Dijkstra tree (parent[source] = source, -1 when
+// unreachable).
+func (g *Graph) MaxInfluencePathsInto(source int, prob []float64, parent []int32) {
+	for i := range prob {
+		prob[i] = 0
+	}
+	if parent != nil {
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[source] = int32(source)
+	}
+	prob[source] = 1
+	h := &probHeap{items: []probItem{{v: int32(source), p: 1}}}
+	for h.Len() > 0 {
+		it := h.pop()
+		if it.p < prob[it.v] {
+			continue // stale entry
+		}
+		for _, e := range g.out[it.v] {
+			np := it.p * e.W
+			if np > prob[e.To] {
+				prob[e.To] = np
+				if parent != nil {
+					parent[e.To] = it.v
+				}
+				h.push(probItem{v: e.To, p: np})
+			}
+		}
+	}
+}
+
+// probHeap is a max-heap on path probability (equivalently a min-heap
+// on -log p, but products avoid the log calls on the hot path).
+type probItem struct {
+	v int32
+	p float64
+}
+
+type probHeap struct{ items []probItem }
+
+func (h *probHeap) Len() int { return len(h.items) }
+
+func (h *probHeap) push(it probItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[p].p >= h.items[i].p {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+func (h *probHeap) pop() probItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < last && h.items[l].p > h.items[big].p {
+			big = l
+		}
+		if r < last && h.items[r].p > h.items[big].p {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h.items[i], h.items[big] = h.items[big], h.items[i]
+		i = big
+	}
+	return top
+}
+
+// DegreeStats summarises the degree distribution.
+type DegreeStats struct {
+	MinOut, MaxOut int
+	MeanOut        float64
+}
+
+// Degrees computes out-degree statistics.
+func (g *Graph) Degrees() DegreeStats {
+	st := DegreeStats{MinOut: math.MaxInt}
+	total := 0
+	for v := 0; v < g.n; v++ {
+		d := len(g.out[v])
+		total += d
+		if d < st.MinOut {
+			st.MinOut = d
+		}
+		if d > st.MaxOut {
+			st.MaxOut = d
+		}
+	}
+	if g.n > 0 {
+		st.MeanOut = float64(total) / float64(g.n)
+	} else {
+		st.MinOut = 0
+	}
+	return st
+}

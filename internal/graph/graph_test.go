@@ -1,0 +1,303 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"imdpp/internal/rng"
+)
+
+// line builds the directed path 0→1→…→n-1 with weight w.
+func line(n int, w float64) *Graph {
+	b := NewBuilder(n, true)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1, w)
+	}
+	return b.Build()
+}
+
+func TestBuilderDirected(t *testing.T) {
+	b := NewBuilder(3, true)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 2, 0.25)
+	g := b.Build()
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if g.OutDegree(0) != 1 || g.InDegree(0) != 0 {
+		t.Fatalf("deg(0) out=%d in=%d", g.OutDegree(0), g.InDegree(0))
+	}
+	if g.Out(0)[0].To != 1 || g.Out(0)[0].W != 0.5 {
+		t.Fatalf("edge 0: %+v", g.Out(0)[0])
+	}
+	if g.In(2)[0].To != 1 {
+		t.Fatalf("in(2): %+v", g.In(2)[0])
+	}
+}
+
+func TestBuilderUndirectedMirrors(t *testing.T) {
+	b := NewBuilder(2, false)
+	b.AddEdge(0, 1, 0.7)
+	g := b.Build()
+	if g.M() != 2 {
+		t.Fatalf("undirected edge stored %d arcs", g.M())
+	}
+	if g.Out(1)[0].To != 0 || g.Out(1)[0].W != 0.7 {
+		t.Fatalf("reverse arc: %+v", g.Out(1)[0])
+	}
+}
+
+func TestBuilderSelfLoopIgnored(t *testing.T) {
+	b := NewBuilder(2, true)
+	b.AddEdge(0, 0, 1)
+	if g := b.Build(); g.M() != 0 {
+		t.Fatal("self loop stored")
+	}
+}
+
+func TestBuilderClampsWeights(t *testing.T) {
+	b := NewBuilder(2, true)
+	b.AddEdge(0, 1, 5)
+	g := b.Build()
+	if g.Out(0)[0].W != 1 {
+		t.Fatalf("weight not clamped: %v", g.Out(0)[0].W)
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewBuilder(2, true).AddEdge(0, 5, 1)
+}
+
+func TestAvgInfluence(t *testing.T) {
+	b := NewBuilder(3, true)
+	b.AddEdge(0, 1, 0.2)
+	b.AddEdge(1, 2, 0.4)
+	g := b.Build()
+	if got := g.AvgInfluence(); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("avg influence %v", got)
+	}
+}
+
+func TestBFSDepths(t *testing.T) {
+	g := line(5, 0.5)
+	d := g.BFSDepths([]int{0})
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Fatalf("depth[%d]=%d want %d", i, d[i], want)
+		}
+	}
+	// unreachable direction
+	d = g.BFSDepths([]int{4})
+	if d[0] != -1 {
+		t.Fatalf("expected unreachable, got %d", d[0])
+	}
+}
+
+func TestBFSMultiSource(t *testing.T) {
+	g := line(6, 0.5)
+	d := g.BFSDepths([]int{0, 3})
+	if d[4] != 1 || d[2] != 2 {
+		t.Fatalf("multi-source depths: %v", d)
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	g := line(4, 0.5)
+	if got := g.HopDistance(0, 3); got != 3 {
+		t.Fatalf("hop 0→3 = %d", got)
+	}
+	if got := g.HopDistance(3, 0); got != -1 {
+		t.Fatalf("hop 3→0 = %d", got)
+	}
+	if got := g.HopDistance(2, 2); got != 0 {
+		t.Fatalf("hop self = %d", got)
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := line(5, 0.5)
+	if got := g.EccentricityFrom([]int{0}); got != 4 {
+		t.Fatalf("ecc = %d", got)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder(5, true)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(2, 3, 0.5)
+	g := b.Build()
+	comp, n := g.Components()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[0] == comp[2] || comp[4] == comp[0] {
+		t.Fatalf("component labels: %v", comp)
+	}
+}
+
+func TestMaxInfluencePathsLine(t *testing.T) {
+	g := line(4, 0.5)
+	p := g.MaxInfluencePaths(0)
+	want := []float64{1, 0.5, 0.25, 0.125}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-12 {
+			t.Fatalf("p[%d]=%v want %v", i, p[i], want[i])
+		}
+	}
+}
+
+func TestMaxInfluencePathsPicksBestRoute(t *testing.T) {
+	// 0→1→3 (0.9·0.9 = 0.81) beats 0→2→3 (0.99·0.5)
+	b := NewBuilder(4, true)
+	b.AddEdge(0, 1, 0.9)
+	b.AddEdge(1, 3, 0.9)
+	b.AddEdge(0, 2, 0.99)
+	b.AddEdge(2, 3, 0.5)
+	g := b.Build()
+	prob := make([]float64, 4)
+	parent := make([]int32, 4)
+	g.MaxInfluencePathsInto(0, prob, parent)
+	if math.Abs(prob[3]-0.81) > 1e-12 {
+		t.Fatalf("prob[3]=%v", prob[3])
+	}
+	if parent[3] != 1 {
+		t.Fatalf("parent[3]=%d want 1", parent[3])
+	}
+	if parent[0] != 0 {
+		t.Fatalf("parent[source]=%d", parent[0])
+	}
+}
+
+func TestMaxInfluencePathsUnreachable(t *testing.T) {
+	b := NewBuilder(3, true)
+	b.AddEdge(0, 1, 0.5)
+	g := b.Build()
+	p := g.MaxInfluencePaths(0)
+	if p[2] != 0 {
+		t.Fatalf("unreachable prob %v", p[2])
+	}
+}
+
+func TestMIPProbabilitiesBounded(t *testing.T) {
+	r := rng.New(5)
+	f := func(seed uint64) bool {
+		rr := r.Split(seed)
+		g := ErdosRenyi(20, 0.2, true, WeightModel{Mean: 0.5, Jitter: 0.5}, rr)
+		p := g.MaxInfluencePaths(0)
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return p[0] == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreesStats(t *testing.T) {
+	g := line(4, 0.5)
+	st := g.Degrees()
+	if st.MinOut != 0 || st.MaxOut != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if math.Abs(st.MeanOut-0.75) > 1e-12 {
+		t.Fatalf("mean %v", st.MeanOut)
+	}
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	r := rng.New(1)
+	g := BarabasiAlbert(200, 3, false, WeightModel{Mean: 0.1, Jitter: 0.5}, r)
+	if g.N() != 200 {
+		t.Fatalf("n=%d", g.N())
+	}
+	_, nComp := g.Components()
+	if nComp != 1 {
+		t.Fatalf("BA graph has %d components", nComp)
+	}
+	st := g.Degrees()
+	if st.MaxOut < 10 {
+		t.Fatalf("no hub emerged: max degree %d", st.MaxOut)
+	}
+	avg := g.AvgInfluence()
+	if math.Abs(avg-0.1) > 0.02 {
+		t.Fatalf("avg influence %v, want ~0.1", avg)
+	}
+}
+
+func TestBarabasiAlbertDirected(t *testing.T) {
+	r := rng.New(2)
+	g := BarabasiAlbert(100, 2, true, WeightModel{Mean: 0.2, Jitter: 0}, r)
+	if !g.Directed() {
+		t.Fatal("not directed")
+	}
+	// directed BA stores one arc per attachment
+	if g.M() >= 2*(100*2) {
+		t.Fatalf("too many arcs: %d", g.M())
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	r := rng.New(3)
+	g := WattsStrogatz(100, 4, 0.1, false, WeightModel{Mean: 0.3, Jitter: 0.2}, r)
+	if g.N() != 100 {
+		t.Fatalf("n=%d", g.N())
+	}
+	st := g.Degrees()
+	if st.MeanOut < 3.5 || st.MeanOut > 4.5 {
+		t.Fatalf("mean degree %v, want ~4", st.MeanOut)
+	}
+}
+
+func TestErdosRenyiDensity(t *testing.T) {
+	r := rng.New(4)
+	g := ErdosRenyi(100, 0.1, true, WeightModel{Mean: 0.5, Jitter: 0}, r)
+	expected := 0.1 * 100 * 99
+	if float64(g.M()) < expected*0.7 || float64(g.M()) > expected*1.3 {
+		t.Fatalf("M=%d, expected ~%v", g.M(), expected)
+	}
+}
+
+func TestPlantedCommunities(t *testing.T) {
+	r := rng.New(6)
+	g, member := PlantedCommunities(60, 3, 0.5, 0.01, false, WeightModel{Mean: 0.2, Jitter: 0}, r)
+	if g.N() != 60 || len(member) != 60 {
+		t.Fatal("sizes wrong")
+	}
+	counts := map[int]int{}
+	for _, m := range member {
+		counts[m]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("got %d communities", len(counts))
+	}
+	for c, n := range counts {
+		if n != 20 {
+			t.Fatalf("community %d has %d members", c, n)
+		}
+	}
+}
+
+func TestWeightedCascadeRescale(t *testing.T) {
+	r := rng.New(7)
+	g := BarabasiAlbert(100, 3, false, WeightModel{Mean: 0.1, Jitter: 0, WeightedCascade: true}, r)
+	avg := g.AvgInfluence()
+	if math.Abs(avg-0.1) > 0.03 {
+		t.Fatalf("WC rescaled avg %v", avg)
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.Out(u) {
+			if e.W <= 0 || e.W > 1 {
+				t.Fatalf("weight out of range: %v", e.W)
+			}
+		}
+	}
+}

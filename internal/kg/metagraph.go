@@ -1,0 +1,214 @@
+package kg
+
+import "fmt"
+
+// RelKind says which item relationship a meta-graph describes.
+type RelKind uint8
+
+// Relationship kinds per the paper: {mC} and {mS}.
+const (
+	Complementary RelKind = iota
+	Substitutable
+)
+
+func (k RelKind) String() string {
+	if k == Complementary {
+		return "complementary"
+	}
+	return "substitutable"
+}
+
+// MetaGraph is a schema over node/edge types with two designated ITEM
+// endpoints (schema nodes 0 and 1). An instance is a homomorphism from
+// the schema into the KG; s(x,y|m) is a saturating function of the
+// instance count with endpoints mapped to x and y.
+//
+// Schema edges may run in either direction; Dir distinguishes them so
+// "ITEM -SUPPORTS-> FEATURE <-SUPPORTS- ITEM" is expressible.
+type MetaGraph struct {
+	Name  string
+	Kind  RelKind
+	types []NodeType   // schema node types; nodes 0 and 1 are the ITEM endpoints
+	edges []schemaEdge // schema edges
+}
+
+type schemaEdge struct {
+	from, to int
+	et       EdgeType
+}
+
+// NewMetaGraph starts a schema whose endpoint nodes 0 and 1 have the
+// given item type.
+func NewMetaGraph(name string, kind RelKind, itemType NodeType) *MetaGraph {
+	return &MetaGraph{
+		Name:  name,
+		Kind:  kind,
+		types: []NodeType{itemType, itemType},
+	}
+}
+
+// AddNode appends an internal schema node of type t and returns its id.
+func (m *MetaGraph) AddNode(t NodeType) int {
+	m.types = append(m.types, t)
+	return len(m.types) - 1
+}
+
+// AddEdge adds a schema edge from->to with edge type et. Endpoints are
+// schema node ids (0 and 1 are the item endpoints).
+func (m *MetaGraph) AddEdge(from, to int, et EdgeType) *MetaGraph {
+	if from < 0 || from >= len(m.types) || to < 0 || to >= len(m.types) {
+		panic(fmt.Sprintf("kg: schema edge (%d,%d) out of range", from, to))
+	}
+	m.edges = append(m.edges, schemaEdge{from, to, et})
+	return m
+}
+
+// Size returns the number of schema nodes.
+func (m *MetaGraph) Size() int { return len(m.types) }
+
+// PathMetaGraph builds the common "ITEM -e1-> MID <-e2- ITEM" schema
+// (m1/m2 in Fig. 1(b): two items supporting a common FEATURE, or made
+// by a common BRAND).
+func PathMetaGraph(name string, kind RelKind, itemType, midType NodeType, e1, e2 EdgeType) *MetaGraph {
+	m := NewMetaGraph(name, kind, itemType)
+	mid := m.AddNode(midType)
+	m.AddEdge(0, mid, e1)
+	m.AddEdge(1, mid, e2)
+	return m
+}
+
+// DirectMetaGraph builds the "ITEM -e-> ITEM" schema (m3 in Fig. 1(b):
+// an explicit relationship edge such as also-bought).
+func DirectMetaGraph(name string, kind RelKind, itemType NodeType, e EdgeType) *MetaGraph {
+	m := NewMetaGraph(name, kind, itemType)
+	m.AddEdge(0, 1, e)
+	return m
+}
+
+// DiamondMetaGraph builds the two-mid schema requiring both a common
+// node of type midA (via eA) and a common node of type midB (via eB) —
+// the "meta structure" generalisation of meta-paths (Huang et al.).
+func DiamondMetaGraph(name string, kind RelKind, itemType, midA, midB NodeType, eA, eB EdgeType) *MetaGraph {
+	m := NewMetaGraph(name, kind, itemType)
+	a := m.AddNode(midA)
+	bn := m.AddNode(midB)
+	m.AddEdge(0, a, eA)
+	m.AddEdge(1, a, eA)
+	m.AddEdge(0, bn, eB)
+	m.AddEdge(1, bn, eB)
+	return m
+}
+
+// CountInstances counts homomorphisms of the schema into g with schema
+// node 0 mapped to KG node x and schema node 1 mapped to KG node y.
+// Internal schema nodes may map to any KG node of the right type;
+// distinct schema nodes may map to the same KG node only if they are
+// different schema positions with compatible edges (standard
+// homomorphism semantics, which is what instance counting in HIN
+// relevance measures uses).
+func (m *MetaGraph) CountInstances(g *KG, x, y int) int {
+	if g.NodeTypeOf(x) != m.types[0] || g.NodeTypeOf(y) != m.types[1] {
+		return 0
+	}
+	assign := make([]int32, len(m.types))
+	for i := range assign {
+		assign[i] = -1
+	}
+	assign[0] = int32(x)
+	assign[1] = int32(y)
+	return m.countRec(g, assign, 2)
+}
+
+func (m *MetaGraph) countRec(g *KG, assign []int32, next int) int {
+	if next == len(m.types) {
+		if m.consistent(g, assign) {
+			return 1
+		}
+		return 0
+	}
+	// Candidates for schema node `next`: prefer narrowing through an
+	// already-assigned neighbour; fall back to all nodes of the type.
+	want := m.types[next]
+	total := 0
+	cands := m.candidates(g, assign, next)
+	for _, v := range cands {
+		if g.NodeTypeOf(int(v)) != want {
+			continue
+		}
+		assign[next] = v
+		if m.partialOK(g, assign, next) {
+			total += m.countRec(g, assign, next+1)
+		}
+		assign[next] = -1
+	}
+	return total
+}
+
+// candidates returns plausible KG nodes for schema position pos by
+// following one schema edge incident to an assigned position; if none
+// exists it scans all KG nodes (schemas here are tiny and connected, so
+// that path is effectively never taken for well-formed meta-graphs).
+func (m *MetaGraph) candidates(g *KG, assign []int32, pos int) []int32 {
+	for _, e := range m.edges {
+		if e.from == pos && assign[e.to] >= 0 {
+			tgt := assign[e.to]
+			var out []int32
+			for _, te := range g.In(int(tgt)) { // we need v with v -> tgt? no: e is pos->to, so candidate v has edge v->tgt
+				if te.ET == e.et {
+					out = append(out, te.To)
+				}
+			}
+			return out
+		}
+		if e.to == pos && assign[e.from] >= 0 {
+			src := assign[e.from]
+			var out []int32
+			for _, te := range g.Out(int(src)) {
+				if te.ET == e.et {
+					out = append(out, te.To)
+				}
+			}
+			return out
+		}
+	}
+	all := make([]int32, 0, g.N())
+	for v := 0; v < g.N(); v++ {
+		all = append(all, int32(v))
+	}
+	return all
+}
+
+// partialOK checks every schema edge whose endpoints are both assigned.
+func (m *MetaGraph) partialOK(g *KG, assign []int32, justSet int) bool {
+	for _, e := range m.edges {
+		if e.from != justSet && e.to != justSet {
+			continue
+		}
+		fu, tv := assign[e.from], assign[e.to]
+		if fu < 0 || tv < 0 {
+			continue
+		}
+		if !hasEdge(g, int(fu), int(tv), e.et) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *MetaGraph) consistent(g *KG, assign []int32) bool {
+	for _, e := range m.edges {
+		if !hasEdge(g, int(assign[e.from]), int(assign[e.to]), e.et) {
+			return false
+		}
+	}
+	return true
+}
+
+func hasEdge(g *KG, u, v int, et EdgeType) bool {
+	for _, te := range g.Out(u) {
+		if int(te.To) == v && te.ET == et {
+			return true
+		}
+	}
+	return false
+}

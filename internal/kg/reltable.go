@@ -1,0 +1,278 @@
+package kg
+
+import "sort"
+
+// ItemRel is one entry of a sparse item-to-item relevance row.
+type ItemRel struct {
+	Other int32   // the other item id
+	S     float64 // s(x,other|m) in [0,1)
+}
+
+// RelTable is the materialised pairwise relevance s(x,y|m) of one
+// meta-graph over all item pairs. Relevance is stored symmetrically:
+// s(x,y) == s(y,x), matching the undirected semantics of the
+// complementary / substitutable relationships in the paper.
+type RelTable struct {
+	Meta *MetaGraph
+	adj  [][]ItemRel // per item id, sorted by Other
+}
+
+// saturate maps an instance count into [0,1): c/(c+1). Monotone in c,
+// 0 for no instances — the "correlated to the number of m's instances"
+// requirement of Sec. V-A(1) with a bounded range.
+func saturate(c int) float64 {
+	if c <= 0 {
+		return 0
+	}
+	return float64(c) / float64(c+1)
+}
+
+// BuildRelTable counts meta-graph instances for all item pairs and
+// returns the sparse relevance table. It uses structure-aware
+// enumeration for the three canonical shapes (direct edge, common-mid
+// path, diamond) and falls back to generic homomorphism counting for
+// other small schemas.
+func BuildRelTable(g *KG, m *MetaGraph) *RelTable {
+	counts := make(map[uint64]int)
+	switch {
+	case m.isDirect():
+		m.countDirect(g, counts)
+	case m.isPath():
+		m.countPath(g, counts)
+	case m.isDiamond():
+		m.countDiamond(g, counts)
+	default:
+		m.countGeneric(g, counts)
+	}
+	t := &RelTable{Meta: m, adj: make([][]ItemRel, g.NumItems())}
+	for key, c := range counts {
+		x := int32(key >> 32)
+		y := int32(key & 0xffffffff)
+		s := saturate(c)
+		t.adj[x] = append(t.adj[x], ItemRel{Other: y, S: s})
+		t.adj[y] = append(t.adj[y], ItemRel{Other: x, S: s})
+	}
+	for i := range t.adj {
+		row := t.adj[i]
+		sort.Slice(row, func(a, b int) bool { return row[a].Other < row[b].Other })
+	}
+	return t
+}
+
+func pairKey(x, y int32) uint64 {
+	if x > y {
+		x, y = y, x
+	}
+	return uint64(x)<<32 | uint64(uint32(y))
+}
+
+// S returns s(x,y|m); 0 when the pair has no instances or x==y.
+func (t *RelTable) S(x, y int) float64 {
+	if x == y {
+		return 0
+	}
+	row := t.adj[x]
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(row[mid].Other) < y {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(row) && int(row[lo].Other) == y {
+		return row[lo].S
+	}
+	return 0
+}
+
+// Row returns the sorted sparse relevance row of item x; do not modify.
+func (t *RelTable) Row(x int) []ItemRel { return t.adj[x] }
+
+// NumPairs returns the number of related unordered item pairs.
+func (t *RelTable) NumPairs() int {
+	n := 0
+	for _, row := range t.adj {
+		n += len(row)
+	}
+	return n / 2
+}
+
+// --- shape detection -------------------------------------------------
+
+func (m *MetaGraph) isDirect() bool {
+	return len(m.types) == 2 && len(m.edges) == 1 &&
+		((m.edges[0].from == 0 && m.edges[0].to == 1) || (m.edges[0].from == 1 && m.edges[0].to == 0))
+}
+
+// isPath matches ITEM -e1-> MID <-e2- ITEM (both endpoints point at the
+// single internal node).
+func (m *MetaGraph) isPath() bool {
+	if len(m.types) != 3 || len(m.edges) != 2 {
+		return false
+	}
+	seen := [2]bool{}
+	for _, e := range m.edges {
+		if e.to != 2 || e.from > 1 {
+			return false
+		}
+		seen[e.from] = true
+	}
+	return seen[0] && seen[1]
+}
+
+// isDiamond matches the two-mid schema produced by DiamondMetaGraph.
+func (m *MetaGraph) isDiamond() bool {
+	if len(m.types) != 4 || len(m.edges) != 4 {
+		return false
+	}
+	for _, e := range m.edges {
+		if e.from > 1 || (e.to != 2 && e.to != 3) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- structural counters ---------------------------------------------
+
+func (m *MetaGraph) countDirect(g *KG, counts map[uint64]int) {
+	et := m.edges[0].et
+	for xi := 0; xi < g.NumItems(); xi++ {
+		x := g.ItemNode(xi)
+		for _, te := range g.Out(x) {
+			if te.ET != et {
+				continue
+			}
+			yi := g.ItemID(int(te.To))
+			if yi >= 0 && yi != xi {
+				counts[pairKey(int32(xi), int32(yi))]++
+			}
+		}
+	}
+}
+
+func (m *MetaGraph) countPath(g *KG, counts map[uint64]int) {
+	var e1, e2 EdgeType
+	for _, e := range m.edges {
+		if e.from == 0 {
+			e1 = e.et
+		} else {
+			e2 = e.et
+		}
+	}
+	midType := m.types[2]
+	for w := 0; w < g.N(); w++ {
+		if g.NodeTypeOf(w) != midType {
+			continue
+		}
+		var left, right []int32
+		for _, te := range g.In(w) {
+			ii := g.ItemID(int(te.To))
+			if ii < 0 {
+				continue
+			}
+			if te.ET == e1 {
+				left = append(left, int32(ii))
+			}
+			if te.ET == e2 {
+				right = append(right, int32(ii))
+			}
+		}
+		for _, x := range left {
+			for _, y := range right {
+				if x == y {
+					continue
+				}
+				// Instances are ordered homomorphisms; counting each
+				// unordered pair once per (x in left, y in right)
+				// matches the symmetric relevance we expose. Avoid
+				// double-count when e1 == e2 by requiring x < y.
+				if e1 == e2 && x > y {
+					continue
+				}
+				counts[pairKey(x, y)]++
+			}
+		}
+	}
+}
+
+func (m *MetaGraph) countDiamond(g *KG, counts map[uint64]int) {
+	// Split into the two implied path schemas and multiply counts.
+	var eA, eB EdgeType
+	var tA, tB NodeType
+	seenA := false
+	for _, e := range m.edges {
+		if e.to == 2 {
+			eA = e.et
+			tA = m.types[2]
+			seenA = true
+		} else {
+			eB = e.et
+			tB = m.types[3]
+		}
+	}
+	_ = seenA
+	pa := PathMetaGraph(m.Name+"/a", m.Kind, m.types[0], tA, eA, eA)
+	pb := PathMetaGraph(m.Name+"/b", m.Kind, m.types[0], tB, eB, eB)
+	ca := make(map[uint64]int)
+	cb := make(map[uint64]int)
+	pa.countPath(g, ca)
+	pb.countPath(g, cb)
+	for key, a := range ca {
+		if b, ok := cb[key]; ok {
+			counts[key] = a * b
+		}
+	}
+}
+
+func (m *MetaGraph) countGeneric(g *KG, counts map[uint64]int) {
+	// Candidate y's reachable from x within len(types)-1 undirected hops.
+	maxHop := len(m.types) - 1
+	for xi := 0; xi < g.NumItems(); xi++ {
+		x := g.ItemNode(xi)
+		cands := nearbyItems(g, x, maxHop)
+		for _, yi := range cands {
+			if yi <= xi {
+				continue
+			}
+			c := m.CountInstances(g, x, g.ItemNode(yi))
+			c += m.CountInstances(g, g.ItemNode(yi), x)
+			if c > 0 {
+				counts[pairKey(int32(xi), int32(yi))] += c
+			}
+		}
+	}
+}
+
+// nearbyItems returns item ids within maxHop undirected hops of node v.
+func nearbyItems(g *KG, v, maxHop int) []int {
+	dist := map[int]int{v: 0}
+	frontier := []int{v}
+	var items []int
+	for h := 0; h < maxHop; h++ {
+		var next []int
+		for _, u := range frontier {
+			expand := func(te TypedEdge) {
+				w := int(te.To)
+				if _, ok := dist[w]; ok {
+					return
+				}
+				dist[w] = h + 1
+				next = append(next, w)
+				if ii := g.ItemID(w); ii >= 0 {
+					items = append(items, ii)
+				}
+			}
+			for _, te := range g.Out(u) {
+				expand(te)
+			}
+			for _, te := range g.In(u) {
+				expand(te)
+			}
+		}
+		frontier = next
+	}
+	return items
+}

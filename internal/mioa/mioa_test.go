@@ -1,0 +1,97 @@
+package mioa
+
+import (
+	"math"
+	"testing"
+
+	"imdpp/internal/graph"
+)
+
+func diamond() *graph.Graph {
+	// 0→1 (0.8), 0→2 (0.5), 1→3 (0.5), 2→3 (0.9)
+	b := graph.NewBuilder(4, true)
+	b.AddEdge(0, 1, 0.8)
+	b.AddEdge(0, 2, 0.5)
+	b.AddEdge(1, 3, 0.5)
+	b.AddEdge(2, 3, 0.9)
+	return b.Build()
+}
+
+func TestProbabilitiesSingleSource(t *testing.T) {
+	g := diamond()
+	p := Probabilities(g, []int{0})
+	want := []float64{1, 0.8, 0.5, 0.45} // best to 3 is 0→2→3
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-12 {
+			t.Fatalf("p[%d]=%v want %v", i, p[i], want[i])
+		}
+	}
+}
+
+func TestProbabilitiesMultiSource(t *testing.T) {
+	g := diamond()
+	p := Probabilities(g, []int{1, 2})
+	if p[1] != 1 || p[2] != 1 {
+		t.Fatalf("sources not 1: %v", p)
+	}
+	if math.Abs(p[3]-0.9) > 1e-12 {
+		t.Fatalf("p[3]=%v", p[3])
+	}
+	if p[0] != 0 {
+		t.Fatalf("unreachable p[0]=%v", p[0])
+	}
+}
+
+func TestRegionThreshold(t *testing.T) {
+	g := diamond()
+	region := Region(g, []int{0}, 0.5)
+	// includes 0 (1.0), 1 (0.8), 2 (0.5); excludes 3 (0.45)
+	if len(region) != 3 || region[0] != 0 || region[1] != 1 || region[2] != 2 {
+		t.Fatalf("region %v", region)
+	}
+	// default threshold keeps everything here
+	region = Region(g, []int{0}, 0)
+	if len(region) != 4 {
+		t.Fatalf("default-threshold region %v", region)
+	}
+}
+
+func TestRegionInvalidSource(t *testing.T) {
+	g := diamond()
+	region := Region(g, []int{-3, 99}, 0.5)
+	if len(region) != 0 {
+		t.Fatalf("region from invalid sources: %v", region)
+	}
+}
+
+func TestArborescence(t *testing.T) {
+	g := diamond()
+	parent, prob := Arborescence(g, 0, 0.4)
+	if parent[0] != 0 {
+		t.Fatalf("root parent %d", parent[0])
+	}
+	if parent[3] != 2 {
+		t.Fatalf("parent[3]=%d, want 2 (via the 0.45 path)", parent[3])
+	}
+	if math.Abs(prob[3]-0.45) > 1e-12 {
+		t.Fatalf("prob[3]=%v", prob[3])
+	}
+	// tighter threshold prunes node 3
+	parent, prob = Arborescence(g, 0, 0.5)
+	if parent[3] != -1 || prob[3] != 0 {
+		t.Fatalf("threshold did not prune: parent=%d prob=%v", parent[3], prob[3])
+	}
+}
+
+func TestSpreadEstimate(t *testing.T) {
+	g := diamond()
+	s := SpreadEstimate(g, 0, 0.4)
+	want := 1 + 0.8 + 0.5 + 0.45
+	if math.Abs(s-want) > 1e-12 {
+		t.Fatalf("spread %v want %v", s, want)
+	}
+	// isolated node spreads only to itself
+	if s := SpreadEstimate(g, 3, 0.4); s != 1 {
+		t.Fatalf("sink spread %v", s)
+	}
+}

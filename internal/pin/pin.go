@@ -1,0 +1,276 @@
+// Package pin implements personal item networks: the per-user dynamic
+// perception of item relationships (Sec. V-A(1) of the paper).
+//
+// A Model bundles the meta-graphs {mC} ∪ {mS} with their materialised
+// relevance tables s(x,y|m). A user's perception is a weighting vector
+// over the meta-graphs; the complementary / substitutable relevance in
+// that user's personal item network is the weighting-weighted sum of
+// the per-meta-graph relevance:
+//
+//	rC(u,x,y) = Σ_{m ∈ mC} Wmeta(u,m)·s(x,y|m)   (clamped to [0,1])
+//	rS(u,x,y) = Σ_{m ∈ mS} Wmeta(u,m)·s(x,y|m)
+//
+// Adoptions update the weightings (SemRec-style): meta-graphs that
+// explain co-adoptions gain weight, reproducing Fig. 1(c)→(d).
+package pin
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"imdpp/internal/kg"
+)
+
+// Contrib is one meta-graph's contribution to a related item pair.
+type Contrib struct {
+	Meta uint8   // index into the model's meta-graph list
+	S    float64 // s(x,y|m)
+}
+
+// PairRel is one entry of an item's merged relevance row: the related
+// item and the per-meta-graph contributions.
+type PairRel struct {
+	Y        int32
+	Contribs []Contrib
+}
+
+// Model is the immutable relationship model shared by all users.
+type Model struct {
+	KG    *kg.KG
+	Metas []*kg.MetaGraph // complementary first, then substitutable
+	numC  int
+
+	tables []*kg.RelTable
+	// rows is the merged sparse structure: rows[x] lists every item
+	// related to x under any meta-graph, sorted by Y, with the
+	// per-meta contributions inline (symmetric: y appears in rows[x]
+	// iff x appears in rows[y]).
+	rows    [][]PairRel
+	itemAdj [][]int32 // per item: sorted union of related items
+
+	// InitWeights is the initial Wmeta(u,·) every user starts with.
+	InitWeights []float64
+}
+
+// NewModel builds relevance tables for every meta-graph and merges them
+// into one sparse pair structure. metasC/metasS must be non-empty in
+// total. initWeights, when nil, defaults to 0.3 per meta-graph (the
+// paper's Fig. 1(c) uses small initial weightings that grow with
+// adoptions).
+func NewModel(g *kg.KG, metasC, metasS []*kg.MetaGraph, initWeights []float64) (*Model, error) {
+	if len(metasC)+len(metasS) == 0 {
+		return nil, fmt.Errorf("pin: no meta-graphs")
+	}
+	m := &Model{KG: g, numC: len(metasC)}
+	m.Metas = append(m.Metas, metasC...)
+	m.Metas = append(m.Metas, metasS...)
+	for i, mg := range m.Metas {
+		want := kg.Complementary
+		if i >= m.numC {
+			want = kg.Substitutable
+		}
+		if mg.Kind != want {
+			return nil, fmt.Errorf("pin: meta-graph %q has kind %v, placed in %v list", mg.Name, mg.Kind, want)
+		}
+	}
+	if initWeights == nil {
+		initWeights = make([]float64, len(m.Metas))
+		for i := range initWeights {
+			initWeights[i] = 0.3
+		}
+	}
+	if len(initWeights) != len(m.Metas) {
+		return nil, fmt.Errorf("pin: initWeights len %d != %d meta-graphs", len(initWeights), len(m.Metas))
+	}
+	m.InitWeights = append([]float64(nil), initWeights...)
+
+	pairs := make(map[uint64][]Contrib)
+	for mi, mg := range m.Metas {
+		t := kg.BuildRelTable(g, mg)
+		m.tables = append(m.tables, t)
+		for x := 0; x < g.NumItems(); x++ {
+			for _, ir := range t.Row(x) {
+				if int(ir.Other) < x {
+					continue // unordered pairs once
+				}
+				key := pairKey(int32(x), ir.Other)
+				pairs[key] = append(pairs[key], Contrib{Meta: uint8(mi), S: ir.S})
+			}
+		}
+	}
+	m.rows = make([][]PairRel, g.NumItems())
+	for key, cs := range pairs {
+		x := int32(key >> 32)
+		y := int32(key & 0xffffffff)
+		m.rows[x] = append(m.rows[x], PairRel{Y: y, Contribs: cs})
+		m.rows[y] = append(m.rows[y], PairRel{Y: x, Contribs: cs})
+	}
+	m.itemAdj = make([][]int32, g.NumItems())
+	for x := range m.rows {
+		row := m.rows[x]
+		sort.Slice(row, func(a, b int) bool { return row[a].Y < row[b].Y })
+		adj := make([]int32, len(row))
+		for i, pr := range row {
+			adj[i] = pr.Y
+		}
+		m.itemAdj[x] = adj
+	}
+	return m, nil
+}
+
+func pairKey(x, y int32) uint64 {
+	if x > y {
+		x, y = y, x
+	}
+	return uint64(x)<<32 | uint64(uint32(y))
+}
+
+// NumMeta returns the total number of meta-graphs.
+func (m *Model) NumMeta() int { return len(m.Metas) }
+
+// NumC returns the number of complementary meta-graphs.
+func (m *Model) NumC() int { return m.numC }
+
+// NumItems returns |I|.
+func (m *Model) NumItems() int { return m.KG.NumItems() }
+
+// Table returns the relevance table of meta-graph index mi (test aid).
+func (m *Model) Table(mi int) *kg.RelTable { return m.tables[mi] }
+
+// Neighbors returns the items related to x under any meta-graph,
+// sorted ascending. The slice must not be modified.
+func (m *Model) Neighbors(x int) []int32 { return m.itemAdj[x] }
+
+// Row returns item x's merged relevance row sorted by Y; the hot loops
+// of the diffusion engine iterate this directly. Do not modify.
+func (m *Model) Row(x int) []PairRel { return m.rows[x] }
+
+// EvalContribs turns one row entry's contributions into (rC, rS) under
+// weighting vector w, clamped to [0,1].
+func (m *Model) EvalContribs(w []float64, cs []Contrib) (rc, rs float64) {
+	for _, c := range cs {
+		v := w[c.Meta] * c.S
+		if int(c.Meta) < m.numC {
+			rc += v
+		} else {
+			rs += v
+		}
+	}
+	return clamp01(rc), clamp01(rs)
+}
+
+// Rel evaluates (rC, rS) between items x and y under weighting vector
+// w (one weight per meta-graph, as stored per user by the diffusion
+// state). Both are clamped to [0,1].
+func (m *Model) Rel(w []float64, x, y int) (rc, rs float64) {
+	if x == y {
+		return 0, 0
+	}
+	row := m.rows[x]
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(row[mid].Y) < y {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(row) || int(row[lo].Y) != y {
+		return 0, 0
+	}
+	return m.EvalContribs(w, row[lo].Contribs)
+}
+
+// RelStatic evaluates (rC, rS) under the initial weights — the
+// "relevance over all users before any adoption" view used by TMI when
+// clustering nominees.
+func (m *Model) RelStatic(x, y int) (rc, rs float64) {
+	return m.Rel(m.InitWeights, x, y)
+}
+
+// SupportOf returns Σ_{b ∈ adopted, b≠a} s(a,b|m) for meta-graph mi —
+// how well meta-graph mi explains co-adoption of a with the already
+// adopted items. adopted is a callback to avoid coupling to the
+// diffusion state's bitset layout.
+func (m *Model) SupportOf(mi int, a int, adopted func(item int) bool) float64 {
+	t := m.tables[mi]
+	sum := 0.0
+	for _, ir := range t.Row(a) {
+		if int(ir.Other) != a && adopted(int(ir.Other)) {
+			sum += ir.S
+		}
+	}
+	return sum
+}
+
+// UpdateWeights applies the relevance-measurement update for user
+// weights w after the user newly adopted items newItems (the rest of
+// the adoption set is reported by adopted):
+//
+//	Wmeta(u,m) ← min(1, Wmeta(u,m) + η·Σ_{a∈new} SupportOf(m,a))
+//
+// It reports whether any weight changed.
+func (m *Model) UpdateWeights(w []float64, newItems []int, adopted func(item int) bool, eta float64) bool {
+	changed := false
+	for mi := range m.Metas {
+		sup := 0.0
+		for _, a := range newItems {
+			sup += m.SupportOf(mi, a, adopted)
+		}
+		if sup == 0 {
+			continue
+		}
+		nw := w[mi] + eta*sup
+		if nw > 1 {
+			nw = 1
+		}
+		if nw != w[mi] {
+			w[mi] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// CosSim returns the cosine similarity of two weighting vectors, the
+// personal-item-network half of the influence-learning similarity.
+func CosSim(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// AvgRel returns the average (r̄C, r̄S) between items x and y over the
+// given users' weighting vectors (weights[u] is user u's vector). This
+// is the r̄C_{x,y} / r̄S_{x,y} of Sec. IV used by TMI, DRE and AE.
+func (m *Model) AvgRel(weights [][]float64, users []int, x, y int) (rc, rs float64) {
+	if len(users) == 0 {
+		return m.RelStatic(x, y)
+	}
+	for _, u := range users {
+		c, s := m.Rel(weights[u], x, y)
+		rc += c
+		rs += s
+	}
+	n := float64(len(users))
+	return rc / n, rs / n
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
