@@ -1,0 +1,39 @@
+# CI and humans run the same targets; see .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt fmt-check vet smoke
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The estimator's worker pool and state pooling are the code a race
+# detector should watch; -short skips the full-scale solves.
+race:
+	$(GO) test -race -short ./...
+
+# Single-shot benchmark pass: batched vs sequential nominee scoring,
+# raw σ estimation and the end-to-end Amazon solve.
+bench:
+	$(GO) test -run '^$$' -bench 'Estimate|Solve' -benchtime 1x .
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Tiny-scale solver smoke: exercises the full Dysim pipeline and emits
+# the machine-readable BENCH_solve.json perf record.
+smoke:
+	$(GO) run ./cmd/imdppbench -fig solve -preset Amazon -scale 0.05 -mc 8 -benchout BENCH_solve.json
+	@test -s BENCH_solve.json && echo "BENCH_solve.json written"

@@ -9,6 +9,7 @@ package imdpp
 // numbers alongside the timings.
 
 import (
+	"sort"
 	"testing"
 
 	"imdpp/internal/dataset"
@@ -226,5 +227,119 @@ func BenchmarkSigmaEstimate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		est.Sigma(seeds)
+	}
+}
+
+// nomineeUniverse builds the single-seed candidate groups the solver's
+// initial-gains pass scores: one group per (user, item) pair with
+// positive out-degree and preference, top-k by the cheap prior used in
+// candidateUniverse, seeded at t=1.
+func nomineeUniverse(b *testing.B, p *Problem, k int) [][]Seed {
+	b.Helper()
+	type scored struct {
+		u, x  int
+		score float64
+	}
+	var all []scored
+	for u := 0; u < p.NumUsers(); u++ {
+		deg := float64(p.G.OutDegree(u))
+		if deg == 0 {
+			continue
+		}
+		for x := 0; x < p.NumItems(); x++ {
+			pr := p.BasePrefOf(u, x)
+			if pr <= 0 || p.CostOf(u, x) > p.Budget {
+				continue
+			}
+			all = append(all, scored{u, x, deg * p.Importance[x] * pr / (p.CostOf(u, x) + 1e-9)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		if all[i].u != all[j].u {
+			return all[i].u < all[j].u
+		}
+		return all[i].x < all[j].x
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	groups := make([][]Seed, len(all))
+	for i, sc := range all {
+		groups[i] = []Seed{{User: sc.u, Item: sc.x, T: 1}}
+	}
+	return groups
+}
+
+// nomineeBenchWorkers pins both arms of the batched-vs-sequential
+// comparison to the same multi-worker pool, the shape the solver runs
+// in deployment (Workers=0 → GOMAXPROCS). A fixed count keeps the
+// comparison identical on single-core CI runners, where GOMAXPROCS=1
+// would otherwise hide the per-call pool spin-up that batching
+// removes.
+const nomineeBenchWorkers = 4
+
+func nomineeBenchSetup(b *testing.B) (*Problem, [][]Seed) {
+	b.Helper()
+	d, err := dataset.Amazon(1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := d.Clone(500, 10)
+	// 512 candidates = the solver's default CandidateCap
+	return p, nomineeUniverse(b, p, 512)
+}
+
+// BenchmarkEstimateNomineesSequential scores the nominee universe the
+// pre-batching way: one Estimator.Run per candidate, each paying its
+// own pool spin-up.
+func BenchmarkEstimateNomineesSequential(b *testing.B) {
+	p, groups := nomineeBenchSetup(b)
+	est := NewEstimator(p, 24, 7)
+	est.Workers = nomineeBenchWorkers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range groups {
+			est.Run(g, nil, false)
+		}
+	}
+	b.ReportMetric(float64(len(groups)), "candidates")
+}
+
+// BenchmarkEstimateNomineesBatched scores the same universe through
+// RunBatch: one worker pool for the whole batch, common random numbers
+// across candidates. Estimates are bit-identical to the sequential
+// loop (see TestRunBatchMatchesRun).
+func BenchmarkEstimateNomineesBatched(b *testing.B) {
+	p, groups := nomineeBenchSetup(b)
+	est := NewEstimator(p, 24, 7)
+	est.Workers = nomineeBenchWorkers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.RunBatch(groups, nil)
+	}
+	b.ReportMetric(float64(len(groups)), "candidates")
+}
+
+// BenchmarkSolveAmazon is the end-to-end solver on the Amazon preset
+// at full scale — the headline number the batch engine moves.
+func BenchmarkSolveAmazon(b *testing.B) {
+	d, err := dataset.Amazon(1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := d.Clone(500, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := Solve(p, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(sol.Sigma, "sigma")
+			b.ReportMetric(float64(sol.Stats.SamplesSimulated), "samples")
+		}
 	}
 }

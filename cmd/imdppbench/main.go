@@ -1,4 +1,5 @@
-// Command imdppbench regenerates the paper's tables and figures.
+// Command imdppbench regenerates the paper's tables and figures, and
+// benchmarks the solver itself.
 //
 // Usage:
 //
@@ -6,27 +7,39 @@
 //	imdppbench -fig 8a,8b              # Fig. 8 only
 //	imdppbench -fig 9 -scale 0.5       # Fig. 9 at half dataset scale
 //	imdppbench -fig tables,case        # Table II/III + case studies
+//	imdppbench -fig solve              # solver bench → BENCH_solve.json
 //
-// Figure ids: tables, 8a, 8b, 9, 9h, 10, 11, 12, 13, 14, case.
+// Figure ids: tables, 8a, 8b, 9, 9h, 10, 11, 12, 13, 14, case, solve.
+//
+// The solve id is not part of 'all': it runs one Dysim Solve on a
+// preset (-preset/-budget/-T) and writes machine-readable phase
+// timings, estimator throughput (samples/sec) and σ to -benchout, so
+// CI can track the perf trajectory across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"imdpp/internal/core"
 	"imdpp/internal/dataset"
 	"imdpp/internal/exp"
 )
 
 func main() {
-	figs := flag.String("fig", "all", "comma-separated figure ids (tables,8a,8b,9,9h,10,11,12,13,14,case) or 'all'")
+	figs := flag.String("fig", "all", "comma-separated figure ids (tables,8a,8b,9,9h,10,11,12,13,14,case,solve) or 'all'")
 	scale := flag.Float64("scale", 1.0, "dataset scale multiplier")
 	evalMC := flag.Int("evalmc", 64, "Monte-Carlo samples for final evaluation")
 	solverMC := flag.Int("mc", 24, "Monte-Carlo samples inside solvers")
 	seed := flag.Uint64("seed", 1, "master RNG seed")
+	preset := flag.String("preset", "Amazon", "dataset preset for -fig solve (Amazon, Yelp, Douban, Gowalla)")
+	budget := flag.Float64("budget", 500, "budget for -fig solve")
+	promos := flag.Int("T", 10, "promotions for -fig solve")
+	benchout := flag.String("benchout", "BENCH_solve.json", "output path of the -fig solve JSON report")
 	flag.Parse()
 
 	cfg := exp.Config{
@@ -117,4 +130,89 @@ func main() {
 		return nil
 	})
 	run("case", func() error { _, err := exp.CaseStudies(cfg); return err })
+	if want["solve"] {
+		start := time.Now()
+		if err := solveBench(*preset, *scale, *budget, *promos, *solverMC, *seed, *benchout); err != nil {
+			fmt.Fprintf(os.Stderr, "solve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[solve done in %v]\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// benchReport is the machine-readable solver benchmark record; one per
+// run, appended to the repo's perf trajectory by CI artifacts.
+type benchReport struct {
+	Preset string  `json:"preset"`
+	Scale  float64 `json:"scale"`
+	Budget float64 `json:"budget"`
+	T      int     `json:"t"`
+	Seed   uint64  `json:"seed"`
+	MC     int     `json:"mc"`
+	Users  int     `json:"users"`
+	Items  int     `json:"items"`
+
+	SelectMS   float64 `json:"select_ms"`
+	MarketMS   float64 `json:"market_ms"`
+	ScheduleMS float64 `json:"schedule_ms"`
+	TotalMS    float64 `json:"total_ms"`
+
+	Sigma         float64 `json:"sigma"`
+	Seeds         int     `json:"seeds"`
+	Cost          float64 `json:"cost"`
+	Markets       int     `json:"markets"`
+	Groups        int     `json:"groups"`
+	SigmaEvals    int     `json:"sigma_evals"`
+	SIEvals       int     `json:"si_evals"`
+	Samples       uint64  `json:"samples"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+}
+
+// solveBench runs one Dysim Solve on the preset and writes the phase
+// timings and estimator throughput as JSON to out.
+func solveBench(preset string, scale, budget float64, T, mc int, seed uint64, out string) error {
+	builders := map[string]func(dataset.Scale) (*dataset.Dataset, error){
+		"Amazon": dataset.Amazon, "Yelp": dataset.Yelp,
+		"Douban": dataset.Douban, "Gowalla": dataset.Gowalla,
+	}
+	build, ok := builders[preset]
+	if !ok {
+		return fmt.Errorf("unknown preset %q", preset)
+	}
+	d, err := build(dataset.Scale(scale))
+	if err != nil {
+		return err
+	}
+	p := d.Clone(budget, T)
+	sol, err := core.Solve(p, core.Options{MC: mc, Seed: seed})
+	if err != nil {
+		return err
+	}
+	st := sol.Stats
+	rep := benchReport{
+		Preset: preset, Scale: scale, Budget: budget, T: T, Seed: seed, MC: mc,
+		Users: p.NumUsers(), Items: p.NumItems(),
+		SelectMS:   float64(st.SelectTime.Microseconds()) / 1e3,
+		MarketMS:   float64(st.MarketTime.Microseconds()) / 1e3,
+		ScheduleMS: float64(st.ScheduleTime.Microseconds()) / 1e3,
+		TotalMS:    float64(st.TotalTime.Microseconds()) / 1e3,
+		Sigma:      sol.Sigma, Seeds: len(sol.Seeds), Cost: sol.Cost,
+		Markets: st.MarketCount, Groups: st.GroupCount,
+		SigmaEvals: st.SigmaEvals, SIEvals: st.SIEvals,
+		Samples: st.SamplesSimulated,
+	}
+	if secs := st.TotalTime.Seconds(); secs > 0 {
+		rep.SamplesPerSec = float64(st.SamplesSimulated) / secs
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("solve: preset=%s scale=%g σ=%.1f seeds=%d total=%.0fms throughput=%.0f samples/sec → %s\n",
+		preset, scale, sol.Sigma, len(sol.Seeds), rep.TotalMS, rep.SamplesPerSec, out)
+	return nil
 }

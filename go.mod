@@ -1,0 +1,3 @@
+module imdpp
+
+go 1.24

@@ -82,6 +82,14 @@ func (r *runner) sigma(seeds []diffusion.Seed) float64 {
 	return r.est.Sigma(seeds)
 }
 
+// sigmaBatch evaluates every candidate seed group of one greedy round
+// in a single batch over the estimator's worker pool, with common
+// random numbers across candidates.
+func (r *runner) sigmaBatch(groups [][]diffusion.Seed) []float64 {
+	r.evals += len(groups)
+	return r.est.SigmaBatch(groups)
+}
+
 // reseedRound re-randomises the estimator between greedy rounds and
 // returns a fresh baseline estimate of the current selection, so the
 // round winner's positively-biased estimate does not deflate the next
@@ -165,13 +173,16 @@ func (r *runner) scheduleCRGreedy(pairs []cluster.Nominee) []diffusion.Seed {
 	var seeds []diffusion.Seed
 	for i, nm := range pairs {
 		r.est.Reseed(r.opt.Seed + 0xC4 + uint64(i)*0x85EB)
-		bestT, bestSigma := 1, -1.0
+		// all T placements of this pair in one batch; shared sample
+		// streams make the argmax over t a paired comparison
+		groups := make([][]diffusion.Seed, r.p.T)
 		for t := 1; t <= r.p.T; t++ {
-			cand := append(append([]diffusion.Seed(nil), seeds...),
-				diffusion.Seed{User: nm.User, Item: nm.Item, T: t})
-			sig := r.sigma(cand)
+			groups[t-1] = diffusion.WithSeed(seeds, diffusion.Seed{User: nm.User, Item: nm.Item, T: t})
+		}
+		bestT, bestSigma := 1, -1.0
+		for j, sig := range r.sigmaBatch(groups) {
 			if sig > bestSigma {
-				bestSigma, bestT = sig, t
+				bestSigma, bestT = sig, j+1
 			}
 		}
 		seeds = append(seeds, diffusion.Seed{User: nm.User, Item: nm.Item, T: bestT})

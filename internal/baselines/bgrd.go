@@ -48,10 +48,6 @@ func BGRD(p *diffusion.Problem, opt Options) (Solution, error) {
 	spent := 0.0
 	picked := make(map[int]bool)
 	for {
-		bestRatio := 0.0
-		bestIdx := -1
-		var bestBundle []cluster.Nominee
-		var bestSigma float64
 		bundleCap := 0 // unlimited
 		if r.opt.MaxSeeds > 0 {
 			bundleCap = r.opt.MaxSeeds - len(pairs)
@@ -59,6 +55,13 @@ func BGRD(p *diffusion.Problem, opt Options) (Solution, error) {
 				break
 			}
 		}
+		// one batch per greedy round: every unpicked user's bundle
+		var (
+			groups  [][]diffusion.Seed
+			idxs    []int
+			bundles [][]cluster.Nominee
+			costs   []float64
+		)
 		for i, us := range users {
 			if picked[us.u] {
 				continue
@@ -67,15 +70,24 @@ func BGRD(p *diffusion.Problem, opt Options) (Solution, error) {
 			if len(bundle) == 0 {
 				continue
 			}
-			cand := append([]diffusion.Seed(nil), cur...)
+			cand := make([]diffusion.Seed, 0, len(cur)+len(bundle))
+			cand = append(cand, cur...)
 			cost := 0.0
 			for _, nm := range bundle {
 				cand = append(cand, diffusion.Seed{User: nm.User, Item: nm.Item, T: 1})
 				cost += p.CostOf(nm.User, nm.Item)
 			}
-			sig := r.sigma(cand)
-			if ratio := (sig - base) / (cost + 1e-12); ratio > bestRatio {
-				bestRatio, bestIdx, bestBundle, bestSigma = ratio, i, bundle, sig
+			groups = append(groups, cand)
+			idxs = append(idxs, i)
+			bundles = append(bundles, bundle)
+			costs = append(costs, cost)
+		}
+		bestRatio := 0.0
+		bestIdx := -1
+		var bestBundle []cluster.Nominee
+		for j, sig := range r.sigmaBatch(groups) {
+			if ratio := (sig - base) / (costs[j] + 1e-12); ratio > bestRatio {
+				bestRatio, bestIdx, bestBundle = ratio, idxs[j], bundles[j]
 			}
 		}
 		if bestIdx < 0 || bestRatio <= 0 {
@@ -88,7 +100,6 @@ func BGRD(p *diffusion.Problem, opt Options) (Solution, error) {
 			cur = append(cur, diffusion.Seed{User: nm.User, Item: nm.Item, T: 1})
 			spent += p.CostOf(nm.User, nm.Item)
 		}
-		_ = bestSigma
 		base = r.reseedRound(len(pairs), cur)
 		if r.opt.MaxSeeds > 0 && len(pairs) >= r.opt.MaxSeeds {
 			break

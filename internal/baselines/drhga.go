@@ -71,19 +71,24 @@ func DRHGA(p *diffusion.Problem, opt Options) (Solution, error) {
 		if len(cands) > perItemCap {
 			cands = cands[:perItemCap]
 		}
-		// one greedy pick per item (per-item selection pass)
-		bestRatio, bestU := 0.0, -1
-		var bestSigma float64
+		// one greedy pick per item (per-item selection pass), with the
+		// item's whole candidate-user slate evaluated in one batch
+		var (
+			groups [][]diffusion.Seed
+			us     []int
+		)
 		for _, cd := range cands {
-			c := p.CostOf(cd.u, x)
-			if c > p.Budget-spent {
+			if p.CostOf(cd.u, x) > p.Budget-spent {
 				continue
 			}
-			candSeeds := append(append([]diffusion.Seed(nil), cur...),
-				diffusion.Seed{User: cd.u, Item: x, T: 1})
-			sig := r.sigma(candSeeds)
+			groups = append(groups, diffusion.WithSeed(cur, diffusion.Seed{User: cd.u, Item: x, T: 1}))
+			us = append(us, cd.u)
+		}
+		bestRatio, bestU := 0.0, -1
+		for j, sig := range r.sigmaBatch(groups) {
+			c := p.CostOf(us[j], x)
 			if ratio := (sig - base) / (c + 1e-12); ratio > bestRatio {
-				bestRatio, bestU, bestSigma = ratio, cd.u, sig
+				bestRatio, bestU = ratio, us[j]
 			}
 		}
 		if bestU < 0 || bestRatio <= 0 {
@@ -93,7 +98,6 @@ func DRHGA(p *diffusion.Problem, opt Options) (Solution, error) {
 		pairs = append(pairs, cluster.Nominee{User: bestU, Item: x})
 		cur = append(cur, diffusion.Seed{User: bestU, Item: x, T: 1})
 		spent += p.CostOf(bestU, x)
-		_ = bestSigma
 		base = r.reseedRound(len(pairs), cur)
 		if r.opt.MaxSeeds > 0 && len(pairs) >= r.opt.MaxSeeds {
 			break

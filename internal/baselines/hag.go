@@ -25,21 +25,28 @@ func HAG(p *diffusion.Problem, opt Options) (Solution, error) {
 	spent := 0.0
 	taken := make(map[cluster.Nominee]bool)
 	for {
-		bestRatio, bestIdx := 0.0, -1
-		var bestSigma float64
+		// the whole remaining pair universe is re-evaluated against the
+		// current selection — as one batch per greedy round
+		var (
+			groups [][]diffusion.Seed
+			idxs   []int
+		)
 		for i, nm := range universe {
 			if taken[nm] {
 				continue
 			}
-			c := p.CostOf(nm.User, nm.Item)
-			if c > p.Budget-spent {
+			if p.CostOf(nm.User, nm.Item) > p.Budget-spent {
 				continue
 			}
-			cand := append(append([]diffusion.Seed(nil), cur...),
-				diffusion.Seed{User: nm.User, Item: nm.Item, T: 1})
-			sig := r.sigma(cand)
+			groups = append(groups, diffusion.WithSeed(cur, diffusion.Seed{User: nm.User, Item: nm.Item, T: 1}))
+			idxs = append(idxs, i)
+		}
+		bestRatio, bestIdx := 0.0, -1
+		for j, sig := range r.sigmaBatch(groups) {
+			nm := universe[idxs[j]]
+			c := p.CostOf(nm.User, nm.Item)
 			if ratio := (sig - base) / (c + 1e-12); ratio > bestRatio {
-				bestRatio, bestIdx, bestSigma = ratio, i, sig
+				bestRatio, bestIdx = ratio, idxs[j]
 			}
 		}
 		if bestIdx < 0 || bestRatio <= 0 {
@@ -50,7 +57,6 @@ func HAG(p *diffusion.Problem, opt Options) (Solution, error) {
 		pairs = append(pairs, nm)
 		cur = append(cur, diffusion.Seed{User: nm.User, Item: nm.Item, T: 1})
 		spent += p.CostOf(nm.User, nm.Item)
-		_ = bestSigma
 		base = r.reseedRound(len(pairs), cur)
 		if r.opt.MaxSeeds > 0 && len(pairs) >= r.opt.MaxSeeds {
 			break

@@ -58,22 +58,30 @@ func SolveAdaptive(p *diffusion.Problem, opt Options) (Solution, error) {
 		pool := accepted
 		stop := false
 		for len(pool) > 0 && !stop {
-			base := s.estSI.Run(all, nil, true)
-			s.stats.SIEvals++
-			bestSI, bestIdx, bestT := -1e18, -1, t
+			// one batch per SI round: baseline + every (nominee, t/t+1)
+			// candidate under shared sample streams
+			type candRef struct {
+				idx, t int
+			}
+			groups := [][]diffusion.Seed{diffusion.CloneSeeds(all)}
+			refs := []candRef{{-1, 0}}
 			for i, nm := range pool {
 				for _, tt := range []int{t, t + 1} {
 					if tt > p.T {
 						continue
 					}
-					cand := append(append([]diffusion.Seed(nil), all...),
-						diffusion.Seed{User: nm.User, Item: nm.Item, T: tt})
-					est := s.estSI.Run(cand, nil, true)
-					s.stats.SIEvals++
-					si := est.Sigma - base.Sigma + float64(p.T-tt+1)/float64(p.T)*(est.Pi-base.Pi)
-					if si > bestSI {
-						bestSI, bestIdx, bestT = si, i, tt
-					}
+					groups = append(groups, diffusion.WithSeed(all, diffusion.Seed{User: nm.User, Item: nm.Item, T: tt}))
+					refs = append(refs, candRef{i, tt})
+				}
+			}
+			ests := s.estSI.RunBatchPi(groups, nil)
+			s.stats.SIEvals += len(groups)
+			base := ests[0]
+			bestSI, bestIdx, bestT := -1e18, -1, t
+			for j := 1; j < len(ests); j++ {
+				si := ests[j].Sigma - base.Sigma + float64(p.T-refs[j].t+1)/float64(p.T)*(ests[j].Pi-base.Pi)
+				if si > bestSI {
+					bestSI, bestIdx, bestT = si, refs[j].idx, refs[j].t
 				}
 			}
 			if bestIdx < 0 {
@@ -95,6 +103,7 @@ func SolveAdaptive(p *diffusion.Problem, opt Options) (Solution, error) {
 	}
 
 	sigma := s.sigma(all)
+	s.stats.SamplesSimulated = s.est.SamplesDone() + s.estSI.SamplesDone()
 	sol := Solution{Seeds: all, Cost: p.SeedCost(all), Sigma: sigma, Stats: s.stats}
 	return sol, nil
 }
@@ -108,7 +117,11 @@ func (s *solver) adaptiveAccept(universe []cluster.Nominee, used map[cluster.Nom
 	spent := 0.0
 	base := s.sigma(cur)
 	for {
-		bestRatio, bestIdx := 0.0, -1
+		// batch the whole eligible universe for this growth step
+		var (
+			groups [][]diffusion.Seed
+			idxs   []int
+		)
 		for i, nm := range universe {
 			if used[nm] {
 				continue
@@ -127,13 +140,21 @@ func (s *solver) adaptiveAccept(universe []cluster.Nominee, used map[cluster.Nom
 			if dup {
 				continue
 			}
-			cand := append(append([]diffusion.Seed(nil), cur...), diffusion.Seed{User: nm.User, Item: nm.Item, T: 1})
+			cand := make([]diffusion.Seed, 0, len(cur)+1+len(accepted))
+			cand = append(cand, cur...)
+			cand = append(cand, diffusion.Seed{User: nm.User, Item: nm.Item, T: 1})
 			for _, a := range accepted {
 				cand = append(cand, diffusion.Seed{User: a.User, Item: a.Item, T: 1})
 			}
-			gain := s.sigma(cand) - base
-			if r := gain / (c + 1e-12); r > bestRatio {
-				bestRatio, bestIdx = r, i
+			groups = append(groups, cand)
+			idxs = append(idxs, i)
+		}
+		bestRatio, bestIdx := 0.0, -1
+		for j, sig := range s.sigmaBatch(groups) {
+			nm := universe[idxs[j]]
+			gain := sig - base
+			if r := gain / (p.CostOf(nm.User, nm.Item) + 1e-12); r > bestRatio {
+				bestRatio, bestIdx = r, idxs[j]
 			}
 		}
 		if bestIdx < 0 || bestRatio <= 0 {
@@ -176,8 +197,11 @@ func (s *solver) greedyUnderBudget(universe []cluster.Nominee, used map[cluster.
 	base := s.sigma(seeds)
 	spent := 0.0
 	for {
-		bestRatio, bestIdx := 0.0, -1
-		var bestSigma float64
+		// batch every eligible candidate of this greedy round
+		var (
+			groups [][]diffusion.Seed
+			idxs   []int
+		)
 		for i, nm := range universe {
 			if used[nm] {
 				continue
@@ -196,10 +220,15 @@ func (s *solver) greedyUnderBudget(universe []cluster.Nominee, used map[cluster.
 			if c > budget-spent {
 				continue
 			}
-			cand := append(append([]diffusion.Seed(nil), seeds...), diffusion.Seed{User: nm.User, Item: nm.Item, T: tFix})
-			sig := s.sigma(cand)
-			if r := (sig - base) / (c + 1e-12); r > bestRatio {
-				bestRatio, bestIdx, bestSigma = r, i, sig
+			groups = append(groups, diffusion.WithSeed(seeds, diffusion.Seed{User: nm.User, Item: nm.Item, T: tFix}))
+			idxs = append(idxs, i)
+		}
+		bestRatio, bestIdx := 0.0, -1
+		var bestSigma float64
+		for j, sig := range s.sigmaBatch(groups) {
+			nm := universe[idxs[j]]
+			if r := (sig - base) / (p.CostOf(nm.User, nm.Item) + 1e-12); r > bestRatio {
+				bestRatio, bestIdx, bestSigma = r, idxs[j], sig
 			}
 		}
 		if bestIdx < 0 || bestRatio <= 0 {

@@ -135,6 +135,10 @@ type Stats struct {
 	MarketTime   time.Duration
 	ScheduleTime time.Duration
 	TotalTime    time.Duration
+	// SamplesSimulated is the total number of Monte-Carlo campaign
+	// simulations run across both estimators; with TotalTime it yields
+	// the estimator throughput (samples/sec) reported by imdppbench.
+	SamplesSimulated uint64
 }
 
 // Solution is the output of a solver run.
@@ -170,3 +174,19 @@ func (s *solver) sigma(seeds []diffusion.Seed) float64 {
 	s.stats.SigmaEvals++
 	return s.est.Sigma(seeds)
 }
+
+// sigmaBatch evaluates σ for every group in one batch over the shared
+// worker pool, with common random numbers across groups.
+func (s *solver) sigmaBatch(groups [][]diffusion.Seed) []float64 {
+	s.stats.SigmaEvals += len(groups)
+	return s.est.SigmaBatch(groups)
+}
+
+// celfWaveSize is how many stale CELF entries a re-evaluation wave
+// refreshes in one batch. A wave of w candidates yields w·M work
+// units, plenty to keep any pool busy, while the extra refreshes
+// beyond the true top stay cheap (a refreshed gain is reused as a
+// tighter upper bound in later rounds either way). It is a constant —
+// not a function of Workers or GOMAXPROCS — so the refresh pattern,
+// and with it the whole solver output, is identical on any machine.
+const celfWaveSize = 8

@@ -30,6 +30,35 @@ func TestSolveRejectsInvalidProblem(t *testing.T) {
 	}
 }
 
+// TestSolveWorkerInvariance: the whole solver output — not just the
+// estimates — must be independent of the worker count, since the batch
+// engine reduces in sample order and the CELF wave size is a constant.
+func TestSolveWorkerInvariance(t *testing.T) {
+	p := sampleProblem(t, 100, 2)
+	var ref Solution
+	for i, w := range []int{1, 3, 8} {
+		opt := quickOpts()
+		opt.Workers = w
+		sol, err := Solve(p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = sol
+			continue
+		}
+		if sol.Sigma != ref.Sigma || len(sol.Seeds) != len(ref.Seeds) {
+			t.Fatalf("workers=%d changed solve: σ %v vs %v, %d vs %d seeds",
+				w, sol.Sigma, ref.Sigma, len(sol.Seeds), len(ref.Seeds))
+		}
+		for j := range sol.Seeds {
+			if sol.Seeds[j] != ref.Seeds[j] {
+				t.Fatalf("workers=%d seed %d: %+v vs %+v", w, j, sol.Seeds[j], ref.Seeds[j])
+			}
+		}
+	}
+}
+
 func TestSolveDeterministic(t *testing.T) {
 	p := sampleProblem(t, 100, 2)
 	a, err := Solve(p, quickOpts())

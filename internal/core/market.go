@@ -129,8 +129,8 @@ func (s *solver) orderGroup(markets []*Market, group []int) []int {
 	ordered := append([]int(nil), group...)
 	switch s.opt.Order {
 	case OrderPF:
-		for _, mi := range group {
-			markets[mi].OrderKey = s.profitability(markets[mi])
+		for j, pf := range s.profitabilityBatch(markets, group) {
+			markets[group[j]].OrderKey = pf
 		}
 		sortByKey(ordered, markets, false)
 	case OrderSZ:
@@ -191,17 +191,31 @@ func (s *solver) antagonisticExtent(markets []*Market, mi *Market, group []int) 
 	return ae
 }
 
-// profitability (PF, Sec. VI-D): expected adoptions under the market's
-// own nominees seeded at t=1, minus the nominees' cost.
-func (s *solver) profitability(m *Market) float64 {
-	seeds := make([]diffusion.Seed, len(m.Nominees))
-	cost := 0.0
-	for i, nm := range m.Nominees {
-		seeds[i] = diffusion.Seed{User: nm.User, Item: nm.Item, T: 1}
-		cost += s.p.CostOf(nm.User, nm.Item)
+// profitabilityBatch (PF, Sec. VI-D): expected adoptions under each
+// market's own nominees seeded at t=1, minus the nominees' cost. The
+// group's markets are evaluated in one batch, each under its own
+// market mask, sharing sample streams. Returns PF values parallel to
+// group.
+func (s *solver) profitabilityBatch(markets []*Market, group []int) []float64 {
+	groups := make([][]diffusion.Seed, len(group))
+	masks := make([][]bool, len(group))
+	costs := make([]float64, len(group))
+	for j, mi := range group {
+		m := markets[mi]
+		seeds := make([]diffusion.Seed, len(m.Nominees))
+		for i, nm := range m.Nominees {
+			seeds[i] = diffusion.Seed{User: nm.User, Item: nm.Item, T: 1}
+			costs[j] += s.p.CostOf(nm.User, nm.Item)
+		}
+		groups[j] = seeds
+		masks[j] = m.Mask
 	}
-	est := s.estSI.Run(seeds, m.Mask, false)
-	return est.MarketSigma - cost
+	ests := s.estSI.RunBatchMasked(groups, masks, false)
+	out := make([]float64, len(group))
+	for j := range group {
+		out[j] = ests[j].MarketSigma - costs[j]
+	}
+	return out
 }
 
 // marketShares returns, per item, the number of users whose highest

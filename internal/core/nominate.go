@@ -128,6 +128,14 @@ func (h *celfHeap) Pop() any {
 // candidate per round: σ is submodular in this frozen-probability
 // regime, so a stale gain is an upper bound.
 //
+// Evaluation is batched through the estimator's worker pool: the
+// initial-gains pass scores the whole universe in one RunBatch with
+// common random numbers (every candidate sees the same sample
+// streams, so the gains are directly comparable), and stale entries
+// are refreshed in waves instead of one heap-pop at a time. A wave may
+// refresh a few entries beyond the true top; those refreshes are not
+// wasted — they become tighter upper bounds for later rounds.
+//
 // Selection stops when the budget is exhausted, the universe is empty,
 // or the best marginal gain is non-positive (the negative-marginal
 // stop of Lemma 3, case 2). It returns the selected nominees and the
@@ -141,11 +149,14 @@ func (s *solver) selectNominees(universe []cluster.Nominee, budget float64) (sel
 		e := &celfEntry{nm: nm, lastEval: -1}
 		h = append(h, e)
 	}
-	// initial gains: σ({(u,x,1)}) for each candidate
-	base := 0.0
-	var seeds []diffusion.Seed
-	for _, e := range h {
-		e.gain = s.sigma([]diffusion.Seed{{User: e.nm.User, Item: e.nm.Item, T: 1}})
+	// initial gains: σ({(u,x,1)}) for every candidate, one batch
+	groups := make([][]diffusion.Seed, len(h))
+	for i, e := range h {
+		groups[i] = []diffusion.Seed{{User: e.nm.User, Item: e.nm.Item, T: 1}}
+	}
+	for i, sig := range s.sigmaBatch(groups) {
+		e := h[i]
+		e.gain = sig
 		e.ratio = e.gain / (p.CostOf(e.nm.User, e.nm.Item) + 1e-12)
 		e.lastEval = 0
 		if e.gain > emaxSigma {
@@ -154,6 +165,9 @@ func (s *solver) selectNominees(universe []cluster.Nominee, budget float64) (sel
 		}
 	}
 	heap.Init(&h)
+	base := 0.0
+	var seeds []diffusion.Seed
+	wave := make([]*celfEntry, 0, celfWaveSize)
 	for h.Len() > 0 {
 		top := h[0]
 		cost := p.CostOf(top.nm.User, top.nm.Item)
@@ -182,12 +196,34 @@ func (s *solver) selectNominees(universe []cluster.Nominee, budget float64) (sel
 			base = s.sigma(seeds)
 			continue
 		}
-		// stale: re-evaluate marginal against current selection
-		cur := s.sigma(append(seeds, diffusion.Seed{User: top.nm.User, Item: top.nm.Item, T: 1}))
-		top.gain = cur - base
-		top.ratio = top.gain / (cost + 1e-12)
-		top.lastEval = len(selected)
-		heap.Fix(&h, 0)
+		// stale: pop a wave of stale affordable entries off the top and
+		// refresh their marginals against the current selection in one
+		// batch (stopping at the first fresh entry — everything below
+		// it may not need refreshing at all)
+		wave = wave[:0]
+		for len(wave) < cap(wave) && h.Len() > 0 {
+			e := h[0]
+			if e.lastEval == len(selected) {
+				break
+			}
+			if p.CostOf(e.nm.User, e.nm.Item) > budget-spent {
+				heap.Pop(&h)
+				continue
+			}
+			heap.Pop(&h)
+			wave = append(wave, e)
+		}
+		groups := make([][]diffusion.Seed, len(wave))
+		for j, e := range wave {
+			groups[j] = diffusion.WithSeed(seeds, diffusion.Seed{User: e.nm.User, Item: e.nm.Item, T: 1})
+		}
+		for j, sig := range s.sigmaBatch(groups) {
+			e := wave[j]
+			e.gain = sig - base
+			e.ratio = e.gain / (p.CostOf(e.nm.User, e.nm.Item) + 1e-12)
+			e.lastEval = len(selected)
+			heap.Push(&h, e)
+		}
 	}
 	return selected, emax, emaxSigma, spent
 }

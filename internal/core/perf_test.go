@@ -8,6 +8,9 @@ import (
 )
 
 func TestPerfLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale Amazon solve; skipped in -short (race) runs")
+	}
 	start := time.Now()
 	d, err := dataset.Amazon(1)
 	if err != nil {

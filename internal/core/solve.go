@@ -57,15 +57,18 @@ func Solve(p *diffusion.Problem, opt Options) (Solution, error) {
 	sigAll := s.sigma(all)
 	if emax.User >= 0 && emaxSigma > sigAll && p.CostOf(emax.User, emax.Item) <= p.Budget {
 		emaxSeeds := []diffusion.Seed{{User: emax.User, Item: emax.Item, T: 1}}
-		sigAll2 := s.estSI.Run(all, nil, false).Sigma
-		sigE2 := s.estSI.Run(emaxSeeds, nil, false).Sigma
-		if sigE2 > sigAll2 {
+		// one paired batch: the shared sample streams make this a
+		// common-random-numbers comparison rather than two independent
+		// noisy draws
+		ests := s.estSI.RunBatch([][]diffusion.Seed{all, emaxSeeds}, nil)
+		if ests[1].Sigma > ests[0].Sigma {
 			all = emaxSeeds
 			sigAll = emaxSigma
 		}
 	}
 
 	s.stats.TotalTime = time.Since(start)
+	s.stats.SamplesSimulated = s.est.SamplesDone() + s.estSI.SamplesDone()
 	sol := Solution{
 		Seeds: all,
 		Cost:  p.SeedCost(all),

@@ -78,24 +78,32 @@ func (s *solver) tdsiAssign(m *Market, pool []cluster.Nominee, sg *[]diffusion.S
 		if hi > p.T {
 			hi = p.T
 		}
-		base := s.estSI.Run(*sg, m.Mask, true)
-		s.stats.SIEvals++
-		bestSI := math.Inf(-1)
-		bestIdx, bestT := -1, lo
+		// one batch: group 0 is the SG baseline, then every (nominee,
+		// t) candidate — all under the market mask with shared sample
+		// streams, so MA and ML are paired differences
+		type candRef struct{ idx, t int }
+		groups := [][]diffusion.Seed{diffusion.CloneSeeds(*sg)}
+		refs := []candRef{{-1, 0}}
 		for i, nm := range pool {
 			for t := lo; t <= hi; t++ {
-				cand := append(append([]diffusion.Seed(nil), *sg...),
-					diffusion.Seed{User: nm.User, Item: nm.Item, T: t})
-				est := s.estSI.Run(cand, m.Mask, true)
-				s.stats.SIEvals++
-				ma := est.MarketSigma - base.MarketSigma
-				ml := est.Pi - base.Pi
-				si := ma + float64(p.T-t+1)/float64(p.T)*ml
-				if si > bestSI || (si == bestSI && (bestIdx == -1 || pool[i].User < pool[bestIdx].User)) {
-					bestSI = si
-					bestIdx = i
-					bestT = t
-				}
+				groups = append(groups, diffusion.WithSeed(*sg, diffusion.Seed{User: nm.User, Item: nm.Item, T: t}))
+				refs = append(refs, candRef{i, t})
+			}
+		}
+		ests := s.estSI.RunBatchPi(groups, m.Mask)
+		s.stats.SIEvals += len(groups)
+		base := ests[0]
+		bestSI := math.Inf(-1)
+		bestIdx, bestT := -1, lo
+		for j := 1; j < len(ests); j++ {
+			i, t := refs[j].idx, refs[j].t
+			ma := ests[j].MarketSigma - base.MarketSigma
+			ml := ests[j].Pi - base.Pi
+			si := ma + float64(p.T-t+1)/float64(p.T)*ml
+			if si > bestSI || (si == bestSI && (bestIdx == -1 || pool[i].User < pool[bestIdx].User)) {
+				bestSI = si
+				bestIdx = i
+				bestT = t
 			}
 		}
 		nm := pool[bestIdx]

@@ -1,0 +1,272 @@
+package diffusion
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"imdpp/internal/rng"
+)
+
+// This file is the batch evaluation engine. Every estimate — single or
+// batched — funnels through runBatch, which schedules (group × sample)
+// work units onto one worker pool kept alive for the whole batch, so a
+// universe of K candidates pays the orchestration cost once instead of
+// K times. Sample i of every group draws from the stream Split(i) of
+// the same master generator — common random numbers — so marginal-gain
+// comparisons across candidates in a greedy round are paired: the
+// noise realisation is shared and differences reflect the candidates,
+// not the draw. Per-group results are reduced in sample order 0..M-1,
+// which makes every Estimate a pure function of (master seed, M),
+// independent of worker count and GOMAXPROCS. DESIGN.md §3 states the
+// full contract.
+
+// sampleSlot holds one sample's raw campaign outcome until the group's
+// deterministic reduction. Per-item adoptions are stored sparsely —
+// cascades touch few items, and skipping the zero entries during
+// reduction leaves every float64 sum bit-identical (x + 0 == x).
+type sampleSlot struct {
+	sigma, msigma, pi, adopt float64
+	items                    []int32   // items with nonzero adoptions
+	counts                   []float64 // parallel adoption counts
+}
+
+// groupRun is the in-flight accumulator of one group. Groups are
+// claimed group-major, so at most ~workers groups are in flight and
+// slot arrays can be pooled instead of allocated per group.
+type groupRun struct {
+	slots     []sampleSlot
+	remaining int32
+}
+
+// getSlots borrows a pooled per-sample slot array (len M).
+func (e *Estimator) getSlots() []sampleSlot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n := len(e.slotFree); n > 0 {
+		s := e.slotFree[n-1]
+		e.slotFree = e.slotFree[:n-1]
+		return s
+	}
+	return make([]sampleSlot, e.M)
+}
+
+func (e *Estimator) putSlots(s []sampleSlot) {
+	e.mu.Lock()
+	e.slotFree = append(e.slotFree, s)
+	e.mu.Unlock()
+}
+
+// RunBatch estimates σ for every seed group under one shared market
+// mask (nil = all users). It is the batched equivalent of calling Run
+// per group and returns bit-identical Estimates: sample i of group g
+// always uses stream Split(i), and per-group reduction is in sample
+// order, so the result is deterministic in (Seed, M) and independent
+// of Workers.
+func (e *Estimator) RunBatch(groups [][]Seed, market []bool) []Estimate {
+	return e.runBatch(groups, func(int) []bool { return market }, false)
+}
+
+// RunBatchPi is RunBatch with the future-adoption likelihood π
+// (Eq. 13) evaluated over the market for every group.
+func (e *Estimator) RunBatchPi(groups [][]Seed, market []bool) []Estimate {
+	return e.runBatch(groups, func(int) []bool { return market }, true)
+}
+
+// RunBatchMasked estimates each group under its own market mask
+// (masks[g] may be nil). withPi adds the π estimate per group.
+func (e *Estimator) RunBatchMasked(groups [][]Seed, masks [][]bool, withPi bool) []Estimate {
+	return e.runBatch(groups, func(g int) []bool { return masks[g] }, withPi)
+}
+
+// SigmaBatch returns the σ estimate of every seed group.
+func (e *Estimator) SigmaBatch(groups [][]Seed) []float64 {
+	ests := e.RunBatch(groups, nil)
+	out := make([]float64, len(ests))
+	for i, est := range ests {
+		out[i] = est.Sigma
+	}
+	return out
+}
+
+// SamplesDone reports how many Monte-Carlo campaign simulations this
+// estimator has run, for throughput (samples/sec) accounting.
+func (e *Estimator) SamplesDone() uint64 { return e.samples.Load() }
+
+// runBatch is the engine. maskOf(g) yields group g's market mask.
+func (e *Estimator) runBatch(groups [][]Seed, maskOf func(int) []bool, withPi bool) []Estimate {
+	k := len(groups)
+	out := make([]Estimate, k)
+	if k == 0 {
+		return out
+	}
+	m := e.M
+	units := k * m
+	master := rng.New(e.Seed)
+	// one backing array for every group's PerItem keeps a large batch
+	// from scattering k small allocations
+	items := e.P.NumItems()
+	buf := make([]float64, k*items)
+	for g := range out {
+		out[g].PerItem = buf[g*items : (g+1)*items : (g+1)*items]
+	}
+
+	w := e.workers()
+	if w > units {
+		w = units
+	}
+	if w <= 1 {
+		// Single-worker fast path: units run in exact (group, sample)
+		// order, so samples accumulate straight into the output with no
+		// slots, atomics or locks. The addition order is identical to
+		// the pooled path's per-group reduction, so results stay
+		// bit-identical across worker counts.
+		e.runSerial(groups, maskOf, withPi, master, out)
+		return out
+	}
+
+	var (
+		next int64
+		mu   sync.Mutex
+		runs = make([]*groupRun, k)
+	)
+	claim := func(g int) *groupRun {
+		mu.Lock()
+		defer mu.Unlock()
+		if runs[g] == nil {
+			runs[g] = &groupRun{slots: e.getSlots(), remaining: int32(m)}
+		}
+		return runs[g]
+	}
+	worker := func() {
+		st := e.getState()
+		defer e.putState(st)
+		var res Result
+		res.PerItem = make([]float64, e.P.NumItems())
+		// units are claimed group-major, so consecutive units usually
+		// belong to one group; caching the last claim keeps the mutex
+		// off the per-sample path
+		lastG, lastRun := -1, (*groupRun)(nil)
+		for {
+			u := atomic.AddInt64(&next, 1) - 1
+			if u >= int64(units) {
+				return
+			}
+			g := int(u) / m
+			i := int(u) % m
+			if g != lastG {
+				lastG, lastRun = g, claim(g)
+			}
+			gr := lastRun
+			slot := &gr.slots[i]
+			market := maskOf(g)
+			e.runSample(st, &res, groups[g], market, i, master)
+			slot.sigma = res.Sigma
+			slot.msigma = res.MarketSigma
+			slot.adopt = float64(res.Adoptions)
+			slot.items = slot.items[:0]
+			slot.counts = slot.counts[:0]
+			for j, v := range res.PerItem {
+				if v != 0 {
+					slot.items = append(slot.items, int32(j))
+					slot.counts = append(slot.counts, v)
+				}
+			}
+			if withPi {
+				slot.pi = st.LikelihoodPi(market)
+			} else {
+				slot.pi = 0
+			}
+			if atomic.AddInt32(&gr.remaining, -1) == 0 {
+				e.reduce(gr.slots, &out[g])
+				mu.Lock()
+				runs[g] = nil
+				mu.Unlock()
+				e.putSlots(gr.slots)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	wg.Wait()
+	e.samples.Add(uint64(units))
+	return out
+}
+
+// runSample simulates sample i of one group into res.
+func (e *Estimator) runSample(st *State, res *Result, seeds []Seed, market []bool, i int, master *rng.Rand) {
+	st.Reset(master.Split(uint64(i)))
+	res.Sigma, res.MarketSigma, res.Adoptions, res.Steps = 0, 0, 0, 0
+	for j := range res.PerItem {
+		res.PerItem[j] = 0
+	}
+	st.RunCampaign(seeds, market, res)
+}
+
+// runSerial is the lock-free one-worker engine body. out's PerItem
+// slices must be preallocated and zeroed.
+func (e *Estimator) runSerial(groups [][]Seed, maskOf func(int) []bool, withPi bool, master *rng.Rand, out []Estimate) {
+	st := e.getState()
+	defer e.putState(st)
+	m := e.M
+	items := e.P.NumItems()
+	var res Result
+	res.PerItem = make([]float64, items)
+	inv := 1 / float64(m)
+	for g := range groups {
+		market := maskOf(g)
+		acc := &out[g]
+		for i := 0; i < m; i++ {
+			e.runSample(st, &res, groups[g], market, i, master)
+			acc.Sigma += res.Sigma
+			acc.MarketSigma += res.MarketSigma
+			acc.Adoptions += float64(res.Adoptions)
+			for j, v := range res.PerItem {
+				if v != 0 {
+					acc.PerItem[j] += v
+				}
+			}
+			if withPi {
+				acc.Pi += st.LikelihoodPi(market)
+			}
+		}
+		acc.Sigma *= inv
+		acc.MarketSigma *= inv
+		acc.Pi *= inv
+		acc.Adoptions *= inv
+		for j := range acc.PerItem {
+			acc.PerItem[j] *= inv
+		}
+	}
+	e.samples.Add(uint64(len(groups) * m))
+}
+
+// reduce folds a group's per-sample slots into the mean Estimate, in
+// sample order so the float64 rounding is schedule-independent. out's
+// PerItem slice must be preallocated and zeroed.
+func (e *Estimator) reduce(slots []sampleSlot, out *Estimate) {
+	for si := range slots {
+		s := &slots[si]
+		out.Sigma += s.sigma
+		out.MarketSigma += s.msigma
+		out.Pi += s.pi
+		out.Adoptions += s.adopt
+		for jj, it := range s.items {
+			out.PerItem[it] += s.counts[jj]
+		}
+	}
+	inv := 1 / float64(e.M)
+	out.Sigma *= inv
+	out.MarketSigma *= inv
+	out.Pi *= inv
+	out.Adoptions *= inv
+	for j := range out.PerItem {
+		out.PerItem[j] *= inv
+	}
+}

@@ -3,6 +3,7 @@ package diffusion
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"imdpp/internal/rng"
 )
@@ -19,15 +20,22 @@ type Estimate struct {
 // Estimator evaluates σ by Monte-Carlo simulation (footnote 12: σ is
 // estimated by simulating the diffusion M times). It is safe for
 // sequential reuse; Concurrent evaluation happens internally across
-// workers with deterministic per-sample RNG streams.
+// workers with deterministic per-sample RNG streams. All evaluation —
+// single (Run) and batched (RunBatch and friends) — goes through the
+// batch engine in batch.go, which shares common random numbers across
+// the groups of a batch and reduces samples in a fixed order, so every
+// Estimate is a pure function of (Seed, M) regardless of Workers.
 type Estimator struct {
 	P       *Problem
 	M       int // samples per estimate
 	Seed    uint64
 	Workers int // 0 → GOMAXPROCS
 
-	mu     sync.Mutex
-	states []*State
+	mu       sync.Mutex
+	states   []*State
+	slotFree [][]sampleSlot
+
+	samples atomic.Uint64 // campaigns simulated, for throughput stats
 }
 
 // NewEstimator creates an estimator with M samples and master seed.
@@ -45,13 +53,12 @@ func NewEstimator(p *Problem, m int, seed uint64) *Estimator {
 // maximisation with a fixed deterministic Monte-Carlo oracle.
 func (e *Estimator) Reseed(seed uint64) { e.Seed = seed }
 
+// workers resolves the configured pool size; the batch engine caps it
+// further at the number of (group × sample) work units.
 func (e *Estimator) workers() int {
 	w := e.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
-	}
-	if w > e.M {
-		w = e.M
 	}
 	if w < 1 {
 		w = 1
@@ -85,66 +92,12 @@ func (e *Estimator) Sigma(seeds []Seed) float64 {
 
 // Run estimates σ (and π over market when withPi) for the seed group.
 // market may be nil, meaning all users. The estimate is deterministic
-// for a fixed Estimator seed, M and GOMAXPROCS-independent (sample i
-// always uses stream Split(i)).
+// for a fixed Estimator seed and M, and independent of Workers and
+// GOMAXPROCS (sample i always uses stream Split(i), and samples are
+// reduced in index order). Run is the single-group case of the batch
+// engine, so it is bit-identical to RunBatch on a one-element batch.
 func (e *Estimator) Run(seeds []Seed, market []bool, withPi bool) Estimate {
-	master := rng.New(e.Seed)
-	w := e.workers()
-	type partial struct {
-		sigma, msigma, pi, adopt float64
-		perItem                  []float64
-	}
-	parts := make([]partial, w)
-	var wg sync.WaitGroup
-	for wi := 0; wi < w; wi++ {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			st := e.getState()
-			defer e.putState(st)
-			var res Result
-			res.PerItem = make([]float64, e.P.NumItems())
-			acc := &parts[wi]
-			acc.perItem = make([]float64, e.P.NumItems())
-			for i := wi; i < e.M; i += w {
-				st.Reset(master.Split(uint64(i)))
-				res.Sigma, res.MarketSigma, res.Adoptions, res.Steps = 0, 0, 0, 0
-				for j := range res.PerItem {
-					res.PerItem[j] = 0
-				}
-				st.RunCampaign(seeds, market, &res)
-				acc.sigma += res.Sigma
-				acc.msigma += res.MarketSigma
-				acc.adopt += float64(res.Adoptions)
-				for j, v := range res.PerItem {
-					acc.perItem[j] += v
-				}
-				if withPi {
-					acc.pi += st.LikelihoodPi(market)
-				}
-			}
-		}(wi)
-	}
-	wg.Wait()
-	out := Estimate{PerItem: make([]float64, e.P.NumItems())}
-	for _, pt := range parts {
-		out.Sigma += pt.sigma
-		out.MarketSigma += pt.msigma
-		out.Pi += pt.pi
-		out.Adoptions += pt.adopt
-		for j, v := range pt.perItem {
-			out.PerItem[j] += v
-		}
-	}
-	inv := 1 / float64(e.M)
-	out.Sigma *= inv
-	out.MarketSigma *= inv
-	out.Pi *= inv
-	out.Adoptions *= inv
-	for j := range out.PerItem {
-		out.PerItem[j] *= inv
-	}
-	return out
+	return e.runBatch([][]Seed{seeds}, func(int) []bool { return market }, withPi)[0]
 }
 
 // MeanWeights runs the campaign M times and returns the expected
@@ -166,6 +119,7 @@ func (e *Estimator) MeanWeights(seeds []Seed, users []int) []float64 {
 		st.Reset(master.Split(uint64(i)))
 		res.Sigma, res.MarketSigma, res.Adoptions, res.Steps = 0, 0, 0, 0
 		st.RunCampaign(seeds, nil, &res)
+		e.samples.Add(1)
 		for _, u := range users {
 			w := st.Weights(u)
 			for j := 0; j < nm; j++ {

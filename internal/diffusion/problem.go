@@ -24,6 +24,22 @@ type Seed struct {
 	T    int
 }
 
+// CloneSeeds copies a seed group. Groups handed to one estimator batch
+// must own their backing arrays.
+func CloneSeeds(seeds []Seed) []Seed {
+	return append([]Seed(nil), seeds...)
+}
+
+// WithSeed returns a fresh slice of seeds plus one extra element —
+// the greedy-candidate shape of every batched selection loop. Unlike
+// append, the result never aliases the input's backing array.
+func WithSeed(seeds []Seed, extra Seed) []Seed {
+	out := make([]Seed, len(seeds)+1)
+	copy(out, seeds)
+	out[len(seeds)] = extra
+	return out
+}
+
 // AISModel selects the aggregated-influence form used in Eq. 13.
 type AISModel uint8
 

@@ -24,7 +24,13 @@ func (st *State) RunCampaign(seeds []Seed, market []bool, res *Result) {
 	if res.PerItem == nil {
 		res.PerItem = make([]float64, st.items)
 	}
-	byPromo := make([][]Seed, p.T+1)
+	if cap(st.byPromo) < p.T+1 {
+		st.byPromo = make([][]Seed, p.T+1)
+	}
+	byPromo := st.byPromo[:p.T+1]
+	for t := range byPromo {
+		byPromo[t] = byPromo[t][:0]
+	}
 	for _, s := range seeds {
 		byPromo[s.T] = append(byPromo[s.T], s)
 	}
@@ -80,7 +86,7 @@ func (st *State) propagateFrom(ev adoptEvent, t, step int, market []bool, res *R
 		pact := st.Act(uPrime, u, e.W)
 		prefX := st.Pref(u, x)
 		// Purchase decision: influence strength × preference [51].
-		if st.rng.Bernoulli(pact * prefX) {
+		if st.rngv.Bernoulli(pact * prefX) {
 			st.adopt(u, x, t, step, TriggerPromotion, market, res)
 		}
 		// Item associations (Sec. V-A(4)): being promoted x may trigger
@@ -89,14 +95,32 @@ func (st *State) propagateFrom(ev adoptEvent, t, step int, market []bool, res *R
 		if p.Params.Chi > 0 {
 			base := p.Params.Chi * pact * prefX
 			if base > 0 {
-				w := st.Weights(u)
-				for _, pr := range p.PIN.Row(x) {
-					if st.Adopted(u, int(pr.Y)) {
-						continue
+				row := p.PIN.Row(x)
+				if p.Params.Static || !st.dirty[u] {
+					// u's weights are still InitWeights (Reset leaves
+					// clean rows initial; Static freezes them): the
+					// cached init relevance is bit-identical to the
+					// weighted evaluation, so the RNG stream advances
+					// exactly as it would on the slow path
+					init := p.PIN.InitRow(x)
+					for j := range row {
+						if st.Adopted(u, int(row[j].Y)) {
+							continue
+						}
+						if rc := init[j].RC; rc > 0 && st.rngv.Bernoulli(base*rc) {
+							st.adopt(u, int(row[j].Y), t, step, TriggerAssociation, market, res)
+						}
 					}
-					rc, _ := p.PIN.EvalContribs(w, pr.Contribs)
-					if rc > 0 && st.rng.Bernoulli(base*rc) {
-						st.adopt(u, int(pr.Y), t, step, TriggerAssociation, market, res)
+				} else {
+					w := st.Weights(u)
+					for _, pr := range row {
+						if st.Adopted(u, int(pr.Y)) {
+							continue
+						}
+						rc, _ := p.PIN.EvalContribs(w, pr.Contribs)
+						if rc > 0 && st.rngv.Bernoulli(base*rc) {
+							st.adopt(u, int(pr.Y), t, step, TriggerAssociation, market, res)
+						}
 					}
 				}
 			}
@@ -141,10 +165,11 @@ func (st *State) endOfStep() {
 	}
 	for _, u := range st.stepUsers {
 		newItems := st.stepNew[u]
-		ints := make([]int, len(newItems))
-		for i, it := range newItems {
-			ints[i] = int(it)
+		ints := st.intBuf[:0]
+		for _, it := range newItems {
+			ints = append(ints, int(it))
 		}
+		st.intBuf = ints
 		w := st.Weights(int(u))
 		st.p.PIN.UpdateWeights(w, ints, func(item int) bool {
 			return st.Adopted(int(u), item)

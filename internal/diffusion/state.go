@@ -24,13 +24,15 @@ type State struct {
 	prefDelta []float64 // [u*items .. ) Σ λ(rC−rS) contribution
 	dirty     []bool    // user rows needing reset
 	touched   []int32   // dirty user list
-	rng       *rng.Rand
+	rngv      rng.Rand  // sample stream, copied in by Reset
 
 	// scratch
 	frontier  []adoptEvent
 	nextFront []adoptEvent
 	stepNew   map[int32][]int32 // user -> items newly adopted this step
 	stepUsers []int32
+	byPromo   [][]Seed // per-promotion seed partition, reused across samples
+	intBuf    []int    // reusable buffer for endOfStep's new-item lists
 
 	// trace hook for case studies; nil on the hot path.
 	OnAdopt func(user, item, promo, step int, trigger AdoptTrigger)
@@ -85,7 +87,9 @@ func NewState(p *Problem) *State {
 	return st
 }
 
-// Reset restores the initial state, clearing only dirty rows.
+// Reset restores the initial state, clearing only dirty rows. The
+// generator is copied by value, so callers may hand in short-lived
+// streams (e.g. master.Split(i)) without them escaping to the heap.
 func (st *State) Reset(r *rng.Rand) {
 	nm := st.p.PIN.NumMeta()
 	for _, u := range st.touched {
@@ -104,7 +108,7 @@ func (st *State) Reset(r *rng.Rand) {
 	st.touched = st.touched[:0]
 	st.frontier = st.frontier[:0]
 	st.nextFront = st.nextFront[:0]
-	st.rng = r
+	st.rngv = *r
 }
 
 // Problem returns the problem this state simulates.

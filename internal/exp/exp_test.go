@@ -123,6 +123,9 @@ func TestTableIIIRows(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
 	fig, err := Fig12(quickCfg())
 	if err != nil {
 		t.Fatal(err)

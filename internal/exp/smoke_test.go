@@ -6,6 +6,9 @@ import (
 )
 
 func TestSmokeFig8a(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
 	cfg := Config{EvalMC: 32, SolverMC: 16, SolverMCSI: 8, CandidateCap: 64, Out: os.Stderr}
 	fig, err := Fig8a(cfg)
 	if err != nil {

@@ -35,6 +35,11 @@ type PairRel struct {
 	Contribs []Contrib
 }
 
+// RelInit is one row entry's (rC, rS) under the initial weights.
+type RelInit struct {
+	RC, RS float64
+}
+
 // Model is the immutable relationship model shared by all users.
 type Model struct {
 	KG    *kg.KG
@@ -48,6 +53,11 @@ type Model struct {
 	// iff x appears in rows[y]).
 	rows    [][]PairRel
 	itemAdj [][]int32 // per item: sorted union of related items
+	// initRel caches EvalContribs(InitWeights, ·) per row entry
+	// (initRel[x][j] mirrors rows[x][j]): most users in a Monte-Carlo
+	// sample never adopt, so their weights stay at InitWeights and the
+	// diffusion hot loop can skip re-evaluating the weighted sum.
+	initRel [][]RelInit
 
 	// InitWeights is the initial Wmeta(u,·) every user starts with.
 	InitWeights []float64
@@ -107,14 +117,18 @@ func NewModel(g *kg.KG, metasC, metasS []*kg.MetaGraph, initWeights []float64) (
 		m.rows[y] = append(m.rows[y], PairRel{Y: x, Contribs: cs})
 	}
 	m.itemAdj = make([][]int32, g.NumItems())
+	m.initRel = make([][]RelInit, g.NumItems())
 	for x := range m.rows {
 		row := m.rows[x]
 		sort.Slice(row, func(a, b int) bool { return row[a].Y < row[b].Y })
 		adj := make([]int32, len(row))
+		init := make([]RelInit, len(row))
 		for i, pr := range row {
 			adj[i] = pr.Y
+			init[i].RC, init[i].RS = m.EvalContribs(m.InitWeights, pr.Contribs)
 		}
 		m.itemAdj[x] = adj
+		m.initRel[x] = init
 	}
 	return m, nil
 }
@@ -145,6 +159,13 @@ func (m *Model) Neighbors(x int) []int32 { return m.itemAdj[x] }
 // Row returns item x's merged relevance row sorted by Y; the hot loops
 // of the diffusion engine iterate this directly. Do not modify.
 func (m *Model) Row(x int) []PairRel { return m.rows[x] }
+
+// InitRow returns item x's cached (rC, rS) row under InitWeights,
+// aligned index-for-index with Row(x). Entries are bit-identical to
+// EvalContribs(InitWeights, Row(x)[j].Contribs), so callers may use
+// them whenever a user's weights are known to still be initial without
+// perturbing any downstream RNG decision. Do not modify.
+func (m *Model) InitRow(x int) []RelInit { return m.initRel[x] }
 
 // EvalContribs turns one row entry's contributions into (rC, rS) under
 // weighting vector w, clamped to [0,1].
