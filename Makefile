@@ -1,8 +1,9 @@
 # CI and humans run the same targets; see .github/workflows/ci.yml.
 
 GO ?= go
+STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race bench fmt fmt-check vet smoke
+.PHONY: all build test race bench fmt fmt-check vet lint smoke
 
 all: build test
 
@@ -31,6 +32,15 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck, pinned for reproducible CI; falls back to an installed
+# binary when the toolchain has no module download access.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	fi
 
 # Tiny-scale solver smoke: exercises the full Dysim pipeline and emits
 # the machine-readable BENCH_solve.json perf record.

@@ -166,6 +166,9 @@ type benchReport struct {
 	SIEvals       int     `json:"si_evals"`
 	Samples       uint64  `json:"samples"`
 	SamplesPerSec float64 `json:"samples_per_sec"`
+	// StateBytes is the peak per-worker simulation-state footprint; the
+	// sparse State layout keeps it proportional to cascade size.
+	StateBytes uint64 `json:"state_bytes_per_worker"`
 }
 
 // solveBench runs one Dysim Solve on the preset and writes the phase
@@ -199,7 +202,8 @@ func solveBench(preset string, scale, budget float64, T, mc int, seed uint64, ou
 		Sigma:      sol.Sigma, Seeds: len(sol.Seeds), Cost: sol.Cost,
 		Markets: st.MarketCount, Groups: st.GroupCount,
 		SigmaEvals: st.SigmaEvals, SIEvals: st.SIEvals,
-		Samples: st.SamplesSimulated,
+		Samples:    st.SamplesSimulated,
+		StateBytes: st.StateBytesPerWorker,
 	}
 	if secs := st.TotalTime.Seconds(); secs > 0 {
 		rep.SamplesPerSec = float64(st.SamplesSimulated) / secs

@@ -81,8 +81,9 @@ func dumpDataset(d *dataset.Dataset, dir string) error {
 	w := bufio.NewWriter(f)
 	g := d.Problem.G
 	for u := 0; u < g.N(); u++ {
-		for _, e := range g.Out(u) {
-			fmt.Fprintf(w, "%d\t%d\t%.6f\n", u, e.To, e.W)
+		arcs := g.Out(u)
+		for i, to := range arcs.To {
+			fmt.Fprintf(w, "%d\t%d\t%.6f\n", u, to, arcs.W[i])
 		}
 	}
 	if err := w.Flush(); err != nil {

@@ -50,7 +50,16 @@ type (
 	Estimate = diffusion.Estimate
 	// State is one mutable simulation state, for scripted scenarios.
 	State = diffusion.State
+	// Matrix is the per-(user,item) accessor behind Problem.BasePref
+	// and Problem.Cost.
+	Matrix = diffusion.Matrix
 )
+
+// NewMatrix allocates a zeroed users×items matrix for custom Problems.
+func NewMatrix(rows, cols int) Matrix { return diffusion.NewMatrix(rows, cols) }
+
+// MatrixFrom wraps a row-major slice as a Matrix without copying.
+func MatrixFrom(data []float64, cols int) Matrix { return diffusion.MatrixFrom(data, cols) }
 
 // Dysim solver types.
 type (

@@ -184,19 +184,17 @@ func bfsBall(g *graph.Graph, s, maxHops int) map[int]bool {
 	frontier := []int32{int32(s)}
 	for h := 0; h < maxHops; h++ {
 		var next []int32
+		grow := func(vs []int32) {
+			for _, v := range vs {
+				if !ball[int(v)] {
+					ball[int(v)] = true
+					next = append(next, v)
+				}
+			}
+		}
 		for _, u := range frontier {
-			for _, e := range g.Out(int(u)) {
-				if !ball[int(e.To)] {
-					ball[int(e.To)] = true
-					next = append(next, e.To)
-				}
-			}
-			for _, e := range g.In(int(u)) {
-				if !ball[int(e.To)] {
-					ball[int(e.To)] = true
-					next = append(next, e.To)
-				}
-			}
+			grow(g.Out(int(u)).To)
+			grow(g.In(int(u)).To)
 		}
 		frontier = next
 	}

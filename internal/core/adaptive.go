@@ -104,6 +104,7 @@ func SolveAdaptive(p *diffusion.Problem, opt Options) (Solution, error) {
 
 	sigma := s.sigma(all)
 	s.stats.SamplesSimulated = s.est.SamplesDone() + s.estSI.SamplesDone()
+	s.stats.StateBytesPerWorker = max(s.est.StateBytes(), s.estSI.StateBytes())
 	sol := Solution{Seeds: all, Cost: p.SeedCost(all), Sigma: sigma, Stats: s.stats}
 	return sol, nil
 }

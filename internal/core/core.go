@@ -139,6 +139,10 @@ type Stats struct {
 	// simulations run across both estimators; with TotalTime it yields
 	// the estimator throughput (samples/sec) reported by imdppbench.
 	SamplesSimulated uint64
+	// StateBytesPerWorker is the largest per-worker simulation-state
+	// footprint observed across the solver's estimators (sparse State
+	// layout: scales with cascade size, not |V|·|I|).
+	StateBytesPerWorker uint64
 }
 
 // Solution is the output of a solver run.

@@ -46,7 +46,7 @@ func drProblem(t *testing.T, wA, wB float64) *diffusion.Problem {
 	p := &diffusion.Problem{
 		G: g, KG: kgraph, PIN: model,
 		Importance: []float64{wA, wB},
-		BasePref:   basePref, Cost: cost,
+		BasePref:   diffusion.MatrixFrom(basePref, ni), Cost: diffusion.MatrixFrom(cost, ni),
 		Budget: 100, T: 2, Params: diffusion.DefaultParams(),
 	}
 	if err := p.Validate(); err != nil {

@@ -69,6 +69,7 @@ func Solve(p *diffusion.Problem, opt Options) (Solution, error) {
 
 	s.stats.TotalTime = time.Since(start)
 	s.stats.SamplesSimulated = s.est.SamplesDone() + s.estSI.SamplesDone()
+	s.stats.StateBytesPerWorker = max(s.est.StateBytes(), s.estSI.StateBytes())
 	sol := Solution{
 		Seeds: all,
 		Cost:  p.SeedCost(all),

@@ -122,9 +122,10 @@ func BuildClass(spec ClassSpec, seed uint64) (*Dataset, error) {
 		imp[i] = 1 // every course selection counts equally in Fig. 12
 	}
 	pr := r.Split(3)
-	basePref := make([]float64, n*nCourses)
+	basePref := diffusion.NewMatrix(n, nCourses)
 	for u := 0; u < n; u++ {
 		f1 := pr.Intn(nFields)
+		row := basePref.Row(u)
 		for x := 0; x < nCourses; x++ {
 			v := 0.5 * pr.Beta24()
 			if courseField[x] == f1 {
@@ -133,19 +134,21 @@ func BuildClass(spec ClassSpec, seed uint64) (*Dataset, error) {
 			if v > 1 {
 				v = 1
 			}
-			basePref[u*nCourses+x] = v
+			row[x] = v
 		}
 	}
 	// costs: out-degree over initial preference (Sec. VI-E, following [3])
-	cost := make([]float64, n*nCourses)
+	cost := diffusion.NewMatrix(n, nCourses)
 	for u := 0; u < n; u++ {
 		deg := float64(g.OutDegree(u))
+		pref := basePref.Row(u)
+		row := cost.Row(u)
 		for x := 0; x < nCourses; x++ {
-			c := (1 + deg) / (0.2 + basePref[u*nCourses+x]) * 0.5
+			c := (1 + deg) / (0.2 + pref[x]) * 0.5
 			if c < 1 {
 				c = 1
 			}
-			cost[u*nCourses+x] = c
+			row[x] = c
 		}
 	}
 

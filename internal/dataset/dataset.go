@@ -114,10 +114,11 @@ func Generate(spec Spec) (*Dataset, error) {
 	if nCat < 1 {
 		nCat = 1
 	}
-	basePref := make([]float64, spec.Users*spec.Items)
+	basePref := diffusion.NewMatrix(spec.Users, spec.Items)
 	for u := 0; u < spec.Users; u++ {
 		c1 := r.Intn(nCat)
 		c2 := r.Intn(nCat)
+		row := basePref.Row(u)
 		for x := 0; x < spec.Items; x++ {
 			p := 0.6 * r.Beta24()
 			if itemCat[x] == c1 || itemCat[x] == c2 {
@@ -126,7 +127,7 @@ func Generate(spec Spec) (*Dataset, error) {
 			if p > 1 {
 				p = 1
 			}
-			basePref[u*spec.Items+x] = p
+			row[x] = p
 		}
 	}
 
@@ -139,23 +140,28 @@ func Generate(spec Spec) (*Dataset, error) {
 	if minCost < 1 {
 		minCost = 1
 	}
-	cost := make([]float64, spec.Users*spec.Items)
+	cost := diffusion.NewMatrix(spec.Users, spec.Items)
 	var costSum float64
 	var costN int
 	for u := 0; u < spec.Users; u++ {
 		deg := float64(g.OutDegree(u))
+		pref := basePref.Row(u)
+		row := cost.Row(u)
 		for x := 0; x < spec.Items; x++ {
-			c := (1 + deg) / (0.2 + basePref[u*spec.Items+x])
-			cost[u*spec.Items+x] = c
+			c := (1 + deg) / (0.2 + pref[x])
+			row[x] = c
 			costSum += c
 			costN++
 		}
 	}
 	scale := avgCost * float64(costN) / costSum
-	for i := range cost {
-		cost[i] *= scale
-		if cost[i] < minCost {
-			cost[i] = minCost
+	for u := 0; u < spec.Users; u++ {
+		row := cost.Row(u)
+		for x := range row {
+			row[x] *= scale
+			if row[x] < minCost {
+				row[x] = minCost
+			}
 		}
 	}
 

@@ -30,14 +30,14 @@ func TestGenerateDeterministic(t *testing.T) {
 	if a.Problem.G.M() != b.Problem.G.M() {
 		t.Fatal("social graphs differ across identical specs")
 	}
-	for i := range a.Problem.BasePref {
-		if a.Problem.BasePref[i] != b.Problem.BasePref[i] {
-			t.Fatal("preferences differ")
-		}
-	}
-	for i := range a.Problem.Cost {
-		if a.Problem.Cost[i] != b.Problem.Cost[i] {
-			t.Fatal("costs differ")
+	for u := 0; u < a.Problem.NumUsers(); u++ {
+		for x := 0; x < a.Problem.NumItems(); x++ {
+			if a.Problem.BasePrefOf(u, x) != b.Problem.BasePrefOf(u, x) {
+				t.Fatal("preferences differ")
+			}
+			if a.Problem.CostOf(u, x) != b.Problem.CostOf(u, x) {
+				t.Fatal("costs differ")
+			}
 		}
 	}
 }
@@ -140,13 +140,15 @@ func TestCostsPositiveAndCalibrated(t *testing.T) {
 	}
 	p := d.Problem
 	sum := 0.0
-	for _, c := range p.Cost {
-		if c < 1 {
-			t.Fatalf("cost below floor: %v", c)
+	for u := 0; u < p.NumUsers(); u++ {
+		for _, c := range p.Cost.Row(u) {
+			if c < 1 {
+				t.Fatalf("cost below floor: %v", c)
+			}
+			sum += c
 		}
-		sum += c
 	}
-	mean := sum / float64(len(p.Cost))
+	mean := sum / float64(p.Cost.Rows()*p.Cost.Cols())
 	want := Scale(0.25).avgCost()
 	if mean < want*0.6 || mean > want*1.6 {
 		t.Fatalf("mean cost %v, want ~%v", mean, want)
@@ -158,9 +160,11 @@ func TestPreferencesInRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, v := range d.Problem.BasePref {
-		if v < 0 || v > 1 {
-			t.Fatalf("preference out of range: %v", v)
+	for u := 0; u < d.Problem.NumUsers(); u++ {
+		for _, v := range d.Problem.BasePref.Row(u) {
+			if v < 0 || v > 1 {
+				t.Fatalf("preference out of range: %v", v)
+			}
 		}
 	}
 }
@@ -203,9 +207,11 @@ func TestAmazonSampleScale(t *testing.T) {
 	// seeds must be expensive enough that OPT's bounded enumeration is
 	// the true optimum: budget 125 buys at most ~6 seeds
 	minCost := math.Inf(1)
-	for _, c := range d.Problem.Cost {
-		if c < minCost {
-			minCost = c
+	for u := 0; u < d.Problem.NumUsers(); u++ {
+		for _, c := range d.Problem.Cost.Row(u) {
+			if c < minCost {
+				minCost = c
+			}
 		}
 	}
 	if 125/minCost > 7 {

@@ -26,9 +26,11 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if loaded.Problem.G.M() != orig.Problem.G.M() {
 		t.Fatal("graph differs after round-trip")
 	}
-	for i := range orig.Problem.BasePref {
-		if loaded.Problem.BasePref[i] != orig.Problem.BasePref[i] {
-			t.Fatal("preferences differ after round-trip")
+	for u := 0; u < orig.Problem.NumUsers(); u++ {
+		for x := 0; x < orig.Problem.NumItems(); x++ {
+			if loaded.Problem.BasePrefOf(u, x) != orig.Problem.BasePrefOf(u, x) {
+				t.Fatal("preferences differ after round-trip")
+			}
 		}
 	}
 	for i := range orig.Problem.Importance {

@@ -14,7 +14,7 @@ import (
 // from a tiny KG with a complementary pair (0,1) via a shared feature
 // and a substitutable pair (1,2) via a shared category; item 3 is
 // unrelated.
-func testProblem(t *testing.T, g *graph.Graph, pref func(u, x int) float64, imp []float64, T int, params Params) *Problem {
+func testProblem(t testing.TB, g *graph.Graph, pref func(u, x int) float64, imp []float64, T int, params Params) *Problem {
 	t.Helper()
 	b := kg.NewBuilder()
 	tItem := b.NodeTypeID("ITEM")
@@ -55,7 +55,7 @@ func testProblem(t *testing.T, g *graph.Graph, pref func(u, x int) float64, imp 
 	}
 	p := &Problem{
 		G: g, KG: kgraph, PIN: model,
-		Importance: imp, BasePref: basePref, Cost: cost,
+		Importance: imp, BasePref: MatrixFrom(basePref, ni), Cost: MatrixFrom(cost, ni),
 		Budget: 1e9, T: T, Params: params,
 	}
 	if err := p.Validate(); err != nil {

@@ -84,6 +84,22 @@ func (e *Estimator) putState(st *State) {
 	e.mu.Unlock()
 }
 
+// StateBytes returns the largest retained memory footprint across the
+// estimator's pooled worker states — the per-worker cost of the
+// sampling hot path. With the sparse State layout this scales with
+// the largest cascade simulated, not with |V|·|I|.
+func (e *Estimator) StateBytes() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var max uint64
+	for _, st := range e.states {
+		if b := st.MemoryFootprint(); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
 // Sigma returns the Monte-Carlo estimate of σ(S).
 func (e *Estimator) Sigma(seeds []Seed) float64 {
 	est := e.Run(seeds, nil, false)
@@ -157,13 +173,14 @@ func (st *State) LikelihoodPi(market []bool) float64 {
 			continue
 		}
 		touched = touched[:0]
-		for _, e := range p.G.In(v) {
-			vp := int(e.To)
+		arcs := p.G.In(v)
+		for ai, from := range arcs.To {
+			vp := int(from)
 			lst := st.adoptList[vp]
 			if len(lst) == 0 {
 				continue
 			}
-			pact := st.Act(vp, v, e.W)
+			pact := st.Act(vp, v, arcs.W[ai])
 			for _, y := range lst {
 				if oneMinus[y] == 0 && sum[y] == 0 {
 					oneMinus[y] = 1

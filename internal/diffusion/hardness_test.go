@@ -77,7 +77,7 @@ func TestHardnessGadgetCascade(t *testing.T) {
 	p := &Problem{
 		G: g, KG: kgraph, PIN: model,
 		Importance: []float64{0, 1}, // only x2 adoptions count (w_{x1}=0)
-		BasePref:   basePref, Cost: cost,
+		BasePref:   MatrixFrom(basePref, ni), Cost: MatrixFrom(cost, ni),
 		Budget: 100, T: 2, Params: params,
 	}
 	if err := p.Validate(); err != nil {

@@ -90,11 +90,11 @@ type Problem struct {
 	// Importance is w_x per item (len = KG.NumItems()).
 	Importance []float64
 	// BasePref is P0(u,y), the initial preference of user u for item
-	// y, indexed [u*NumItems+y].
-	BasePref []float64
+	// y, addressed (user, item).
+	BasePref Matrix
 	// Cost is c_{u,x}, the cost of hiring user u to promote item x,
-	// indexed [u*NumItems+x].
-	Cost []float64
+	// addressed (user, item).
+	Cost Matrix
 
 	// Budget is b; T is the total number of promotions.
 	Budget float64
@@ -113,11 +113,13 @@ func (p *Problem) Validate() error {
 	if len(p.Importance) != items {
 		return fmt.Errorf("diffusion: importance len %d != %d items", len(p.Importance), items)
 	}
-	if len(p.BasePref) != n*items {
-		return fmt.Errorf("diffusion: basePref len %d != %d users × %d items", len(p.BasePref), n, items)
+	if p.BasePref.Rows() != n || p.BasePref.Cols() != items {
+		return fmt.Errorf("diffusion: basePref %d×%d != %d users × %d items",
+			p.BasePref.Rows(), p.BasePref.Cols(), n, items)
 	}
-	if len(p.Cost) != n*items {
-		return fmt.Errorf("diffusion: cost len %d != %d users × %d items", len(p.Cost), n, items)
+	if p.Cost.Rows() != n || p.Cost.Cols() != items {
+		return fmt.Errorf("diffusion: cost %d×%d != %d users × %d items",
+			p.Cost.Rows(), p.Cost.Cols(), n, items)
 	}
 	if p.T < 1 {
 		return fmt.Errorf("diffusion: T=%d < 1", p.T)
@@ -138,10 +140,10 @@ func (p *Problem) NumUsers() int { return p.G.N() }
 func (p *Problem) NumItems() int { return p.KG.NumItems() }
 
 // BasePrefOf returns P0(u, y).
-func (p *Problem) BasePrefOf(u, y int) float64 { return p.BasePref[u*p.NumItems()+y] }
+func (p *Problem) BasePrefOf(u, y int) float64 { return p.BasePref.At(u, y) }
 
 // CostOf returns c_{u,x}.
-func (p *Problem) CostOf(u, x int) float64 { return p.Cost[u*p.NumItems()+x] }
+func (p *Problem) CostOf(u, x int) float64 { return p.Cost.At(u, x) }
 
 // SeedCost returns the total cost of a seed group.
 func (p *Problem) SeedCost(seeds []Seed) float64 {

@@ -78,12 +78,13 @@ func (st *State) propagateFrom(ev adoptEvent, t, step int, market []bool, res *R
 	p := st.p
 	uPrime := int(ev.user)
 	x := int(ev.item)
-	for _, e := range p.G.Out(uPrime) {
-		u := int(e.To)
+	arcs := p.G.Out(uPrime)
+	for ai, to := range arcs.To {
+		u := int(to)
 		if st.Adopted(u, x) {
 			continue
 		}
-		pact := st.Act(uPrime, u, e.W)
+		pact := st.Act(uPrime, u, arcs.W[ai])
 		prefX := st.Pref(u, x)
 		// Purchase decision: influence strength × preference [51].
 		if st.rngv.Bernoulli(pact * prefX) {
@@ -144,10 +145,12 @@ func (st *State) adopt(u, x, t, step int, trig AdoptTrigger, market []bool, res 
 	} else {
 		st.nextFront = append(st.nextFront, adoptEvent{user: int32(u), item: int32(x)})
 	}
-	if _, ok := st.stepNew[int32(u)]; !ok {
+	if st.stepStamp[u] != st.stepEpoch {
+		st.stepStamp[u] = st.stepEpoch
+		st.stepItems[u] = st.stepItems[u][:0]
 		st.stepUsers = append(st.stepUsers, int32(u))
 	}
-	st.stepNew[int32(u)] = append(st.stepNew[int32(u)], int32(x))
+	st.stepItems[u] = append(st.stepItems[u], int32(x))
 	if st.OnAdopt != nil {
 		st.OnAdopt(u, x, t, step, trig)
 	}
@@ -164,7 +167,7 @@ func (st *State) endOfStep() {
 		return
 	}
 	for _, u := range st.stepUsers {
-		newItems := st.stepNew[u]
+		newItems := st.stepItems[u]
 		ints := st.intBuf[:0]
 		for _, it := range newItems {
 			ints = append(ints, int(it))
@@ -179,9 +182,10 @@ func (st *State) endOfStep() {
 	clearStep(st)
 }
 
+// clearStep retires the current step's new-adoption tracking by
+// advancing the stamp epoch — O(users touched this step), no map
+// deletes, no |V| sweep.
 func clearStep(st *State) {
-	for _, u := range st.stepUsers {
-		delete(st.stepNew, u)
-	}
 	st.stepUsers = st.stepUsers[:0]
+	st.bumpEpoch()
 }

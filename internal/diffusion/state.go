@@ -13,23 +13,43 @@ import (
 // initial conditions touching only the rows dirtied by the previous
 // sample, which keeps per-sample overhead proportional to cascade size
 // rather than |V|·|I|.
+//
+// Memory layout (DESIGN.md §5): the adoption bitset and the
+// preference-delta table are stored as lazily allocated per-user rows
+// — a row exists only once the cascade dirties that user, and Reset
+// recycles rows through free pools. A worker therefore retains
+// O(|V|) slice headers plus O(max cascade) row payload, never the
+// dense |V|×|I| tables of the seed layout. Per-step new-adoption
+// tracking uses an epoch-stamped array instead of a map, so the
+// adopt/endOfStep hot path performs no map operations and no
+// per-step clearing proportional to |V|.
 type State struct {
 	p     *Problem
 	items int
 	words int // bitset words per user
 
-	adopted   []uint64  // [u*words .. ) adoption bitset
-	adoptList [][]int32 // per user, adopted items in adoption order
-	wmeta     []float64 // [u*numMeta .. ) meta-graph weightings
-	prefDelta []float64 // [u*items .. ) Σ λ(rC−rS) contribution
-	dirty     []bool    // user rows needing reset
-	touched   []int32   // dirty user list
-	rngv      rng.Rand  // sample stream, copied in by Reset
+	adopted   [][]uint64  // per user, lazily allocated adoption bitset row
+	adoptList [][]int32   // per user, adopted items in adoption order
+	wmeta     []float64   // [u*numMeta .. ) meta-graph weightings
+	prefDelta [][]float64 // per user, lazily allocated Σ λ(rC−rS) row
+	dirty     []bool      // user rows needing reset
+	touched   []int32     // dirty user list
+	rngv      rng.Rand    // sample stream, copied in by Reset
+
+	// row free pools, recycled across samples so steady-state sampling
+	// allocates nothing
+	wordPool [][]uint64  // zeroed bitset rows (len words)
+	rowPool  [][]float64 // pref-delta rows (len items), possibly stale
 
 	// scratch
 	frontier  []adoptEvent
 	nextFront []adoptEvent
-	stepNew   map[int32][]int32 // user -> items newly adopted this step
+	// per-step new-adoption tracking: stepStamp[u] == stepEpoch marks u
+	// as already queued this step; stepItems[u] holds u's newly adopted
+	// items in adoption order
+	stepStamp []uint32
+	stepEpoch uint32
+	stepItems [][]int32
 	stepUsers []int32
 	byPromo   [][]Seed // per-promotion seed partition, reused across samples
 	intBuf    []int    // reusable buffer for endOfStep's new-item lists
@@ -64,7 +84,10 @@ type adoptEvent struct {
 	item int32
 }
 
-// NewState allocates a state for problem p.
+// NewState allocates a state for problem p. Allocation is O(|V|) —
+// per-user slice headers and flags — plus O(|V|·numMeta) weighting
+// floats; the O(|V|·|I|) adoption and preference tables of the seed
+// layout are replaced by rows allocated lazily per dirtied user.
 func NewState(p *Problem) *State {
 	n := p.NumUsers()
 	items := p.NumItems()
@@ -73,12 +96,14 @@ func NewState(p *Problem) *State {
 		p:         p,
 		items:     items,
 		words:     words,
-		adopted:   make([]uint64, n*words),
+		adopted:   make([][]uint64, n),
 		adoptList: make([][]int32, n),
 		wmeta:     make([]float64, n*p.PIN.NumMeta()),
-		prefDelta: make([]float64, n*items),
+		prefDelta: make([][]float64, n),
 		dirty:     make([]bool, n),
-		stepNew:   make(map[int32][]int32),
+		stepStamp: make([]uint32, n),
+		stepEpoch: 1,
+		stepItems: make([][]int32, n),
 	}
 	// weightings start at the shared init vector; rows are lazily reset
 	for u := 0; u < n; u++ {
@@ -93,22 +118,40 @@ func NewState(p *Problem) *State {
 func (st *State) Reset(r *rng.Rand) {
 	nm := st.p.PIN.NumMeta()
 	for _, u := range st.touched {
-		base := int(u) * st.words
-		for i := 0; i < st.words; i++ {
-			st.adopted[base+i] = 0
+		if row := st.adopted[u]; row != nil {
+			for i := range row {
+				row[i] = 0
+			}
+			st.wordPool = append(st.wordPool, row)
+			st.adopted[u] = nil
 		}
 		st.adoptList[u] = st.adoptList[u][:0]
 		copy(st.wmeta[int(u)*nm:(int(u)+1)*nm], st.p.PIN.InitWeights)
-		pd := st.prefDelta[int(u)*st.items : (int(u)+1)*st.items]
-		for i := range pd {
-			pd[i] = 0
+		if row := st.prefDelta[u]; row != nil {
+			// rows go back stale; recomputePref zeroes on reattach
+			st.rowPool = append(st.rowPool, row)
+			st.prefDelta[u] = nil
 		}
 		st.dirty[u] = false
 	}
 	st.touched = st.touched[:0]
 	st.frontier = st.frontier[:0]
 	st.nextFront = st.nextFront[:0]
+	st.stepUsers = st.stepUsers[:0]
+	st.bumpEpoch()
 	st.rngv = *r
+}
+
+// bumpEpoch advances the per-step stamp epoch, handling the (purely
+// theoretical) uint32 wraparound by rebasing all stamps.
+func (st *State) bumpEpoch() {
+	st.stepEpoch++
+	if st.stepEpoch == 0 {
+		for i := range st.stepStamp {
+			st.stepStamp[i] = 0
+		}
+		st.stepEpoch = 1
+	}
 }
 
 // Problem returns the problem this state simulates.
@@ -116,7 +159,11 @@ func (st *State) Problem() *Problem { return st.p }
 
 // Adopted reports whether user u has adopted item x.
 func (st *State) Adopted(u, x int) bool {
-	return st.adopted[u*st.words+x/64]&(1<<(uint(x)%64)) != 0
+	row := st.adopted[u]
+	if row == nil {
+		return false
+	}
+	return row[x/64]&(1<<(uint(x)%64)) != 0
 }
 
 // AdoptedList returns user u's adopted items in adoption order; the
@@ -126,7 +173,17 @@ func (st *State) AdoptedList(u int) []int32 { return st.adoptList[u] }
 // markAdopted sets the adoption bit and bookkeeping; callers must have
 // checked Adopted first.
 func (st *State) markAdopted(u, x int) {
-	st.adopted[u*st.words+x/64] |= 1 << (uint(x) % 64)
+	row := st.adopted[u]
+	if row == nil {
+		if n := len(st.wordPool); n > 0 {
+			row = st.wordPool[n-1]
+			st.wordPool = st.wordPool[:n-1]
+		} else {
+			row = make([]uint64, st.words)
+		}
+		st.adopted[u] = row
+	}
+	row[x/64] |= 1 << (uint(x) % 64)
 	st.adoptList[u] = append(st.adoptList[u], int32(x))
 	if !st.dirty[u] {
 		st.dirty[u] = true
@@ -160,9 +217,13 @@ func (st *State) Weights(u int) []float64 {
 
 // Pref returns Ppref(u, y) under the current state: the base
 // preference plus the cross-elasticity delta, clamped to [0,1]. Under
-// Params.Static the delta is always zero.
+// Params.Static the delta is always zero. Users without a materialised
+// delta row have delta 0 by construction.
 func (st *State) Pref(u, y int) float64 {
-	v := st.p.BasePref[u*st.items+y] + st.prefDelta[u*st.items+y]
+	v := st.p.BasePref.At(u, y)
+	if row := st.prefDelta[u]; row != nil {
+		v += row[y]
+	}
 	if v < 0 {
 		return 0
 	}
@@ -199,8 +260,10 @@ func (st *State) Act(u, v int, baseW float64) float64 {
 // (which is then 0 unless one set is empty — friends with no common
 // items have not grown closer).
 func (st *State) similarity(u, v int) float64 {
-	bu := st.adopted[u*st.words : (u+1)*st.words]
-	bv := st.adopted[v*st.words : (v+1)*st.words]
+	bu, bv := st.adopted[u], st.adopted[v]
+	if bu == nil || bv == nil {
+		return 0 // an empty adoption set intersects nothing
+	}
 	var inter, union int
 	for i := 0; i < st.words; i++ {
 		inter += bits.OnesCount64(bu[i] & bv[i])
@@ -234,10 +297,21 @@ func cosRange(a, b []float64) float64 {
 //
 //	Δpref(u,y) = λ · Σ_{a∈A(u)} (rC(u,a,y) − rS(u,a,y))
 //
-// Only rows of adopted items' neighbours are affected, so the whole
-// row is zeroed and re-accumulated (adoption sets stay small).
+// The user's delta row is materialised on first recompute (pooled
+// rows may be stale, so the whole row is zeroed before accumulation —
+// adoption sets stay small, and the accumulation order matches the
+// dense layout bit for bit).
 func (st *State) recomputePref(u int) {
-	pd := st.prefDelta[u*st.items : (u+1)*st.items]
+	pd := st.prefDelta[u]
+	if pd == nil {
+		if n := len(st.rowPool); n > 0 {
+			pd = st.rowPool[n-1]
+			st.rowPool = st.rowPool[:n-1]
+		} else {
+			pd = make([]float64, st.items)
+		}
+		st.prefDelta[u] = pd
+	}
 	for i := range pd {
 		pd[i] = 0
 	}
@@ -249,4 +323,43 @@ func (st *State) recomputePref(u int) {
 			pd[pr.Y] += lam * (rc - rs)
 		}
 	}
+}
+
+// MemoryFootprint returns the approximate number of heap bytes the
+// state currently retains, counting per-user slice headers, live and
+// pooled rows, and scratch buffers. Per-worker memory scales with the
+// largest cascade simulated so far, not with |V|·|I|; imdppbench
+// records this as state_bytes_per_worker.
+func (st *State) MemoryFootprint() uint64 {
+	const (
+		headerBytes = 24 // slice header
+		eventBytes  = 8  // adoptEvent
+	)
+	b := uint64(0)
+	b += uint64(cap(st.adopted)) * headerBytes
+	for _, row := range st.adopted {
+		b += uint64(cap(row)) * 8
+	}
+	b += uint64(len(st.wordPool)*st.words) * 8
+	b += uint64(cap(st.adoptList)) * headerBytes
+	for _, l := range st.adoptList {
+		b += uint64(cap(l)) * 4
+	}
+	b += uint64(cap(st.wmeta)) * 8
+	b += uint64(cap(st.prefDelta)) * headerBytes
+	for _, row := range st.prefDelta {
+		b += uint64(cap(row)) * 8
+	}
+	b += uint64(len(st.rowPool)*st.items) * 8
+	b += uint64(cap(st.dirty))
+	b += uint64(cap(st.touched)) * 4
+	b += uint64(cap(st.frontier)+cap(st.nextFront)) * eventBytes
+	b += uint64(cap(st.stepStamp)) * 4
+	b += uint64(cap(st.stepItems)) * headerBytes
+	for _, l := range st.stepItems {
+		b += uint64(cap(l)) * 4
+	}
+	b += uint64(cap(st.stepUsers)) * 4
+	b += uint64(cap(st.intBuf)) * 8
+	return b
 }

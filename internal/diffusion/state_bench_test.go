@@ -1,0 +1,136 @@
+package diffusion
+
+import (
+	"testing"
+
+	"imdpp/internal/graph"
+	"imdpp/internal/kg"
+	"imdpp/internal/pin"
+	"imdpp/internal/rng"
+)
+
+// benchProblem builds a workload-shaped instance: a heavy-tailed
+// social graph over users and a catalogue of items with feature-pair
+// complements and 8-item category substitute pools. Unlike the 4-item
+// testProblem, the item count here is large enough that dense
+// per-worker |V|×|I| state would dominate memory.
+func benchProblem(tb testing.TB, users, items int) *Problem {
+	tb.Helper()
+	b := kg.NewBuilder()
+	tItem := b.NodeTypeID("ITEM")
+	tFeature := b.NodeTypeID("FEATURE")
+	tCategory := b.NodeTypeID("CATEGORY")
+	eSup := b.EdgeTypeID("SUPPORTS")
+	eCat := b.EdgeTypeID("IN_CATEGORY")
+	ids := make([]int, items)
+	for i := range ids {
+		ids[i] = b.AddNode(tItem)
+	}
+	for i := 0; i+1 < items; i += 2 {
+		f := b.AddNode(tFeature)
+		b.AddEdge(ids[i], f, eSup)
+		b.AddEdge(ids[i+1], f, eSup)
+	}
+	for c := 0; c*8 < items; c++ {
+		cat := b.AddNode(tCategory)
+		for j := c * 8; j < (c+1)*8 && j < items; j++ {
+			b.AddEdge(ids[j], cat, eCat)
+		}
+	}
+	kgraph := b.Build()
+	model, err := pin.NewModel(kgraph,
+		[]*kg.MetaGraph{kg.PathMetaGraph("c", kg.Complementary, tItem, tFeature, eSup, eSup)},
+		[]*kg.MetaGraph{kg.PathMetaGraph("s", kg.Substitutable, tItem, tCategory, eCat, eCat)},
+		[]float64{0.5, 0.5})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r := rng.New(11)
+	g := graph.BarabasiAlbert(users, 3, false, graph.WeightModel{Mean: 0.15, Jitter: 0.5}, r)
+	imp := make([]float64, items)
+	for i := range imp {
+		imp[i] = 1
+	}
+	basePref := NewMatrix(users, items)
+	cost := NewMatrix(users, items)
+	for u := 0; u < users; u++ {
+		pr := basePref.Row(u)
+		cr := cost.Row(u)
+		for x := 0; x < items; x++ {
+			pr[x] = 0.05 + 0.01*float64((u*7+x*13)%30)
+			cr[x] = 1
+		}
+	}
+	p := &Problem{
+		G: g, KG: kgraph, PIN: model,
+		Importance: imp, BasePref: basePref, Cost: cost,
+		Budget: 1e9, T: 3, Params: DefaultParams(),
+	}
+	if err := p.Validate(); err != nil {
+		tb.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkRunCampaign measures the diffusion hot path — one full
+// T-promotion campaign per iteration on a reused state, the unit of
+// work every Monte-Carlo sample pays. Allocations per op should be ~0:
+// steady-state sampling runs entirely out of the state's row pools.
+func BenchmarkRunCampaign(b *testing.B) {
+	p := benchProblem(b, 2000, 256)
+	seeds := []Seed{
+		{User: 0, Item: 0, T: 1},
+		{User: 1, Item: 2, T: 1},
+		{User: 5, Item: 1, T: 2},
+		{User: 9, Item: 3, T: 3},
+	}
+	st := NewState(p)
+	master := rng.New(7)
+	var res Result
+	res.PerItem = make([]float64, p.NumItems())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Reset(master.Split(uint64(i)))
+		res.Sigma, res.MarketSigma, res.Adoptions, res.Steps = 0, 0, 0, 0
+		st.RunCampaign(seeds, nil, &res)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(st.MemoryFootprint()), "state-bytes")
+}
+
+// BenchmarkNewStateSparse measures what one worker pays to materialise
+// a fresh State under the sparse layout: O(|V|) headers, no |V|×|I|
+// payload.
+func BenchmarkNewStateSparse(b *testing.B) {
+	p := benchProblem(b, 2000, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var st *State
+	for i := 0; i < b.N; i++ {
+		st = NewState(p)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(st.MemoryFootprint()), "state-bytes")
+}
+
+// BenchmarkNewStateDenseBaseline allocates the seed layout's dense
+// per-worker arrays — a |V|×|I| float64 preference-delta table and a
+// |V|×⌈|I|/64⌉ adoption bitset — as the contrast baseline for
+// BenchmarkNewStateSparse. Kept as a reference so the alloc gap the
+// sparsification bought stays visible in bench output.
+func BenchmarkNewStateDenseBaseline(b *testing.B) {
+	p := benchProblem(b, 2000, 256)
+	n, items := p.NumUsers(), p.NumItems()
+	words := (items + 63) / 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var prefDelta []float64
+	var adopted []uint64
+	for i := 0; i < b.N; i++ {
+		prefDelta = make([]float64, n*items)
+		adopted = make([]uint64, n*words)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(prefDelta)*8+len(adopted)*8), "state-bytes")
+}

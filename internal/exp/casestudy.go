@@ -152,13 +152,14 @@ func casePreferenceGrowth(p *diffusion.Problem, st *diffusion.State) (CaseStudy,
 // edge and measures Pact before/after.
 func caseInfluenceGrowth(p *diffusion.Problem, st *diffusion.State) (CaseStudy, bool) {
 	for u := 0; u < p.NumUsers(); u++ {
-		for _, e := range p.G.Out(u) {
-			v := int(e.To)
+		arcs := p.G.Out(u)
+		for i, to := range arcs.To {
+			v := int(to)
 			x := 0
-			before := st.Act(u, v, e.W)
+			before := st.Act(u, v, arcs.W[i])
 			st.ForceAdopt(u, x)
 			st.ForceAdopt(v, x)
-			after := st.Act(u, v, e.W)
+			after := st.Act(u, v, arcs.W[i])
 			if after > before {
 				return CaseStudy{
 					ID:   3,

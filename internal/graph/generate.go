@@ -165,23 +165,18 @@ func PlantedCommunities(n, c int, pIn, pOut float64, directed bool, wm WeightMod
 // rescales all weights so the global mean equals mean.
 func (g *Graph) rescaleWeightedCascade(mean float64) {
 	for v := 0; v < g.n; v++ {
-		d := len(g.in[v])
-		if d == 0 {
+		s, e := g.inOff[v], g.inOff[v+1]
+		if s == e {
 			continue
 		}
-		w := 1.0 / float64(d)
-		for i := range g.in[v] {
-			g.in[v][i].W = w
+		w := 1.0 / float64(e-s)
+		for i := s; i < e; i++ {
+			g.inW[i] = w
 		}
 	}
-	// mirror into out-lists
-	idx := make([]int, g.n) // per-target cursor unused; rebuild instead
-	_ = idx
-	for u := 0; u < g.n; u++ {
-		for i := range g.out[u] {
-			v := g.out[u][i].To
-			g.out[u][i].W = 1.0 / float64(len(g.in[v]))
-		}
+	// mirror into the out-arrays: arc u->v carries 1/inDegree(v)
+	for i, v := range g.outTo {
+		g.outW[i] = 1.0 / float64(g.inOff[v+1]-g.inOff[v])
 	}
 	if mean <= 0 {
 		return
@@ -191,22 +186,15 @@ func (g *Graph) rescaleWeightedCascade(mean float64) {
 		return
 	}
 	f := mean / cur
-	for u := 0; u < g.n; u++ {
-		for i := range g.out[u] {
-			w := g.out[u][i].W * f
+	scale := func(ws []float64) {
+		for i, w := range ws {
+			w *= f
 			if w > 1 {
 				w = 1
 			}
-			g.out[u][i].W = w
+			ws[i] = w
 		}
 	}
-	for v := 0; v < g.n; v++ {
-		for i := range g.in[v] {
-			w := g.in[v][i].W * f
-			if w > 1 {
-				w = 1
-			}
-			g.in[v][i].W = w
-		}
-	}
+	scale(g.outW)
+	scale(g.inW)
 }

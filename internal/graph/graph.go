@@ -1,7 +1,20 @@
 // Package graph implements the social-network substrate for IMDPP:
-// a compact directed weighted graph with CSR-style adjacency, plus the
-// traversals (BFS, Dijkstra on influence probabilities) and statistics
-// the Dysim pipeline needs.
+// a compact directed weighted graph in true CSR (compressed sparse
+// row) form, plus the traversals (BFS, Dijkstra on influence
+// probabilities) and statistics the Dysim pipeline needs.
+//
+// Adjacency is stored as flat offset + packed parallel arrays — one
+// `offsets []int32` and parallel `to []int32` / `w []float64` per
+// direction — so neighbour iteration is a linear scan over contiguous
+// memory with no per-vertex heap objects to pointer-chase.
+//
+// Determinism contract: within every vertex's adjacency, arcs are
+// sorted by target id, fixed once at Build(). The diffusion engine
+// draws one RNG variate per neighbour while iterating Out(u), so
+// neighbour order is part of the reproducibility contract (DESIGN.md
+// §3, §5): two graphs built from the same edge multiset — in any
+// insertion order — propagate bit-identically. Duplicate arcs are
+// merged at Build(), keeping the maximum weight.
 //
 // Edge weights carry the *initial* social influence strength
 // P0act(u,v) in (0,1]. The diffusion engine layers a dynamic
@@ -12,22 +25,41 @@ package graph
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
-// Edge is an outgoing (or incoming) arc with its base influence strength.
-type Edge struct {
-	To int32   // neighbour vertex id
-	W  float64 // base influence strength P0act in (0,1]
+// Arcs is a zero-copy view of one vertex's adjacency: parallel target
+// and weight slices into the graph's packed CSR arrays. Neither slice
+// may be modified. Iterate as
+//
+//	arcs := g.Out(u)
+//	for i, v := range arcs.To {
+//		w := arcs.W[i]
+//		...
+//	}
+type Arcs struct {
+	To []int32   // neighbour vertex ids, sorted ascending
+	W  []float64 // parallel base influence strengths P0act in (0,1]
 }
+
+// Len returns the number of arcs in the view.
+func (a Arcs) Len() int { return len(a.To) }
 
 // Graph is a directed weighted graph over vertices 0..N-1. Undirected
 // social networks are represented by storing both arc directions.
 type Graph struct {
 	n        int
 	directed bool
-	out      [][]Edge
-	in       [][]Edge
-	m        int // number of stored arcs
+	m        int // number of stored arcs after duplicate merging
+
+	// out-adjacency CSR: arcs of u are outTo/outW[outOff[u]:outOff[u+1]]
+	outOff []int32
+	outTo  []int32
+	outW   []float64
+	// in-adjacency CSR, same layout keyed by target vertex
+	inOff []int32
+	inTo  []int32
+	inW   []float64
 }
 
 // Builder accumulates edges and produces an immutable Graph.
@@ -66,44 +98,117 @@ func (b *Builder) AddEdge(u, v int, w float64) {
 	b.w = append(b.w, w)
 }
 
-// Build finalises the graph. Duplicate arcs are kept (the generators
-// never emit them); adjacency is grouped per vertex.
+// Build finalises the graph into CSR form. Per-vertex adjacency is
+// sorted by target id (the determinism contract — see the package
+// doc), and duplicate arcs are merged keeping the maximum weight.
 func (b *Builder) Build() *Graph {
 	g := &Graph{n: b.n, directed: b.directed}
-	g.out = make([][]Edge, b.n)
-	g.in = make([][]Edge, b.n)
-	outDeg := make([]int, b.n)
-	inDeg := make([]int, b.n)
-	count := func(u, v int32) {
-		outDeg[u]++
-		inDeg[v]++
+
+	// expand undirected edges into explicit arcs
+	arcs := len(b.from)
+	if !b.directed {
+		arcs *= 2
+	}
+	if int64(arcs) > math.MaxInt32 {
+		// the CSR offsets/cursors are int32; fail loudly instead of
+		// wrapping into corrupt adjacency
+		panic(fmt.Sprintf("graph: %d arcs exceed the int32 CSR offset range", arcs))
+	}
+
+	// counting sort by source into provisional out arrays
+	deg := make([]int32, b.n+1)
+	for i := range b.from {
+		deg[b.from[i]+1]++
+		if !b.directed {
+			deg[b.to[i]+1]++
+		}
+	}
+	off := make([]int32, b.n+1)
+	for v := 0; v < b.n; v++ {
+		off[v+1] = off[v] + deg[v+1]
+	}
+	to := make([]int32, arcs)
+	w := make([]float64, arcs)
+	cursor := append([]int32(nil), off...)
+	place := func(u, v int32, wt float64) {
+		c := cursor[u]
+		to[c] = v
+		w[c] = wt
+		cursor[u] = c + 1
 	}
 	for i := range b.from {
-		count(b.from[i], b.to[i])
+		place(b.from[i], b.to[i], b.w[i])
 		if !b.directed {
-			count(b.to[i], b.from[i])
+			place(b.to[i], b.from[i], b.w[i])
 		}
+	}
+
+	// per-vertex: sort by target, merge duplicates keeping max weight,
+	// compacting in place
+	outOff := make([]int32, b.n+1)
+	write := int32(0)
+	for v := 0; v < b.n; v++ {
+		s, e := off[v], off[v+1]
+		seg := arcSeg{to: to[s:e], w: w[s:e]}
+		sort.Sort(seg)
+		for i := s; i < e; i++ {
+			if write > outOff[v] && to[write-1] == to[i] {
+				if w[i] > w[write-1] {
+					w[write-1] = w[i]
+				}
+				continue
+			}
+			to[write] = to[i]
+			w[write] = w[i]
+			write++
+		}
+		outOff[v+1] = write
+	}
+	g.outOff = outOff
+	g.outTo = to[:write:write]
+	g.outW = w[:write:write]
+	g.m = int(write)
+
+	// in-adjacency from the merged arc set: counting sort by target.
+	// Iterating sources in ascending order fills each in-segment in
+	// ascending source order, so in-lists come out sorted for free, and
+	// the out-merge already removed duplicates.
+	inOff := make([]int32, b.n+1)
+	for _, v := range g.outTo {
+		inOff[v+1]++
 	}
 	for v := 0; v < b.n; v++ {
-		if outDeg[v] > 0 {
-			g.out[v] = make([]Edge, 0, outDeg[v])
-		}
-		if inDeg[v] > 0 {
-			g.in[v] = make([]Edge, 0, inDeg[v])
-		}
+		inOff[v+1] += inOff[v]
 	}
-	add := func(u, v int32, w float64) {
-		g.out[u] = append(g.out[u], Edge{To: v, W: w})
-		g.in[v] = append(g.in[v], Edge{To: u, W: w})
-		g.m++
-	}
-	for i := range b.from {
-		add(b.from[i], b.to[i], b.w[i])
-		if !b.directed {
-			add(b.to[i], b.from[i], b.w[i])
+	g.inOff = inOff
+	g.inTo = make([]int32, g.m)
+	g.inW = make([]float64, g.m)
+	cursor = append(cursor[:0], inOff...)
+	for u := 0; u < b.n; u++ {
+		for i := g.outOff[u]; i < g.outOff[u+1]; i++ {
+			v := g.outTo[i]
+			c := cursor[v]
+			g.inTo[c] = int32(u)
+			g.inW[c] = g.outW[i]
+			cursor[v] = c + 1
 		}
 	}
 	return g
+}
+
+// arcSeg sorts one vertex's (to, w) segment by target id. Duplicate
+// targets stay adjacent in any relative order; the merge keeps the max
+// weight, so the result does not depend on their ordering.
+type arcSeg struct {
+	to []int32
+	w  []float64
+}
+
+func (s arcSeg) Len() int           { return len(s.to) }
+func (s arcSeg) Less(i, j int) bool { return s.to[i] < s.to[j] }
+func (s arcSeg) Swap(i, j int) {
+	s.to[i], s.to[j] = s.to[j], s.to[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
 }
 
 // N returns the number of vertices.
@@ -115,17 +220,25 @@ func (g *Graph) M() int { return g.m }
 // Directed reports whether the graph was built as directed.
 func (g *Graph) Directed() bool { return g.directed }
 
-// Out returns the outgoing arcs of u. The slice must not be modified.
-func (g *Graph) Out(u int) []Edge { return g.out[u] }
+// Out returns a view of the outgoing arcs of u, sorted by target. The
+// view must not be modified.
+func (g *Graph) Out(u int) Arcs {
+	s, e := g.outOff[u], g.outOff[u+1]
+	return Arcs{To: g.outTo[s:e], W: g.outW[s:e]}
+}
 
-// In returns the incoming arcs of u. The slice must not be modified.
-func (g *Graph) In(u int) []Edge { return g.in[u] }
+// In returns a view of the incoming arcs of u, sorted by source. The
+// view must not be modified.
+func (g *Graph) In(u int) Arcs {
+	s, e := g.inOff[u], g.inOff[u+1]
+	return Arcs{To: g.inTo[s:e], W: g.inW[s:e]}
+}
 
-// OutDegree returns len(Out(u)).
-func (g *Graph) OutDegree(u int) int { return len(g.out[u]) }
+// OutDegree returns Out(u).Len().
+func (g *Graph) OutDegree(u int) int { return int(g.outOff[u+1] - g.outOff[u]) }
 
-// InDegree returns len(In(u)).
-func (g *Graph) InDegree(u int) int { return len(g.in[u]) }
+// InDegree returns In(u).Len().
+func (g *Graph) InDegree(u int) int { return int(g.inOff[u+1] - g.inOff[u]) }
 
 // AvgInfluence returns the mean base influence strength over all arcs,
 // the "Avg. initial influence strength" row of Table II.
@@ -134,10 +247,8 @@ func (g *Graph) AvgInfluence() float64 {
 		return 0
 	}
 	sum := 0.0
-	for u := 0; u < g.n; u++ {
-		for _, e := range g.out[u] {
-			sum += e.W
-		}
+	for _, w := range g.outW {
+		sum += w
 	}
 	return sum / float64(g.m)
 }
@@ -160,10 +271,10 @@ func (g *Graph) BFSDepths(sources []int) []int {
 		u := queue[0]
 		queue = queue[1:]
 		du := dist[u]
-		for _, e := range g.out[u] {
-			if dist[e.To] < 0 {
-				dist[e.To] = du + 1
-				queue = append(queue, e.To)
+		for _, v := range g.outTo[g.outOff[u]:g.outOff[u+1]] {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
 			}
 		}
 	}
@@ -209,16 +320,16 @@ func (g *Graph) Components() (comp []int, count int) {
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, e := range g.out[u] {
-				if comp[e.To] < 0 {
-					comp[e.To] = count
-					stack = append(stack, e.To)
+			for _, v := range g.outTo[g.outOff[u]:g.outOff[u+1]] {
+				if comp[v] < 0 {
+					comp[v] = count
+					stack = append(stack, v)
 				}
 			}
-			for _, e := range g.in[u] {
-				if comp[e.To] < 0 {
-					comp[e.To] = count
-					stack = append(stack, e.To)
+			for _, v := range g.inTo[g.inOff[u]:g.inOff[u+1]] {
+				if comp[v] < 0 {
+					comp[v] = count
+					stack = append(stack, v)
 				}
 			}
 		}
@@ -259,14 +370,16 @@ func (g *Graph) MaxInfluencePathsInto(source int, prob []float64, parent []int32
 		if it.p < prob[it.v] {
 			continue // stale entry
 		}
-		for _, e := range g.out[it.v] {
-			np := it.p * e.W
-			if np > prob[e.To] {
-				prob[e.To] = np
+		s, e := g.outOff[it.v], g.outOff[it.v+1]
+		for i := s; i < e; i++ {
+			v := g.outTo[i]
+			np := it.p * g.outW[i]
+			if np > prob[v] {
+				prob[v] = np
 				if parent != nil {
-					parent[e.To] = it.v
+					parent[v] = it.v
 				}
-				h.push(probItem{v: e.To, p: np})
+				h.push(probItem{v: v, p: np})
 			}
 		}
 	}
@@ -331,7 +444,7 @@ func (g *Graph) Degrees() DegreeStats {
 	st := DegreeStats{MinOut: math.MaxInt}
 	total := 0
 	for v := 0; v < g.n; v++ {
-		d := len(g.out[v])
+		d := g.OutDegree(v)
 		total += d
 		if d < st.MinOut {
 			st.MinOut = d

@@ -28,11 +28,11 @@ func TestBuilderDirected(t *testing.T) {
 	if g.OutDegree(0) != 1 || g.InDegree(0) != 0 {
 		t.Fatalf("deg(0) out=%d in=%d", g.OutDegree(0), g.InDegree(0))
 	}
-	if g.Out(0)[0].To != 1 || g.Out(0)[0].W != 0.5 {
-		t.Fatalf("edge 0: %+v", g.Out(0)[0])
+	if out := g.Out(0); out.To[0] != 1 || out.W[0] != 0.5 {
+		t.Fatalf("edge 0: %+v", out)
 	}
-	if g.In(2)[0].To != 1 {
-		t.Fatalf("in(2): %+v", g.In(2)[0])
+	if in := g.In(2); in.To[0] != 1 {
+		t.Fatalf("in(2): %+v", in)
 	}
 }
 
@@ -43,8 +43,8 @@ func TestBuilderUndirectedMirrors(t *testing.T) {
 	if g.M() != 2 {
 		t.Fatalf("undirected edge stored %d arcs", g.M())
 	}
-	if g.Out(1)[0].To != 0 || g.Out(1)[0].W != 0.7 {
-		t.Fatalf("reverse arc: %+v", g.Out(1)[0])
+	if out := g.Out(1); out.To[0] != 0 || out.W[0] != 0.7 {
+		t.Fatalf("reverse arc: %+v", out)
 	}
 }
 
@@ -60,8 +60,8 @@ func TestBuilderClampsWeights(t *testing.T) {
 	b := NewBuilder(2, true)
 	b.AddEdge(0, 1, 5)
 	g := b.Build()
-	if g.Out(0)[0].W != 1 {
-		t.Fatalf("weight not clamped: %v", g.Out(0)[0].W)
+	if out := g.Out(0); out.W[0] != 1 {
+		t.Fatalf("weight not clamped: %v", out.W[0])
 	}
 }
 
@@ -294,9 +294,9 @@ func TestWeightedCascadeRescale(t *testing.T) {
 		t.Fatalf("WC rescaled avg %v", avg)
 	}
 	for u := 0; u < g.N(); u++ {
-		for _, e := range g.Out(u) {
-			if e.W <= 0 || e.W > 1 {
-				t.Fatalf("weight out of range: %v", e.W)
+		for _, w := range g.Out(u).W {
+			if w <= 0 || w > 1 {
+				t.Fatalf("weight out of range: %v", w)
 			}
 		}
 	}

@@ -50,11 +50,12 @@ func Probabilities(g *graph.Graph, sources []int) []float64 {
 		if p < prob[v] {
 			continue
 		}
-		for _, e := range g.Out(int(v)) {
-			np := p * e.W
-			if np > prob[e.To] {
-				prob[e.To] = np
-				h.push(e.To, np)
+		arcs := g.Out(int(v))
+		for i, to := range arcs.To {
+			np := p * arcs.W[i]
+			if np > prob[to] {
+				prob[to] = np
+				h.push(to, np)
 			}
 		}
 	}
