@@ -3,7 +3,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race bench fmt fmt-check vet lint smoke
+.PHONY: all build test race bench fmt fmt-check vet lint smoke serve-smoke
 
 all: build test
 
@@ -47,3 +47,9 @@ lint:
 smoke:
 	$(GO) run ./cmd/imdppbench -fig solve -preset Amazon -scale 0.05 -mc 8 -benchout BENCH_solve.json
 	@test -s BENCH_solve.json && echo "BENCH_solve.json written"
+
+# Serving-layer smoke: boots imdppd on a random port, solves, asserts
+# the cache-hit + cancel contracts end to end, and appends the service
+# throughput record to BENCH_serve.json.
+serve-smoke:
+	./scripts/serve_smoke.sh

@@ -1,0 +1,334 @@
+// Command imdppd is the IMDPP campaign-solving daemon: an HTTP/JSON
+// front-end over the serving layer (internal/service) — async solves
+// on a bounded job queue, prompt cancellation, and a
+// content-addressed result cache that serves identical requests in
+// O(1) and coalesces concurrent duplicates onto one in-flight solve.
+//
+// Endpoints:
+//
+//	POST   /v1/solve      submit a solve; returns a job id
+//	GET    /v1/jobs/{id}  job status, progress and (when done) the solution
+//	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	POST   /v1/sigma      evaluate σ for an explicit seed group (sync)
+//	GET    /healthz       liveness
+//	GET    /metrics       JSON counters: jobs, cache hits, samples/sec
+//
+// Quickstart:
+//
+//	imdppd -addr 127.0.0.1:8080 &
+//	curl -s -X POST localhost:8080/v1/solve \
+//	  -d '{"dataset":"sample","budget":100,"t":4,"mc":8}'
+//	curl -s localhost:8080/v1/jobs/j1
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"imdpp"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	workers := flag.Int("workers", 2, "concurrent solver jobs")
+	queue := flag.Int("queue", 16, "bounded job-queue depth")
+	cacheSize := flag.Int("cache", 128, "content-addressed result cache entries")
+	solveWorkers := flag.Int("solve-workers", 0, "estimator goroutines per solve (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	d := newDaemon(imdpp.ServiceConfig{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheSize:    *cacheSize,
+		SolveWorkers: *solveWorkers,
+	})
+	defer d.svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("imdppd: listen %s: %v", *addr, err)
+	}
+	srv := &http.Server{Handler: d.handler()}
+
+	// the resolved address line is a readiness contract: the smoke
+	// harness scrapes it to discover the random port
+	fmt.Printf("imdppd listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("imdppd: serve: %v", err)
+	}
+}
+
+// daemon wires the HTTP surface to the serving layer, memoizing the
+// synthetic datasets so repeated requests against one workload don't
+// pay regeneration.
+type daemon struct {
+	svc   *imdpp.Service
+	start time.Time
+
+	mu       sync.Mutex
+	datasets map[dsKey]*imdpp.Dataset
+}
+
+type dsKey struct {
+	name  string
+	scale float64
+}
+
+func newDaemon(cfg imdpp.ServiceConfig) *daemon {
+	return &daemon{
+		svc:      imdpp.NewService(cfg),
+		start:    time.Now(),
+		datasets: make(map[dsKey]*imdpp.Dataset),
+	}
+}
+
+func (d *daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", d.handleSolve)
+	mux.HandleFunc("GET /v1/jobs/{id}", d.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", d.handleJobCancel)
+	mux.HandleFunc("POST /v1/sigma", d.handleSigma)
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	return mux
+}
+
+// problemSpec is the shared problem-defining half of solve and sigma
+// request bodies.
+type problemSpec struct {
+	Dataset string  `json:"dataset"` // amazon|yelp|douban|gowalla|sample
+	Scale   float64 `json:"scale"`   // 0 → 1.0
+	Budget  float64 `json:"budget"`
+	T       int     `json:"t"`
+}
+
+// solveRequest is the POST /v1/solve body. Zero-valued option fields
+// select the solver defaults (DESIGN.md §2).
+type solveRequest struct {
+	problemSpec
+	Algo         string `json:"algo"` // dysim (default) | adaptive
+	MC           int    `json:"mc"`
+	MCSI         int    `json:"mcsi"`
+	Seed         uint64 `json:"seed"`
+	Theta        int    `json:"theta"`
+	CandidateCap int    `json:"candidate_cap"`
+	Order        string `json:"order"` // AE|PF|SZ|RMS|RD
+}
+
+type solveResponse struct {
+	JobID     string          `json:"job_id"`
+	Status    imdpp.JobStatus `json:"status"`
+	Key       string          `json:"key"`
+	CacheHit  bool            `json:"cache_hit"`
+	Coalesced bool            `json:"coalesced"`
+}
+
+// sigmaRequest is the POST /v1/sigma body.
+type sigmaRequest struct {
+	problemSpec
+	MC    int          `json:"mc"` // 0 → 100
+	Seed  uint64       `json:"seed"`
+	Seeds []imdpp.Seed `json:"seeds"`
+}
+
+func (d *daemon) loadProblem(spec problemSpec) (*imdpp.Problem, error) {
+	if spec.Scale == 0 {
+		spec.Scale = 1.0
+	}
+	key := dsKey{name: strings.ToLower(spec.Dataset), scale: spec.Scale}
+	d.mu.Lock()
+	ds, ok := d.datasets[key]
+	d.mu.Unlock()
+	if !ok {
+		// built outside the lock: dataset generation can take seconds
+		// at scale, and concurrent first requests for distinct datasets
+		// shouldn't serialise (a duplicate build for the same key is
+		// wasted work, not corruption — last writer wins)
+		var err error
+		ds, err = imdpp.LoadDataset(key.name, key.scale)
+		if err != nil {
+			return nil, err
+		}
+		d.mu.Lock()
+		d.datasets[key] = ds
+		d.mu.Unlock()
+	}
+	return ds.Clone(spec.Budget, spec.T), nil
+}
+
+func parseOrder(s string) (imdpp.OrderMetric, error) {
+	switch strings.ToUpper(s) {
+	case "", "AE":
+		return imdpp.OrderAE, nil
+	case "PF":
+		return imdpp.OrderPF, nil
+	case "SZ":
+		return imdpp.OrderSZ, nil
+	case "RMS":
+		return imdpp.OrderRMS, nil
+	case "RD":
+		return imdpp.OrderRD, nil
+	default:
+		return 0, &imdpp.InputError{Field: "Order", Reason: fmt.Sprintf("unknown metric %q (want AE|PF|SZ|RMS|RD)", s)}
+	}
+}
+
+func (d *daemon) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	adaptive := false
+	switch strings.ToLower(req.Algo) {
+	case "", "dysim":
+	case "adaptive":
+		adaptive = true
+	default:
+		writeError(w, http.StatusBadRequest, &imdpp.InputError{Field: "Algo", Reason: fmt.Sprintf("unknown algorithm %q (want dysim|adaptive)", req.Algo)})
+		return
+	}
+	order, err := parseOrder(req.Order)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := d.loadProblem(req.problemSpec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, coalesced, err := d.svc.Submit(imdpp.ServiceRequest{
+		Problem: p,
+		Options: imdpp.Options{
+			MC:           req.MC,
+			MCSI:         req.MCSI,
+			Seed:         req.Seed,
+			Theta:        req.Theta,
+			CandidateCap: req.CandidateCap,
+			Order:        order,
+		},
+		Adaptive: adaptive,
+	})
+	if err != nil {
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	snap := job.Snapshot()
+	writeJSON(w, http.StatusAccepted, solveResponse{
+		JobID:     job.ID(),
+		Status:    snap.Status,
+		Key:       job.Key().String(),
+		CacheHit:  snap.CacheHit,
+		Coalesced: coalesced,
+	})
+}
+
+func submitStatus(err error) int {
+	var inputErr *imdpp.InputError
+	switch {
+	case errors.As(err, &inputErr):
+		return http.StatusBadRequest
+	case errors.Is(err, imdpp.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, imdpp.ErrServiceClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (d *daemon) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := d.svc.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+func (d *daemon) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !d.svc.Cancel(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	job, _ := d.svc.Job(id)
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+func (d *daemon) handleSigma(w http.ResponseWriter, r *http.Request) {
+	var req sigmaRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	p, err := d.loadProblem(req.problemSpec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	est, err := d.svc.Sigma(r.Context(), p, req.Seeds, req.MC, req.Seed)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, context.Canceled) {
+			status = 499 // client closed request
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, est)
+}
+
+func (d *daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":             true,
+		"uptime_seconds": time.Since(d.start).Seconds(),
+	})
+}
+
+func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	datasets := len(d.datasets)
+	d.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		imdpp.ServiceMetrics
+		DatasetsCached int     `json:"datasets_cached"`
+		UptimeSeconds  float64 `json:"uptime_seconds"`
+	}{
+		ServiceMetrics: d.svc.Metrics(),
+		DatasetsCached: datasets,
+		UptimeSeconds:  time.Since(d.start).Seconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

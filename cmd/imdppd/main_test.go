@@ -1,0 +1,253 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"imdpp"
+)
+
+func newTestDaemon(t *testing.T) (*daemon, *httptest.Server) {
+	t.Helper()
+	d := newDaemon(imdpp.ServiceConfig{Workers: 1, QueueDepth: 8, CacheSize: 32})
+	srv := httptest.NewServer(d.handler())
+	t.Cleanup(func() {
+		srv.Close()
+		d.svc.Close()
+	})
+	return d, srv
+}
+
+func postJSON(t *testing.T, url string, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func pollUntil(t *testing.T, url string, want func(imdpp.JobView) bool) imdpp.JobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var view imdpp.JobView
+		if code := getJSON(t, url, &view); code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, code)
+		}
+		if want(view) {
+			return view
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck: %+v", view)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+const quickSolve = `{"dataset":"sample","budget":80,"t":3,"mc":4,"mcsi":2,"candidate_cap":16,"seed":1}`
+
+// TestDaemonEndToEnd walks the acceptance path: async solve to
+// completion, identical resubmit is a cache hit with bit-identical σ,
+// and a running solve aborts promptly on DELETE.
+func TestDaemonEndToEnd(t *testing.T) {
+	_, srv := newTestDaemon(t)
+
+	// healthz
+	var health map[string]any
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != http.StatusOK || health["ok"] != true {
+		t.Fatalf("healthz: %d %v", code, health)
+	}
+
+	// async solve
+	var sub solveResponse
+	if code := postJSON(t, srv.URL+"/v1/solve", quickSolve, &sub); code != http.StatusAccepted {
+		t.Fatalf("solve: status %d", code)
+	}
+	if sub.JobID == "" || sub.CacheHit || sub.Coalesced {
+		t.Fatalf("unexpected submit response: %+v", sub)
+	}
+	done := pollUntil(t, srv.URL+"/v1/jobs/"+sub.JobID, func(v imdpp.JobView) bool {
+		return v.Status == imdpp.JobDone
+	})
+	if done.Solution == nil || len(done.Solution.Seeds) == 0 {
+		t.Fatalf("done without solution: %+v", done)
+	}
+	if done.ProgressEvents == 0 {
+		t.Fatalf("no progress streamed: %+v", done)
+	}
+
+	// identical resubmit: O(1) cache hit, bit-identical σ
+	var sub2 solveResponse
+	if code := postJSON(t, srv.URL+"/v1/solve", quickSolve, &sub2); code != http.StatusAccepted {
+		t.Fatalf("resolve: status %d", code)
+	}
+	if !sub2.CacheHit || sub2.JobID == sub.JobID || sub2.Key != sub.Key {
+		t.Fatalf("resubmit not a cache hit: %+v (first %+v)", sub2, sub)
+	}
+	hit := pollUntil(t, srv.URL+"/v1/jobs/"+sub2.JobID, func(v imdpp.JobView) bool {
+		return v.Status == imdpp.JobDone
+	})
+	if hit.Solution == nil || hit.Solution.Sigma != done.Solution.Sigma {
+		t.Fatalf("cached σ differs: %+v vs %+v", hit.Solution, done.Solution)
+	}
+
+	// cancel a running solve. The sample count makes the uncancelled
+	// solve take seconds — HTTP round trips must fit inside the window
+	// between start and DELETE.
+	slow := `{"dataset":"sample","budget":80,"t":3,"mc":4096,"mcsi":512,"candidate_cap":256,"seed":9}`
+	var sub3 solveResponse
+	if code := postJSON(t, srv.URL+"/v1/solve", slow, &sub3); code != http.StatusAccepted {
+		t.Fatalf("slow solve: status %d", code)
+	}
+	pollUntil(t, srv.URL+"/v1/jobs/"+sub3.JobID, func(v imdpp.JobView) bool {
+		return v.Status != imdpp.JobQueued
+	})
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+sub3.JobID, nil)
+	cancelAt := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: %v %v", err, resp.Status)
+	}
+	resp.Body.Close()
+	cancelled := pollUntil(t, srv.URL+"/v1/jobs/"+sub3.JobID, func(v imdpp.JobView) bool {
+		return v.Status == imdpp.JobCancelled || v.Status == imdpp.JobDone
+	})
+	if cancelled.Status != imdpp.JobCancelled {
+		t.Fatalf("job finished before cancel took effect: %+v", cancelled)
+	}
+	if latency := time.Since(cancelAt); latency > time.Second {
+		t.Fatalf("cancel round trip %v, want ≤ 1s", latency)
+	}
+
+	// metrics reflect all of the above
+	var m struct {
+		imdpp.ServiceMetrics
+		DatasetsCached int `json:"datasets_cached"`
+	}
+	if code := getJSON(t, srv.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if m.CacheHits != 1 || m.JobsCancelled != 1 || m.JobsCompleted != 2 || m.DatasetsCached != 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	if m.SamplesPerSec <= 0 {
+		t.Fatalf("throughput not tracked: %+v", m)
+	}
+}
+
+func TestDaemonSigma(t *testing.T) {
+	_, srv := newTestDaemon(t)
+
+	body := `{"dataset":"sample","budget":80,"t":3,"mc":32,"seed":5,"seeds":[{"user":0,"item":0,"t":1}]}`
+	var e1, e2 imdpp.Estimate
+	if code := postJSON(t, srv.URL+"/v1/sigma", body, &e1); code != http.StatusOK {
+		t.Fatalf("sigma: status %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/v1/sigma", body, &e2); code != http.StatusOK {
+		t.Fatalf("sigma 2: status %d", code)
+	}
+	if e1.Sigma <= 0 || e1.Sigma != e2.Sigma {
+		t.Fatalf("σ not deterministic over HTTP: %v vs %v", e1.Sigma, e2.Sigma)
+	}
+
+	// out-of-budget seed group → typed 400
+	huge := `{"dataset":"sample","budget":0.001,"t":3,"mc":4,"seeds":[{"user":0,"item":0,"t":1}]}`
+	var errBody map[string]string
+	if code := postJSON(t, srv.URL+"/v1/sigma", huge, &errBody); code != http.StatusBadRequest {
+		t.Fatalf("over-budget seeds: status %d (%v)", code, errBody)
+	}
+}
+
+func TestDaemonRejectsBadInput(t *testing.T) {
+	_, srv := newTestDaemon(t)
+
+	cases := []struct {
+		name, body string
+	}{
+		{"negative mc", `{"dataset":"sample","budget":80,"t":3,"mc":-1}`},
+		{"T<1", `{"dataset":"sample","budget":80,"t":0,"mc":4}`},
+		{"negative budget", `{"dataset":"sample","budget":-5,"t":3,"mc":4}`},
+		{"unknown dataset", `{"dataset":"nope","budget":80,"t":3}`},
+		{"unknown algo", `{"dataset":"sample","budget":80,"t":3,"algo":"magic"}`},
+		{"unknown order", `{"dataset":"sample","budget":80,"t":3,"order":"XX"}`},
+		{"garbage body", `{"dataset":`},
+	}
+	for _, tc := range cases {
+		var errBody map[string]string
+		code := postJSON(t, srv.URL+"/v1/solve", tc.body, &errBody)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d want 400 (%v)", tc.name, code, errBody)
+		}
+		if errBody["error"] == "" {
+			t.Errorf("%s: no error message", tc.name)
+		}
+	}
+
+	if code := getJSON(t, srv.URL+"/v1/jobs/nosuch", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d want 404", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/nosuch", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("cancel unknown job: status %d want 404", resp.StatusCode)
+	}
+}
+
+func TestDaemonQueueFull(t *testing.T) {
+	d := newDaemon(imdpp.ServiceConfig{Workers: 1, QueueDepth: 1})
+	srv := httptest.NewServer(d.handler())
+	defer func() {
+		srv.Close()
+		d.svc.Close()
+	}()
+
+	// sample counts big enough that the blocker outlives several HTTP
+	// round trips; nobody waits for these jobs — Close aborts them
+	slow := func(seed int) string {
+		return fmt.Sprintf(`{"dataset":"sample","budget":80,"t":3,"mc":4096,"mcsi":512,"candidate_cap":256,"seed":%d}`, seed)
+	}
+	var first solveResponse
+	if code := postJSON(t, srv.URL+"/v1/solve", slow(1), &first); code != http.StatusAccepted {
+		t.Fatalf("first: status %d", code)
+	}
+	pollUntil(t, srv.URL+"/v1/jobs/"+first.JobID, func(v imdpp.JobView) bool {
+		return v.Status != imdpp.JobQueued
+	})
+	if code := postJSON(t, srv.URL+"/v1/solve", slow(2), nil); code != http.StatusAccepted {
+		t.Fatalf("second: status %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/v1/solve", slow(3), nil); code != http.StatusTooManyRequests {
+		t.Fatalf("third: status %d want 429", code)
+	}
+}

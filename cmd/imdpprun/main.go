@@ -5,9 +5,11 @@
 //
 //	imdpprun -dataset amazon -algo dysim -budget 500 -T 10
 //	imdpprun -dataset yelp -algo bgrd -budget 200 -T 5 -evalmc 200
+//	imdpprun -dataset sample -algo dysim -json   # machine-readable output
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +20,20 @@ import (
 	"imdpp"
 )
 
+// runResult is the -json output: the solver's Solution (stable field
+// names shared with the imdppd daemon) plus the run's context and the
+// independent evaluation estimate.
+type runResult struct {
+	Algo      string         `json:"algo"`
+	Dataset   string         `json:"dataset"`
+	Elapsed   float64        `json:"elapsed_seconds"`
+	Solution  imdpp.Solution `json:"solution"`
+	Eval      imdpp.Estimate `json:"eval"` // independent-seed estimate of σ(Seeds)
+	EvalMC    int            `json:"eval_mc"`
+	EvalSeed  uint64         `json:"eval_seed"`
+	SeedCount int            `json:"seed_count"`
+}
+
 func main() {
 	name := flag.String("dataset", "amazon", "amazon|yelp|douban|gowalla|sample")
 	algo := flag.String("algo", "dysim", "dysim|adaptive|bgrd|hag|ps|drhga")
@@ -27,64 +43,77 @@ func main() {
 	mc := flag.Int("mc", 24, "solver Monte-Carlo samples")
 	evalMC := flag.Int("evalmc", 100, "evaluation Monte-Carlo samples")
 	seed := flag.Uint64("seed", 1, "RNG master seed")
+	asJSON := flag.Bool("json", false, "emit the result as JSON on stdout")
 	flag.Parse()
 
-	var (
-		d   *imdpp.Dataset
-		err error
-	)
-	s := imdpp.Scale(*scale)
-	switch strings.ToLower(*name) {
-	case "amazon":
-		d, err = imdpp.AmazonDataset(s)
-	case "yelp":
-		d, err = imdpp.YelpDataset(s)
-	case "douban":
-		d, err = imdpp.DoubanDataset(s)
-	case "gowalla":
-		d, err = imdpp.GowallaDataset(s)
-	case "sample":
-		d, err = imdpp.AmazonSampleDataset()
-	default:
-		err = fmt.Errorf("unknown dataset %q", *name)
+	if *mc < 1 {
+		fatal(&imdpp.InputError{Field: "MC", Reason: fmt.Sprintf("sample count %d < 1", *mc)})
 	}
+	if *evalMC < 1 {
+		fatal(&imdpp.InputError{Field: "EvalMC", Reason: fmt.Sprintf("sample count %d < 1", *evalMC)})
+	}
+
+	d, err := imdpp.LoadDataset(*name, *scale)
 	fatal(err)
 
 	p := d.Clone(*budget, *promos)
+	opt := imdpp.Options{MC: *mc, Seed: *seed}
+	// one shared gate with the daemon: typed errors for bad budget/T/options
+	fatal(imdpp.ValidateRequest(p, opt))
+
 	start := time.Now()
-	var seeds []imdpp.Seed
+	var sol imdpp.Solution
 	switch strings.ToLower(*algo) {
 	case "dysim":
-		sol, e := imdpp.Solve(p, imdpp.Options{MC: *mc, Seed: *seed})
+		s, e := imdpp.Solve(p, opt)
 		fatal(e)
-		seeds = sol.Seeds
+		sol = s
 	case "adaptive":
-		sol, e := imdpp.SolveAdaptive(p, imdpp.Options{MC: *mc, Seed: *seed, CandidateCap: 64})
+		opt.CandidateCap = 64
+		s, e := imdpp.SolveAdaptive(p, opt)
 		fatal(e)
-		seeds = sol.Seeds
+		sol = s
 	case "bgrd":
-		sol, e := imdpp.BGRD(p, imdpp.BaselineOptions{MC: *mc, Seed: *seed})
+		s, e := imdpp.BGRD(p, imdpp.BaselineOptions{MC: *mc, Seed: *seed})
 		fatal(e)
-		seeds = sol.Seeds
+		sol = imdpp.Solution{Seeds: s.Seeds, Cost: p.SeedCost(s.Seeds), Sigma: s.Sigma}
 	case "hag":
-		sol, e := imdpp.HAG(p, imdpp.BaselineOptions{MC: *mc, Seed: *seed})
+		s, e := imdpp.HAG(p, imdpp.BaselineOptions{MC: *mc, Seed: *seed})
 		fatal(e)
-		seeds = sol.Seeds
+		sol = imdpp.Solution{Seeds: s.Seeds, Cost: p.SeedCost(s.Seeds), Sigma: s.Sigma}
 	case "ps":
-		sol, e := imdpp.PS(p, imdpp.BaselineOptions{MC: *mc, Seed: *seed})
+		s, e := imdpp.PS(p, imdpp.BaselineOptions{MC: *mc, Seed: *seed})
 		fatal(e)
-		seeds = sol.Seeds
+		sol = imdpp.Solution{Seeds: s.Seeds, Cost: p.SeedCost(s.Seeds), Sigma: s.Sigma}
 	case "drhga":
-		sol, e := imdpp.DRHGA(p, imdpp.BaselineOptions{MC: *mc, Seed: *seed})
+		s, e := imdpp.DRHGA(p, imdpp.BaselineOptions{MC: *mc, Seed: *seed})
 		fatal(e)
-		seeds = sol.Seeds
+		sol = imdpp.Solution{Seeds: s.Seeds, Cost: p.SeedCost(s.Seeds), Sigma: s.Sigma}
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algo))
 	}
 	elapsed := time.Since(start)
+	seeds := sol.Seeds
 
 	est := imdpp.NewEstimator(p, *evalMC, *seed+1000)
 	run := est.Run(seeds, nil, false)
+
+	if *asJSON {
+		out := runResult{
+			Algo:      strings.ToLower(*algo),
+			Dataset:   d.Spec.Name,
+			Elapsed:   elapsed.Seconds(),
+			Solution:  sol,
+			Eval:      run,
+			EvalMC:    *evalMC,
+			EvalSeed:  *seed + 1000,
+			SeedCount: len(seeds),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatal(enc.Encode(out))
+		return
+	}
 
 	fmt.Printf("%s on %s: %d seeds, cost %.1f/%.0f, σ = %.1f, %.1f adoptions, %v\n",
 		*algo, d.Spec.Name, len(seeds), p.SeedCost(seeds), p.Budget,

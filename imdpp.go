@@ -28,11 +28,16 @@
 package imdpp
 
 import (
+	"context"
+	"fmt"
+	"strings"
+
 	"imdpp/internal/baselines"
 	"imdpp/internal/core"
 	"imdpp/internal/dataset"
 	"imdpp/internal/diffusion"
 	"imdpp/internal/exp"
+	"imdpp/internal/service"
 )
 
 // Core problem and diffusion types.
@@ -71,7 +76,17 @@ type (
 	Market = core.Market
 	// OrderMetric selects the target-market ordering (AE/PF/SZ/RMS/RD).
 	OrderMetric = core.OrderMetric
+	// ProgressEvent is one solver progress report (Options.Progress).
+	ProgressEvent = core.ProgressEvent
+	// InputError is a typed rejection of an out-of-range request
+	// field, shared by the CLI front-ends and the serving layer.
+	InputError = core.InputError
 )
+
+// ValidateRequest rejects a nil problem, negative budget, T < 1 and
+// out-of-range Options with typed InputErrors — the single request
+// gate shared by Solve, the CLIs and the serving layer.
+func ValidateRequest(p *Problem, opt Options) error { return core.ValidateRequest(p, opt) }
 
 // Market ordering metrics (Sec. VI-D of the paper).
 const (
@@ -120,9 +135,22 @@ func DefaultParams() Params { return diffusion.DefaultParams() }
 // Solve runs Dysim on the problem.
 func Solve(p *Problem, opt Options) (Solution, error) { return core.Solve(p, opt) }
 
+// SolveCtx is Solve with cancellation: the solver aborts within about
+// one campaign simulation of ctx firing and returns ctx.Err(). A
+// completed solve is bit-identical to Solve.
+func SolveCtx(ctx context.Context, p *Problem, opt Options) (Solution, error) {
+	return core.SolveCtx(ctx, p, opt)
+}
+
 // SolveAdaptive runs the adaptive variant of Dysim (Sec. V-D: no
 // predefined budget allocation across promotions).
 func SolveAdaptive(p *Problem, opt Options) (Solution, error) { return core.SolveAdaptive(p, opt) }
+
+// SolveAdaptiveCtx is SolveAdaptive with cancellation, under the same
+// contract as SolveCtx.
+func SolveAdaptiveCtx(ctx context.Context, p *Problem, opt Options) (Solution, error) {
+	return core.SolveAdaptiveCtx(ctx, p, opt)
+}
 
 // NewEstimator creates a Monte-Carlo influence estimator with m
 // samples and the given master seed.
@@ -167,4 +195,73 @@ var (
 	ClassSpecs = dataset.ClassSpecs
 	// CourseName resolves a course item id to its human-readable name.
 	CourseName = dataset.CourseName
+)
+
+// LoadDataset resolves a preset dataset by name — "amazon", "yelp",
+// "douban", "gowalla" or "sample" (the 100-user Amazon sample; its
+// scale is fixed) — at the given scale multiplier. It is the single
+// name→dataset mapping shared by the imdpprun CLI and the imdppd
+// daemon.
+func LoadDataset(name string, scale float64) (*Dataset, error) {
+	s := Scale(scale)
+	switch strings.ToLower(name) {
+	case "amazon":
+		return AmazonDataset(s)
+	case "yelp":
+		return YelpDataset(s)
+	case "douban":
+		return DoubanDataset(s)
+	case "gowalla":
+		return GowallaDataset(s)
+	case "sample":
+		return AmazonSampleDataset()
+	default:
+		return nil, fmt.Errorf("imdpp: unknown dataset %q (want amazon|yelp|douban|gowalla|sample)", name)
+	}
+}
+
+// Serving layer (package service): a bounded job queue over a solver
+// worker pool with prompt cancellation, a content-addressed LRU
+// result cache and in-flight coalescing — the subsystem behind the
+// imdppd daemon.
+type (
+	// Service runs campaign solves asynchronously.
+	Service = service.Service
+	// ServiceConfig sizes the service (workers, queue, cache).
+	ServiceConfig = service.Config
+	// ServiceRequest is one solve submission.
+	ServiceRequest = service.Request
+	// ServiceMetrics is a snapshot of the service counters.
+	ServiceMetrics = service.Metrics
+	// Job is one asynchronous solve tracked by a Service.
+	Job = service.Job
+	// JobView is the JSON-able snapshot of a Job.
+	JobView = service.JobView
+	// JobStatus is the lifecycle state of a Job.
+	JobStatus = service.Status
+	// SolveKey is the 128-bit content address of a solve request.
+	SolveKey = service.Key
+)
+
+// Job lifecycle states.
+const (
+	JobQueued    = service.StatusQueued
+	JobRunning   = service.StatusRunning
+	JobDone      = service.StatusDone
+	JobFailed    = service.StatusFailed
+	JobCancelled = service.StatusCancelled
+)
+
+// Serving-layer errors and constructors.
+var (
+	// NewService starts a campaign-solving service.
+	NewService = service.New
+	// ErrQueueFull rejects submissions beyond the bounded job queue.
+	ErrQueueFull = service.ErrQueueFull
+	// ErrServiceClosed rejects submissions after Close.
+	ErrServiceClosed = service.ErrClosed
+	// HashSolveRequest returns the content address of a solve request
+	// — the cache/coalescing key, exploiting the determinism contract
+	// (DESIGN.md §3).
+	HashSolveRequest = service.HashRequest
 )

@@ -24,8 +24,8 @@ import (
 
 // Nominee is a candidate (user, item) pair.
 type Nominee struct {
-	User int
-	Item int
+	User int `json:"user"`
+	Item int `json:"item"`
 }
 
 // Strategy selects the clustering algorithm.

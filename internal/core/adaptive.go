@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"imdpp/internal/cluster"
@@ -23,10 +24,20 @@ import (
 // later selections on the earlier promotions exactly as Def. 1's
 // conditional expectation requires).
 func SolveAdaptive(p *diffusion.Problem, opt Options) (Solution, error) {
+	return SolveAdaptiveCtx(context.Background(), p, opt)
+}
+
+// SolveAdaptiveCtx is SolveAdaptive with cancellation, under the same
+// contract as SolveCtx: prompt abort returning ctx.Err(), and
+// bit-identical results when the context never fires.
+func SolveAdaptiveCtx(ctx context.Context, p *diffusion.Problem, opt Options) (Solution, error) {
+	if err := ValidateRequest(p, opt); err != nil {
+		return Solution{}, err
+	}
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
-	s := newSolver(p, opt)
+	s := newSolver(ctx, p, opt)
 	remaining := p.Budget
 	var all []diffusion.Seed
 
@@ -34,9 +45,16 @@ func SolveAdaptive(p *diffusion.Problem, opt Options) (Solution, error) {
 	used := make(map[cluster.Nominee]bool)
 
 	for t := 1; t <= p.T && remaining > 0; t++ {
+		if err := s.err(); err != nil {
+			return Solution{}, err
+		}
+		s.progress("adaptive", t, p.Budget-remaining, 0)
 		if t == p.T {
 			// final promotion: spend what is left greedily at T
-			picked := s.greedyUnderBudget(universe, used, all, remaining, p.T)
+			picked, err := s.greedyUnderBudget(universe, used, all, remaining, p.T)
+			if err != nil {
+				return Solution{}, err
+			}
 			for _, nm := range picked {
 				all = append(all, diffusion.Seed{User: nm.User, Item: nm.Item, T: p.T})
 				remaining -= p.CostOf(nm.User, nm.Item)
@@ -44,7 +62,10 @@ func SolveAdaptive(p *diffusion.Problem, opt Options) (Solution, error) {
 			}
 			break
 		}
-		accepted := s.adaptiveAccept(universe, used, all, remaining)
+		accepted, err := s.adaptiveAccept(universe, used, all, remaining)
+		if err != nil {
+			return Solution{}, err
+		}
 		if len(accepted) == 0 {
 			continue
 		}
@@ -58,6 +79,9 @@ func SolveAdaptive(p *diffusion.Problem, opt Options) (Solution, error) {
 		pool := accepted
 		stop := false
 		for len(pool) > 0 && !stop {
+			if err := s.err(); err != nil {
+				return Solution{}, err
+			}
 			// one batch per SI round: baseline + every (nominee, t/t+1)
 			// candidate under shared sample streams
 			type candRef struct {
@@ -103,6 +127,9 @@ func SolveAdaptive(p *diffusion.Problem, opt Options) (Solution, error) {
 	}
 
 	sigma := s.sigma(all)
+	if err := s.err(); err != nil {
+		return Solution{}, err
+	}
 	s.stats.SamplesSimulated = s.est.SamplesDone() + s.estSI.SamplesDone()
 	s.stats.StateBytesPerWorker = max(s.est.StateBytes(), s.estSI.StateBytes())
 	sol := Solution{Seeds: all, Cost: p.SeedCost(all), Sigma: sigma, Stats: s.stats}
@@ -112,12 +139,15 @@ func SolveAdaptive(p *diffusion.Problem, opt Options) (Solution, error) {
 // adaptiveAccept grows a nominee set one-highest-MCP-at-a-time until
 // adding one would make overlapping markets promote substitutable
 // items; that nominee is rejected and growth stops.
-func (s *solver) adaptiveAccept(universe []cluster.Nominee, used map[cluster.Nominee]bool, cur []diffusion.Seed, budget float64) []cluster.Nominee {
+func (s *solver) adaptiveAccept(universe []cluster.Nominee, used map[cluster.Nominee]bool, cur []diffusion.Seed, budget float64) ([]cluster.Nominee, error) {
 	p := s.p
 	var accepted []cluster.Nominee
 	spent := 0.0
 	base := s.sigma(cur)
 	for {
+		if err := s.err(); err != nil {
+			return nil, err
+		}
 		// batch the whole eligible universe for this growth step
 		var (
 			groups [][]diffusion.Seed
@@ -171,7 +201,7 @@ func (s *solver) adaptiveAccept(universe []cluster.Nominee, used map[cluster.Nom
 			break // per-promotion cap keeps the adaptive loop tractable
 		}
 	}
-	return accepted
+	return accepted, nil
 }
 
 // causesAntagonism reports whether adding nm would let socially
@@ -191,13 +221,16 @@ func (s *solver) causesAntagonism(accepted []cluster.Nominee, nm cluster.Nominee
 
 // greedyUnderBudget picks nominees by MCP with all timings fixed at
 // promotion tFix until the budget runs out.
-func (s *solver) greedyUnderBudget(universe []cluster.Nominee, used map[cluster.Nominee]bool, cur []diffusion.Seed, budget float64, tFix int) []cluster.Nominee {
+func (s *solver) greedyUnderBudget(universe []cluster.Nominee, used map[cluster.Nominee]bool, cur []diffusion.Seed, budget float64, tFix int) ([]cluster.Nominee, error) {
 	p := s.p
 	var picked []cluster.Nominee
 	seeds := append([]diffusion.Seed(nil), cur...)
 	base := s.sigma(seeds)
 	spent := 0.0
 	for {
+		if err := s.err(); err != nil {
+			return nil, err
+		}
 		// batch every eligible candidate of this greedy round
 		var (
 			groups [][]diffusion.Seed
@@ -241,7 +274,7 @@ func (s *solver) greedyUnderBudget(universe []cluster.Nominee, used map[cluster.
 		spent += p.CostOf(nm.User, nm.Item)
 		base = bestSigma
 	}
-	return picked
+	return picked, nil
 }
 
 func allUsers(n int) []int {

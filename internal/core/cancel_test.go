@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"imdpp/internal/diffusion"
+)
+
+func cancelOpts() Options {
+	// big enough that the solve runs long past the cancellation point
+	return Options{MC: 512, MCSI: 64, Seed: 1, CandidateCap: 256}
+}
+
+func TestSolveCtxPreCancelled(t *testing.T) {
+	p := sampleProblem(t, 80, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := SolveCtx(ctx, p, cancelOpts()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("pre-cancelled solve took %v", el)
+	}
+}
+
+// TestSolveCtxCancelMidSolve: cancelling a running solve returns
+// ctx.Err() within about one campaign simulation and leaks no
+// goroutines from the estimator pool.
+func TestSolveCtxCancelMidSolve(t *testing.T) {
+	p := sampleProblem(t, 80, 3)
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type result struct {
+		sol Solution
+		err error
+	}
+	res := make(chan result, 1)
+	go func() {
+		sol, err := SolveCtx(ctx, p, cancelOpts())
+		res <- result{sol, err}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the solve get going
+	cancelAt := time.Now()
+	cancel()
+	select {
+	case r := <-res:
+		if !errors.Is(r.err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v (sol σ=%v)", r.err, r.sol.Sigma)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("solve did not return after cancel")
+	}
+	if latency := time.Since(cancelAt); latency > 500*time.Millisecond {
+		t.Fatalf("cancel latency %v, want ≤ 500ms", latency)
+	}
+
+	// estimator worker goroutines must all have exited
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after cancel: %d > baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSolveAdaptiveCtxPreCancelled(t *testing.T) {
+	p := sampleProblem(t, 80, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveAdaptiveCtx(ctx, p, Options{MC: 8, CandidateCap: 32}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestSolveCtxDeterministicWithProgress: a context and a Progress
+// callback must not change the result — the property the serving
+// layer's cache keys rely on.
+func TestSolveCtxDeterministicWithProgress(t *testing.T) {
+	p := sampleProblem(t, 80, 3)
+	opt := Options{MC: 8, MCSI: 4, Seed: 3, CandidateCap: 24}
+	plain, err := Solve(p, opt)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+
+	events := 0
+	opt.Progress = func(ev ProgressEvent) {
+		events++
+		if ev.Phase == "" {
+			t.Errorf("empty progress phase")
+		}
+	}
+	opt.Workers = 3 // also vary the pool: §3 says result-invariant
+	withCtx, err := SolveCtx(context.Background(), p, opt)
+	if err != nil {
+		t.Fatalf("SolveCtx: %v", err)
+	}
+
+	if plain.Sigma != withCtx.Sigma {
+		t.Fatalf("σ differs: %v vs %v", plain.Sigma, withCtx.Sigma)
+	}
+	if len(plain.Seeds) != len(withCtx.Seeds) {
+		t.Fatalf("seed counts differ: %d vs %d", len(plain.Seeds), len(withCtx.Seeds))
+	}
+	for i := range plain.Seeds {
+		if plain.Seeds[i] != withCtx.Seeds[i] {
+			t.Fatalf("seed %d differs: %+v vs %+v", i, plain.Seeds[i], withCtx.Seeds[i])
+		}
+	}
+	if events == 0 {
+		t.Fatal("no progress events emitted")
+	}
+}
+
+func TestValidateRequestTypedErrors(t *testing.T) {
+	p := sampleProblem(t, 80, 3)
+
+	cases := []struct {
+		name  string
+		p     *diffusion.Problem
+		opt   Options
+		field string
+	}{
+		{"nil problem", nil, Options{}, "Problem"},
+		{"negative MC", p, Options{MC: -1}, "MC"},
+		{"negative MCSI", p, Options{MCSI: -2}, "MCSI"},
+		{"negative workers", p, Options{Workers: -1}, "Workers"},
+		{"bad MIOA threshold", p, Options{MIOAThreshold: 1.5}, "MIOAThreshold"},
+	}
+	for _, tc := range cases {
+		err := ValidateRequest(tc.p, tc.opt)
+		var inputErr *InputError
+		if !errors.As(err, &inputErr) || inputErr.Field != tc.field {
+			t.Errorf("%s: want InputError{%s}, got %v", tc.name, tc.field, err)
+		}
+	}
+
+	if err := ValidateRequest(p, Options{}); err != nil {
+		t.Errorf("zero options rejected: %v", err)
+	}
+
+	bad := sampleProblem(t, 80, 3)
+	bad.Budget = -1
+	if err := ValidateRequest(bad, Options{}); !errors.Is(err, &InputError{Field: "Budget"}) {
+		t.Errorf("negative budget: want InputError{Budget}, got %v", err)
+	}
+	// both Solve entry points share the gate
+	if _, err := Solve(bad, Options{}); !errors.Is(err, &InputError{Field: "Budget"}) {
+		t.Errorf("Solve: want InputError{Budget}, got %v", err)
+	}
+	if _, err := SolveAdaptive(bad, Options{}); !errors.Is(err, &InputError{Field: "Budget"}) {
+		t.Errorf("SolveAdaptive: want InputError{Budget}, got %v", err)
+	}
+}

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"imdpp/internal/cluster"
@@ -87,7 +88,35 @@ type Options struct {
 	DisableItemPriority bool
 	// Workers bounds estimator parallelism (0 → GOMAXPROCS).
 	Workers int
+	// Progress, when non-nil, receives solver progress events: one per
+	// nominee selection, per TDSI assignment and per adaptive
+	// promotion. Events are emitted synchronously from the solver
+	// goroutine; the callback must be fast and must not call back into
+	// the solver. Progress never affects the solve result — two runs
+	// differing only in Progress return bit-identical Solutions — so
+	// the serving layer excludes it from the content-address hash.
+	Progress func(ProgressEvent)
 }
+
+// ProgressEvent is one solver progress report, for job-status
+// streaming in the serving layer.
+type ProgressEvent struct {
+	// Phase is the solver stage: "select", "schedule" or "adaptive".
+	Phase string `json:"phase"`
+	// Round counts completed units within the phase: nominees selected,
+	// seeds scheduled, or the current promotion index.
+	Round int `json:"round"`
+	// Spent is the budget consumed so far, where the phase tracks it.
+	Spent float64 `json:"spent"`
+	// Sigma is the best σ estimate observed so far (0 until known).
+	Sigma float64 `json:"sigma"`
+}
+
+// WithDefaults returns the options with every zero-valued field
+// replaced by its documented default — the canonical form a solver
+// run actually executes with. The serving layer hashes this form so
+// that, e.g., Seed 0 and Seed 1 (its default) share one cache entry.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
 
 func (o Options) withDefaults() Options {
 	if o.MC <= 0 {
@@ -111,51 +140,57 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Market is one identified target market τ.
+// Market is one identified target market τ. JSON field names are a
+// stable wire contract; the |V|-sized membership mask is derivable
+// from Users and is excluded from serialization.
 type Market struct {
-	ID       int
-	Nominees []cluster.Nominee
-	Users    []int  // MIOA region
-	Mask     []bool // len |V| membership mask
-	Diameter int    // d_τ: eccentricity from the nominee users
-	Items    []int  // distinct items promoted by the nominees
-	Ttau     int    // promotional duration T_τ
-	Group    int    // overlap-group id
-	OrderKey float64
+	ID       int               `json:"id"`
+	Nominees []cluster.Nominee `json:"nominees"`
+	Users    []int             `json:"users"`    // MIOA region
+	Mask     []bool            `json:"-"`        // len |V| membership mask
+	Diameter int               `json:"diameter"` // d_τ: eccentricity from the nominee users
+	Items    []int             `json:"items"`    // distinct items promoted by the nominees
+	Ttau     int               `json:"t_tau"`    // promotional duration T_τ
+	Group    int               `json:"group"`    // overlap-group id
+	OrderKey float64           `json:"order_key"`
 }
 
-// Stats reports solver effort, for the execution-time figures.
+// Stats reports solver effort, for the execution-time figures. JSON
+// field names are a stable wire contract; durations serialize as
+// nanoseconds (Go time.Duration).
 type Stats struct {
-	SigmaEvals   int
-	SIEvals      int
-	NomineeCount int
-	MarketCount  int
-	GroupCount   int
-	SelectTime   time.Duration
-	MarketTime   time.Duration
-	ScheduleTime time.Duration
-	TotalTime    time.Duration
+	SigmaEvals   int           `json:"sigma_evals"`
+	SIEvals      int           `json:"si_evals"`
+	NomineeCount int           `json:"nominee_count"`
+	MarketCount  int           `json:"market_count"`
+	GroupCount   int           `json:"group_count"`
+	SelectTime   time.Duration `json:"select_time_ns"`
+	MarketTime   time.Duration `json:"market_time_ns"`
+	ScheduleTime time.Duration `json:"schedule_time_ns"`
+	TotalTime    time.Duration `json:"total_time_ns"`
 	// SamplesSimulated is the total number of Monte-Carlo campaign
 	// simulations run across both estimators; with TotalTime it yields
 	// the estimator throughput (samples/sec) reported by imdppbench.
-	SamplesSimulated uint64
+	SamplesSimulated uint64 `json:"samples_simulated"`
 	// StateBytesPerWorker is the largest per-worker simulation-state
 	// footprint observed across the solver's estimators (sparse State
 	// layout: scales with cascade size, not |V|·|I|).
-	StateBytesPerWorker uint64
+	StateBytesPerWorker uint64 `json:"state_bytes_per_worker"`
 }
 
-// Solution is the output of a solver run.
+// Solution is the output of a solver run. JSON field names are a
+// stable wire contract shared by imdppd responses and imdpprun -json.
 type Solution struct {
-	Seeds   []diffusion.Seed
-	Cost    float64
-	Sigma   float64 // final MC estimate of σ(Seeds)
-	Markets []Market
-	Stats   Stats
+	Seeds   []diffusion.Seed `json:"seeds"`
+	Cost    float64          `json:"cost"`
+	Sigma   float64          `json:"sigma"` // final MC estimate of σ(Seeds)
+	Markets []Market         `json:"markets,omitempty"`
+	Stats   Stats            `json:"stats"`
 }
 
 // solver carries shared run state.
 type solver struct {
+	ctx   context.Context
 	p     *diffusion.Problem
 	opt   Options
 	est   *diffusion.Estimator // MC-sample estimator for selection
@@ -163,14 +198,29 @@ type solver struct {
 	stats Stats
 }
 
-func newSolver(p *diffusion.Problem, opt Options) *solver {
+func newSolver(ctx context.Context, p *diffusion.Problem, opt Options) *solver {
 	opt = opt.withDefaults()
-	s := &solver{p: p, opt: opt}
+	s := &solver{ctx: ctx, p: p, opt: opt}
 	s.est = diffusion.NewEstimator(p, opt.MC, opt.Seed)
 	s.est.Workers = opt.Workers
+	s.est.Bind(ctx)
 	s.estSI = diffusion.NewEstimator(p, opt.MCSI, opt.Seed+0x9e37)
 	s.estSI.Workers = opt.Workers
+	s.estSI.Bind(ctx)
 	return s
+}
+
+// err reports the solver's cancellation state. Every selection /
+// scheduling loop checks it at round boundaries; the estimators abort
+// in-flight batches on the same context, so a cancelled solve returns
+// within about one campaign simulation.
+func (s *solver) err() error { return s.ctx.Err() }
+
+// progress emits a solver progress event when a callback is set.
+func (s *solver) progress(phase string, round int, spent, sigma float64) {
+	if s.opt.Progress != nil {
+		s.opt.Progress(ProgressEvent{Phase: phase, Round: round, Spent: spent, Sigma: sigma})
+	}
 }
 
 // sigma evaluates σ with the selection estimator, counting the call.

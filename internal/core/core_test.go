@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"imdpp/internal/cluster"
@@ -216,7 +217,7 @@ func TestAdaptiveRejectsInvalidProblem(t *testing.T) {
 
 func TestCandidateUniverseDiversity(t *testing.T) {
 	p := sampleProblem(t, 150, 2)
-	s := newSolver(p, Options{CandidateCap: 30, Seed: 1})
+	s := newSolver(context.Background(), p, Options{CandidateCap: 30, Seed: 1})
 	u := s.candidateUniverse()
 	if len(u) == 0 || len(u) > 30 {
 		t.Fatalf("universe size %d", len(u))
@@ -235,9 +236,12 @@ func TestCandidateUniverseDiversity(t *testing.T) {
 
 func TestSelectNomineesBudget(t *testing.T) {
 	p := sampleProblem(t, 80, 2)
-	s := newSolver(p, quickOpts())
+	s := newSolver(context.Background(), p, quickOpts())
 	universe := s.candidateUniverse()
-	selected, emax, emaxSigma, spent := s.selectNominees(universe, p.Budget)
+	selected, emax, emaxSigma, spent, err := s.selectNominees(universe, p.Budget)
+	if err != nil {
+		t.Fatalf("selectNominees: %v", err)
+	}
 	if spent > p.Budget+1e-9 {
 		t.Fatalf("spent %v over budget", spent)
 	}
@@ -251,7 +255,7 @@ func TestSelectNomineesBudget(t *testing.T) {
 
 func TestIdentifyMarkets(t *testing.T) {
 	p := sampleProblem(t, 150, 2)
-	s := newSolver(p, quickOpts())
+	s := newSolver(context.Background(), p, quickOpts())
 	noms := []cluster.Nominee{{User: 0, Item: 0}, {User: 1, Item: 1}, {User: 50, Item: 2}}
 	markets := s.identifyMarkets(noms)
 	if len(markets) == 0 {
@@ -290,7 +294,7 @@ func TestIdentifyMarkets(t *testing.T) {
 
 func TestGroupMarketsTheta(t *testing.T) {
 	p := sampleProblem(t, 150, 2)
-	s := newSolver(p, quickOpts())
+	s := newSolver(context.Background(), p, quickOpts())
 	mkA := &Market{ID: 0, Users: []int{1, 2, 3, 4}}
 	mkB := &Market{ID: 1, Users: []int{3, 4, 5, 6}}
 	mkC := &Market{ID: 2, Users: []int{90, 91}}
@@ -308,7 +312,7 @@ func TestGroupMarketsTheta(t *testing.T) {
 
 func TestAntagonisticExtent(t *testing.T) {
 	p := sampleProblem(t, 150, 2)
-	s := newSolver(p, quickOpts())
+	s := newSolver(context.Background(), p, quickOpts())
 	// find a substitutable pair in the sample's PIN
 	var x, y int = -1, -1
 	for i := 0; i < p.NumItems() && x < 0; i++ {
@@ -358,7 +362,7 @@ func TestAllocateDurations(t *testing.T) {
 
 func TestDynamicReachabilityPrefersComplementHubs(t *testing.T) {
 	p := sampleProblem(t, 150, 3)
-	s := newSolver(p, quickOpts())
+	s := newSolver(context.Background(), p, quickOpts())
 	mask := make([]bool, p.NumUsers())
 	users := make([]int, 0, 20)
 	for u := 0; u < 20; u++ {
@@ -390,7 +394,7 @@ func TestDynamicReachabilityPrefersComplementHubs(t *testing.T) {
 
 func TestMarketSharesAndRMS(t *testing.T) {
 	p := sampleProblem(t, 150, 2)
-	s := newSolver(p, quickOpts())
+	s := newSolver(context.Background(), p, quickOpts())
 	shares := s.marketShares()
 	total := 0
 	for _, n := range shares {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -61,7 +62,7 @@ func drProblem(t *testing.T, wA, wB float64) *diffusion.Problem {
 func TestDynamicReachabilityHandComputed(t *testing.T) {
 	const wA, wB, g = 2.0, 1.0, 0.25
 	p := drProblem(t, wA, wB)
-	s := newSolver(p, Options{MC: 4, MCSI: 4, Seed: 1})
+	s := newSolver(context.Background(), p, Options{MC: 4, MCSI: 4, Seed: 1})
 	users := []int{0, 1, 2}
 	mask := []bool{true, true, true}
 
@@ -93,7 +94,7 @@ func TestDynamicReachabilityHandComputed(t *testing.T) {
 // maxDRDepth even for huge market diameters.
 func TestDynamicReachabilityDepthCap(t *testing.T) {
 	p := drProblem(t, 1, 1)
-	s := newSolver(p, Options{MC: 4, MCSI: 4, Seed: 1})
+	s := newSolver(context.Background(), p, Options{MC: 4, MCSI: 4, Seed: 1})
 	m := &Market{Users: []int{0}, Mask: []bool{true, false, false}, Diameter: 10000}
 	dr := s.dynamicReachability(m, nil, []int{0, 1})
 	// capped depth keeps DR finite and equal to the maxDRDepth value

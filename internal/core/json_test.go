@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"imdpp/internal/cluster"
+	"imdpp/internal/diffusion"
+)
+
+// TestSolutionJSONRoundTrip pins the wire contract shared by the
+// imdppd daemon and imdpprun -json: stable snake_case field names,
+// and a lossless round trip (the derivable Mask excepted).
+func TestSolutionJSONRoundTrip(t *testing.T) {
+	sol := Solution{
+		Seeds: []diffusion.Seed{{User: 3, Item: 1, T: 2}, {User: 9, Item: 0, T: 1}},
+		Cost:  42.5,
+		Sigma: 17.25,
+		Markets: []Market{{
+			ID:       1,
+			Nominees: []cluster.Nominee{{User: 3, Item: 1}},
+			Users:    []int{1, 3, 7},
+			Mask:     []bool{false, true, false, true}, // excluded from JSON
+			Diameter: 2,
+			Items:    []int{1},
+			Ttau:     3,
+			Group:    0,
+			OrderKey: 0.5,
+		}},
+		Stats: Stats{
+			SigmaEvals:          11,
+			SIEvals:             5,
+			NomineeCount:        2,
+			MarketCount:         1,
+			GroupCount:          1,
+			SelectTime:          3 * time.Millisecond,
+			TotalTime:           9 * time.Millisecond,
+			SamplesSimulated:    1234,
+			StateBytesPerWorker: 4096,
+		},
+	}
+
+	data, err := json.Marshal(sol)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, field := range []string{
+		`"seeds"`, `"user"`, `"item"`, `"t"`, `"cost"`, `"sigma"`,
+		`"markets"`, `"nominees"`, `"users"`, `"diameter"`, `"t_tau"`,
+		`"stats"`, `"sigma_evals"`, `"samples_simulated"`,
+		`"select_time_ns"`, `"state_bytes_per_worker"`,
+	} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("wire contract broken: %s missing from %s", field, data)
+		}
+	}
+	if strings.Contains(string(data), `"Mask"`) || strings.Contains(string(data), `"mask"`) {
+		t.Errorf("|V|-sized mask leaked into JSON: %s", data)
+	}
+
+	var back Solution
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	want := sol
+	want.Markets[0].Mask = nil // not serialized by design
+	if !reflect.DeepEqual(want, back) {
+		t.Fatalf("round trip lost data:\nwant %+v\ngot  %+v", want, back)
+	}
+}
+
+func TestEstimateJSONRoundTrip(t *testing.T) {
+	est := diffusion.Estimate{
+		Sigma:       3.75,
+		MarketSigma: 1.5,
+		Pi:          0.25,
+		PerItem:     []float64{0, 1.5, 0.125},
+		Adoptions:   4.5,
+	}
+	data, err := json.Marshal(est)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, field := range []string{`"sigma"`, `"market_sigma"`, `"pi"`, `"per_item"`, `"adoptions"`} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("wire contract broken: %s missing from %s", field, data)
+		}
+	}
+	var back diffusion.Estimate
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(est, back) {
+		t.Fatalf("round trip lost data:\nwant %+v\ngot  %+v", est, back)
+	}
+}

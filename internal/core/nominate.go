@@ -139,8 +139,9 @@ func (h *celfHeap) Pop() any {
 // Selection stops when the budget is exhausted, the universe is empty,
 // or the best marginal gain is non-positive (the negative-marginal
 // stop of Lemma 3, case 2). It returns the selected nominees and the
-// best single nominee seen (the emax of Theorem 3).
-func (s *solver) selectNominees(universe []cluster.Nominee, budget float64) (selected []cluster.Nominee, emax cluster.Nominee, emaxSigma float64, spent float64) {
+// best single nominee seen (the emax of Theorem 3). A cancelled
+// context aborts between rounds with the context's error.
+func (s *solver) selectNominees(universe []cluster.Nominee, budget float64) (selected []cluster.Nominee, emax cluster.Nominee, emaxSigma float64, spent float64, err error) {
 	p := s.p
 	h := make(celfHeap, 0, len(universe))
 	emaxSigma = -1
@@ -154,7 +155,11 @@ func (s *solver) selectNominees(universe []cluster.Nominee, budget float64) (sel
 	for i, e := range h {
 		groups[i] = []diffusion.Seed{{User: e.nm.User, Item: e.nm.Item, T: 1}}
 	}
-	for i, sig := range s.sigmaBatch(groups) {
+	initial := s.sigmaBatch(groups)
+	if err = s.err(); err != nil {
+		return nil, emax, emaxSigma, 0, err
+	}
+	for i, sig := range initial {
 		e := h[i]
 		e.gain = sig
 		e.ratio = e.gain / (p.CostOf(e.nm.User, e.nm.Item) + 1e-12)
@@ -169,6 +174,9 @@ func (s *solver) selectNominees(universe []cluster.Nominee, budget float64) (sel
 	var seeds []diffusion.Seed
 	wave := make([]*celfEntry, 0, celfWaveSize)
 	for h.Len() > 0 {
+		if err = s.err(); err != nil {
+			return nil, emax, emaxSigma, spent, err
+		}
 		top := h[0]
 		cost := p.CostOf(top.nm.User, top.nm.Item)
 		if cost > budget-spent {
@@ -194,6 +202,7 @@ func (s *solver) selectNominees(universe []cluster.Nominee, budget float64) (sel
 			// round's marginals (winner's curse).
 			s.est.Reseed(s.opt.Seed + uint64(len(selected))*0x9E3779B9)
 			base = s.sigma(seeds)
+			s.progress("select", len(selected), spent, base)
 			continue
 		}
 		// stale: pop a wave of stale affordable entries off the top and
@@ -225,5 +234,5 @@ func (s *solver) selectNominees(universe []cluster.Nominee, budget float64) (sel
 			heap.Push(&h, e)
 		}
 	}
-	return selected, emax, emaxSigma, spent
+	return selected, emax, emaxSigma, spent, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"imdpp/internal/diffusion"
@@ -9,16 +10,33 @@ import (
 // Solve runs Dysim (Algorithm 1) on the problem and returns the seed
 // group, its cost and the final σ estimate.
 func Solve(p *diffusion.Problem, opt Options) (Solution, error) {
+	return SolveCtx(context.Background(), p, opt)
+}
+
+// SolveCtx is Solve with cancellation: when ctx is cancelled the
+// solver aborts within about one campaign simulation — the estimator
+// preempts between (group × sample) units and every selection loop
+// checks the context at round boundaries — releasing its worker
+// goroutines and returning ctx.Err(). A completed (non-cancelled)
+// solve is bit-identical to Solve: the context never influences
+// sampling or selection.
+func SolveCtx(ctx context.Context, p *diffusion.Problem, opt Options) (Solution, error) {
+	if err := ValidateRequest(p, opt); err != nil {
+		return Solution{}, err
+	}
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
-	s := newSolver(p, opt)
+	s := newSolver(ctx, p, opt)
 	start := time.Now()
 
 	// --- TMI: nominee selection ----------------------------------------
 	t0 := time.Now()
 	universe := s.candidateUniverse()
-	selected, emax, emaxSigma, _ := s.selectNominees(universe, p.Budget)
+	selected, emax, emaxSigma, _, err := s.selectNominees(universe, p.Budget)
+	if err != nil {
+		return Solution{}, err
+	}
 	s.stats.NomineeCount = len(selected)
 	s.stats.SelectTime = time.Since(t0)
 
@@ -43,7 +61,9 @@ func Solve(p *diffusion.Problem, opt Options) (Solution, error) {
 			if cum > p.T {
 				cum = p.T
 			}
-			s.scheduleMarket(markets[mi], &sg, cum)
+			if err := s.scheduleMarket(markets[mi], &sg, cum); err != nil {
+				return Solution{}, err
+			}
 		}
 		all = append(all, sg...)
 	}
@@ -55,12 +75,18 @@ func Solve(p *diffusion.Problem, opt Options) (Solution, error) {
 	// estimator (independent master seed) before replacing the full
 	// plan with a single seed.
 	sigAll := s.sigma(all)
+	if err := s.err(); err != nil {
+		return Solution{}, err
+	}
 	if emax.User >= 0 && emaxSigma > sigAll && p.CostOf(emax.User, emax.Item) <= p.Budget {
 		emaxSeeds := []diffusion.Seed{{User: emax.User, Item: emax.Item, T: 1}}
 		// one paired batch: the shared sample streams make this a
 		// common-random-numbers comparison rather than two independent
 		// noisy draws
 		ests := s.estSI.RunBatch([][]diffusion.Seed{all, emaxSeeds}, nil)
+		if err := s.err(); err != nil {
+			return Solution{}, err
+		}
 		if ests[1].Sigma > ests[0].Sigma {
 			all = emaxSeeds
 			sigAll = emaxSigma

@@ -12,17 +12,19 @@ import (
 // SI, repeat until the market's nominees are all seeded (Algorithm 1
 // lines 9–28). lastT is Σ_{i≤k} T_{τi}, the last promotional timing
 // this market may use.
-func (s *solver) scheduleMarket(m *Market, sg *[]diffusion.Seed, lastT int) {
+func (s *solver) scheduleMarket(m *Market, sg *[]diffusion.Seed, lastT int) error {
 	if s.opt.DisableItemPriority {
 		// w/o IP ablation: no DR ordering; all the market's nominees
 		// enter TDSI as one merged pool.
 		pool := append([]cluster.Nominee(nil), m.Nominees...)
-		s.tdsiAssign(m, pool, sg, lastT)
-		return
+		return s.tdsiAssign(m, pool, sg, lastT)
 	}
 	remaining := append([]int(nil), m.Items...)
 	taken := make(map[int]bool)
 	for len(remaining) > 0 {
+		if err := s.err(); err != nil {
+			return err
+		}
 		xp := s.bestItemByDR(m, *sg, remaining)
 		// drop xp from remaining
 		out := remaining[:0]
@@ -39,8 +41,11 @@ func (s *solver) scheduleMarket(m *Market, sg *[]diffusion.Seed, lastT int) {
 				pool = append(pool, nm)
 			}
 		}
-		s.tdsiAssign(m, pool, sg, lastT)
+		if err := s.tdsiAssign(m, pool, sg, lastT); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // tdsiAssign assigns every nominee of the pool a promotional timing:
@@ -53,9 +58,12 @@ func (s *solver) scheduleMarket(m *Market, sg *[]diffusion.Seed, lastT int) {
 // joins the seed group, where MA = σ_τ(SG∪{s}) − σ_τ(SG) (Eq. 11) and
 // ML = π_τ(SG∪{s}) − π_τ(SG) (Eq. 12) are Monte-Carlo estimates
 // restricted to the market.
-func (s *solver) tdsiAssign(m *Market, pool []cluster.Nominee, sg *[]diffusion.Seed, lastT int) {
+func (s *solver) tdsiAssign(m *Market, pool []cluster.Nominee, sg *[]diffusion.Seed, lastT int) error {
 	p := s.p
 	for len(pool) > 0 {
+		if err := s.err(); err != nil {
+			return err
+		}
 		// fresh sample streams per assignment round (winner's curse)
 		s.estSI.Reseed(s.opt.Seed + 0x9e37 + uint64(len(*sg))*0x85EB)
 		tHat := 1
@@ -92,6 +100,9 @@ func (s *solver) tdsiAssign(m *Market, pool []cluster.Nominee, sg *[]diffusion.S
 		}
 		ests := s.estSI.RunBatchPi(groups, m.Mask)
 		s.stats.SIEvals += len(groups)
+		if err := s.err(); err != nil {
+			return err
+		}
 		base := ests[0]
 		bestSI := math.Inf(-1)
 		bestIdx, bestT := -1, lo
@@ -109,5 +120,7 @@ func (s *solver) tdsiAssign(m *Market, pool []cluster.Nominee, sg *[]diffusion.S
 		nm := pool[bestIdx]
 		*sg = append(*sg, diffusion.Seed{User: nm.User, Item: nm.Item, T: bestT})
 		pool = append(pool[:bestIdx], pool[bestIdx+1:]...)
+		s.progress("schedule", len(*sg), 0, base.MarketSigma+bestSI)
 	}
+	return nil
 }

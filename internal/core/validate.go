@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"imdpp/internal/diffusion"
+)
+
+// InputError is a typed rejection of a solve request: one field of the
+// Problem or Options is out of range. It is shared by the CLI
+// front-ends and the serving layer so every entry point rejects bad
+// input the same way (check with errors.As, or errors.Is against
+// another InputError with the same Field).
+type InputError struct {
+	Field  string // offending field, e.g. "Budget", "T", "MC"
+	Reason string // human-readable constraint, e.g. "must be ≥ 1"
+}
+
+func (e *InputError) Error() string {
+	return fmt.Sprintf("imdpp: invalid %s: %s", e.Field, e.Reason)
+}
+
+// Is matches any InputError for the same field, so callers can test
+// errors.Is(err, &core.InputError{Field: "MC"}) without replicating
+// the reason text.
+func (e *InputError) Is(target error) bool {
+	t, ok := target.(*InputError)
+	return ok && t.Field == e.Field && (t.Reason == "" || t.Reason == e.Reason)
+}
+
+// Validate rejects out-of-range Options with typed errors. Zero values
+// remain valid — they select the documented defaults — so only
+// negative (or otherwise unsatisfiable) settings fail.
+func (o Options) Validate() error {
+	switch {
+	case o.MC < 0:
+		return &InputError{Field: "MC", Reason: fmt.Sprintf("sample count %d is negative; need ≥ 1 (0 selects the default)", o.MC)}
+	case o.MCSI < 0:
+		return &InputError{Field: "MCSI", Reason: fmt.Sprintf("sample count %d is negative; need ≥ 1 (0 selects the default)", o.MCSI)}
+	case o.Workers < 0:
+		return &InputError{Field: "Workers", Reason: fmt.Sprintf("worker count %d is negative; need ≥ 0 (0 means GOMAXPROCS)", o.Workers)}
+	case o.Theta < 0:
+		return &InputError{Field: "Theta", Reason: fmt.Sprintf("common-user threshold %d is negative", o.Theta)}
+	case o.MIOAThreshold < 0 || o.MIOAThreshold > 1:
+		return &InputError{Field: "MIOAThreshold", Reason: fmt.Sprintf("path-probability cutoff %g outside [0,1]", o.MIOAThreshold)}
+	}
+	return nil
+}
+
+// ValidateRequest is the single request gate shared by Solve,
+// SolveAdaptive, the CLI front-ends and the serving layer: it rejects
+// a nil problem, a negative budget, T < 1 and bad Options with typed
+// InputErrors before any solver state is allocated. Structural
+// consistency of the problem (matrix shapes, item counts) stays with
+// Problem.Validate.
+func ValidateRequest(p *diffusion.Problem, opt Options) error {
+	if p == nil {
+		return &InputError{Field: "Problem", Reason: "nil problem"}
+	}
+	if p.Budget < 0 {
+		return &InputError{Field: "Budget", Reason: fmt.Sprintf("budget %g is negative", p.Budget)}
+	}
+	if p.T < 1 {
+		return &InputError{Field: "T", Reason: fmt.Sprintf("promotion count %d < 1", p.T)}
+	}
+	return opt.Validate()
+}

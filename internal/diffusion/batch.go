@@ -147,6 +147,9 @@ func (e *Estimator) runBatch(groups [][]Seed, maskOf func(int) []bool, withPi bo
 		// off the per-sample path
 		lastG, lastRun := -1, (*groupRun)(nil)
 		for {
+			if e.preempted() {
+				return // cancelled: abandon the batch between units
+			}
 			u := atomic.AddInt64(&next, 1) - 1
 			if u >= int64(units) {
 				return
@@ -223,6 +226,9 @@ func (e *Estimator) runSerial(groups [][]Seed, maskOf func(int) []bool, withPi b
 		market := maskOf(g)
 		acc := &out[g]
 		for i := 0; i < m; i++ {
+			if e.preempted() {
+				return // cancelled: abandon the batch between samples
+			}
 			e.runSample(st, &res, groups[g], market, i, master)
 			acc.Sigma += res.Sigma
 			acc.MarketSigma += res.MarketSigma

@@ -1,6 +1,7 @@
 package diffusion
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -9,12 +10,13 @@ import (
 )
 
 // Estimate is the Monte-Carlo estimate of σ and π for a seed group.
+// The JSON field names are a stable wire contract (imdppd, -json).
 type Estimate struct {
-	Sigma       float64   // importance-aware influence (Def. 1)
-	MarketSigma float64   // σ restricted to the market mask
-	Pi          float64   // future-adoption likelihood (Eq. 13) over the market
-	PerItem     []float64 // mean unweighted adoptions per item
-	Adoptions   float64   // mean total adoptions
+	Sigma       float64   `json:"sigma"`        // importance-aware influence (Def. 1)
+	MarketSigma float64   `json:"market_sigma"` // σ restricted to the market mask
+	Pi          float64   `json:"pi"`           // future-adoption likelihood (Eq. 13) over the market
+	PerItem     []float64 `json:"per_item"`     // mean unweighted adoptions per item
+	Adoptions   float64   `json:"adoptions"`    // mean total adoptions
 }
 
 // Estimator evaluates σ by Monte-Carlo simulation (footnote 12: σ is
@@ -36,6 +38,11 @@ type Estimator struct {
 	slotFree [][]sampleSlot
 
 	samples atomic.Uint64 // campaigns simulated, for throughput stats
+
+	// done, when non-nil, preempts the batch engine: workers stop
+	// claiming (group × sample) units once the channel is closed. Set
+	// via Bind; see the cancellation note on that method.
+	done <-chan struct{}
 }
 
 // NewEstimator creates an estimator with M samples and master seed.
@@ -44,6 +51,29 @@ func NewEstimator(p *Problem, m int, seed uint64) *Estimator {
 		m = 1
 	}
 	return &Estimator{P: p, M: m, Seed: seed}
+}
+
+// Bind attaches a cancellation context to the estimator. Once ctx is
+// cancelled, in-flight and future batch evaluations stop claiming new
+// (group × sample) work units and return promptly — within about one
+// campaign simulation. Results produced after cancellation are
+// partial garbage; callers must check ctx.Err() before trusting an
+// Estimate. Binding context.Background() (or never binding) disables
+// preemption. Bind must not be called concurrently with evaluation.
+func (e *Estimator) Bind(ctx context.Context) { e.done = ctx.Done() }
+
+// preempted reports whether a bound context has been cancelled. It is
+// a non-blocking channel poll, cheap enough for the per-unit hot path.
+func (e *Estimator) preempted() bool {
+	if e.done == nil {
+		return false
+	}
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // Reseed changes the master seed for subsequent estimates. Greedy
@@ -132,6 +162,9 @@ func (e *Estimator) MeanWeights(seeds []Seed, users []int) []float64 {
 	var res Result
 	res.PerItem = make([]float64, e.P.NumItems())
 	for i := 0; i < e.M; i++ {
+		if e.preempted() {
+			break // cancelled: the caller checks ctx before trusting acc
+		}
 		st.Reset(master.Split(uint64(i)))
 		res.Sigma, res.MarketSigma, res.Adoptions, res.Steps = 0, 0, 0, 0
 		st.RunCampaign(seeds, nil, &res)

@@ -17,11 +17,13 @@ import (
 )
 
 // Seed is one element (u, x, t) of a seed group: user u is hired to
-// promote item x starting at promotion t (1-based).
+// promote item x starting at promotion t (1-based). The JSON field
+// names are a stable wire contract shared by the imdppd daemon and
+// the imdpprun -json output.
 type Seed struct {
-	User int
-	Item int
-	T    int
+	User int `json:"user"`
+	Item int `json:"item"`
+	T    int `json:"t"`
 }
 
 // CloneSeeds copies a seed group. Groups handed to one estimator batch

@@ -1,0 +1,60 @@
+package service
+
+import (
+	"container/list"
+
+	"imdpp/internal/core"
+)
+
+// lru is a bounded content-addressed result cache: Key → Solution.
+// Determinism (DESIGN.md §3) makes the cached value exact, not an
+// approximation — an identical request would recompute bit-identical
+// bytes — so entries never expire, they are only evicted by capacity.
+// Not safe for concurrent use; the Service serialises access under
+// its own mutex.
+type lru struct {
+	capacity int
+	ll       *list.List            // front = most recently used
+	byKey    map[Key]*list.Element // element value is *cacheEntry
+}
+
+type cacheEntry struct {
+	key Key
+	sol *core.Solution
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{capacity: capacity, ll: list.New(), byKey: make(map[Key]*list.Element)}
+}
+
+// get returns the cached solution for k, refreshing its recency.
+func (c *lru) get(k Key) (*core.Solution, bool) {
+	el, ok := c.byKey[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).sol, true
+}
+
+// add inserts (or refreshes) k → sol, evicting the least recently
+// used entry beyond capacity.
+func (c *lru) add(k Key, sol *core.Solution) {
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.byKey[k]; ok {
+		el.Value.(*cacheEntry).sol = sol
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[k] = c.ll.PushFront(&cacheEntry{key: k, sol: sol})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached solutions.
+func (c *lru) len() int { return c.ll.Len() }

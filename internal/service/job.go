@@ -1,0 +1,187 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"imdpp/internal/core"
+)
+
+// Status is the lifecycle state of a job.
+type Status string
+
+// Job lifecycle states.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Job is one asynchronous solve tracked by the Service. All methods
+// are safe for concurrent use.
+type Job struct {
+	id  string
+	key Key
+	req Request
+
+	ctx        context.Context
+	cancelCtx  context.CancelFunc
+	cancelHook func() // set by the Service: ctx cancel + queue bookkeeping
+	done       chan struct{}
+
+	mu       sync.Mutex
+	status   Status
+	cacheHit bool
+	events   int
+	progress core.ProgressEvent
+	sol      *core.Solution
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// JobView is the JSON-able snapshot of a job, the body of the
+// daemon's GET /v1/jobs/{id} response.
+type JobView struct {
+	ID       string `json:"id"`
+	Key      string `json:"key"` // content address of the request
+	Status   Status `json:"status"`
+	CacheHit bool   `json:"cache_hit"`
+	// Progress is the latest solver event; ProgressEvents counts how
+	// many were emitted, so pollers can detect movement between
+	// identical-looking snapshots.
+	Progress       core.ProgressEvent `json:"progress"`
+	ProgressEvents int                `json:"progress_events"`
+	Solution       *core.Solution     `json:"solution,omitempty"`
+	Error          string             `json:"error,omitempty"`
+	CreatedAt      time.Time          `json:"created_at"`
+	StartedAt      time.Time          `json:"started_at,omitzero"`
+	FinishedAt     time.Time          `json:"finished_at,omitzero"`
+	QueueSeconds   float64            `json:"queue_seconds"`
+	SolveSeconds   float64            `json:"solve_seconds"`
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Key returns the content address of the job's request.
+func (j *Job) Key() Key { return j.key }
+
+// Done returns a channel closed when the job reaches a terminal
+// state (done, failed or cancelled).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cancellation. A queued job is cancelled
+// immediately; a running job aborts within about one campaign
+// simulation. Cancelling a finished job is a no-op.
+func (j *Job) Cancel() { j.cancelHook() }
+
+// Wait blocks until the job finishes or ctx fires, returning the
+// solution or the job's terminal error.
+func (j *Job) Wait(ctx context.Context) (*core.Solution, error) {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sol, j.err
+}
+
+// Snapshot returns a JSON-able view of the job's current state.
+func (j *Job) Snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:             j.id,
+		Key:            j.key.String(),
+		Status:         j.status,
+		CacheHit:       j.cacheHit,
+		Progress:       j.progress,
+		ProgressEvents: j.events,
+		Solution:       j.sol,
+		CreatedAt:      j.created,
+		StartedAt:      j.started,
+		FinishedAt:     j.finished,
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		v.QueueSeconds = j.started.Sub(j.created).Seconds()
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		v.SolveSeconds = end.Sub(j.started).Seconds()
+	}
+	return v
+}
+
+// setProgress is the solver's Progress callback target.
+func (j *Job) setProgress(ev core.ProgressEvent) {
+	j.mu.Lock()
+	j.progress = ev
+	j.events++
+	j.mu.Unlock()
+}
+
+// markRunning transitions queued → running. It returns false when the
+// job was already cancelled.
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish records the terminal state and releases waiters. Repeated
+// calls are ignored, so a cancel racing a normal completion settles
+// on whichever finish lands first.
+func (j *Job) finish(st Status, sol *core.Solution, err error) bool {
+	j.mu.Lock()
+	switch j.status {
+	case StatusDone, StatusFailed, StatusCancelled:
+		j.mu.Unlock()
+		return false
+	}
+	j.status = st
+	j.sol = sol
+	j.err = err
+	j.finished = time.Now()
+	if j.started.IsZero() {
+		j.started = j.finished
+	}
+	j.mu.Unlock()
+	j.cancelCtx() // release the context's resources in every terminal path
+	close(j.done)
+	return true
+}
+
+// finishIfQueued settles a job that was cancelled before any worker
+// picked it up. It is a no-op once the job is running or finished —
+// the worker owns the terminal transition from then on.
+func (j *Job) finishIfQueued() bool {
+	j.mu.Lock()
+	if j.status != StatusQueued {
+		j.mu.Unlock()
+		return false
+	}
+	j.status = StatusCancelled
+	j.err = context.Canceled
+	j.finished = time.Now()
+	j.started = j.finished
+	j.mu.Unlock()
+	j.cancelCtx()
+	close(j.done)
+	return true
+}

@@ -1,0 +1,426 @@
+// Package service is the campaign-solving subsystem behind the
+// imdppd daemon: a bounded job queue over a solver worker pool, with
+// per-job status and progress, prompt cancellation, a
+// content-addressed LRU result cache and in-flight request
+// coalescing.
+//
+// The cache and coalescing lean on the determinism contract of
+// DESIGN.md §3: a solve is a pure function of its content-addressed
+// inputs (HashRequest), so a cached Solution is the exact result an
+// identical request would recompute, and concurrent duplicates can
+// share one in-flight solve without changing what any caller
+// observes.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"imdpp/internal/core"
+	"imdpp/internal/diffusion"
+)
+
+// Typed submission failures.
+var (
+	// ErrQueueFull rejects a Submit when the bounded job queue has no
+	// room; callers should retry later (HTTP 429/503).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrClosed rejects work submitted after Close.
+	ErrClosed = errors.New("service: closed")
+)
+
+// Config sizes the service. The zero value selects the defaults.
+type Config struct {
+	// Workers is the number of concurrent solver jobs (default 1).
+	// Each job additionally parallelises its own σ estimation across
+	// SolveWorkers estimator goroutines.
+	Workers int
+	// QueueDepth bounds the number of jobs waiting to run
+	// (default 16); Submit fails with ErrQueueFull beyond it.
+	QueueDepth int
+	// CacheSize bounds the content-addressed result cache in entries
+	// (default 128; 0 uses the default, negative disables caching).
+	CacheSize int
+	// SolveWorkers bounds estimator parallelism within one solve
+	// (0 → GOMAXPROCS), overriding Request.Options.Workers.
+	SolveWorkers int
+	// JobRetention bounds how many finished jobs stay pollable
+	// (default 1024); beyond it the oldest finished jobs are forgotten
+	// and their ids return not-found. Queued and running jobs are
+	// never evicted.
+	JobRetention int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 1024
+	}
+	return c
+}
+
+// Request is one solve submission.
+type Request struct {
+	Problem *diffusion.Problem
+	Options core.Options
+	// Adaptive selects SolveAdaptive (Sec. V-D) instead of Dysim.
+	Adaptive bool
+}
+
+// Metrics is a point-in-time snapshot of the service counters, the
+// body of the daemon's GET /metrics response.
+type Metrics struct {
+	JobsSubmitted    uint64  `json:"jobs_submitted"`
+	JobsCompleted    uint64  `json:"jobs_completed"`
+	JobsFailed       uint64  `json:"jobs_failed"`
+	JobsCancelled    uint64  `json:"jobs_cancelled"`
+	CacheHits        uint64  `json:"cache_hits"`
+	CacheMisses      uint64  `json:"cache_misses"`
+	Coalesced        uint64  `json:"coalesced"`
+	CacheEntries     int     `json:"cache_entries"`
+	QueueDepth       int     `json:"queue_depth"`
+	Running          int     `json:"running"`
+	SamplesSimulated uint64  `json:"samples_simulated"`
+	SolveSeconds     float64 `json:"solve_seconds"`
+	// SamplesPerSec is SamplesSimulated over cumulative solve time —
+	// the service-level estimator throughput.
+	SamplesPerSec float64 `json:"samples_per_sec"`
+}
+
+// Service runs campaign solves asynchronously. Create with New,
+// release with Close.
+type Service struct {
+	cfg   Config
+	queue chan *Job
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	nextID   uint64
+	jobs     map[string]*Job
+	retired  []string     // finished job ids, oldest first, for eviction
+	inflight map[Key]*Job // queued or running job per content address
+	cache    *lru
+
+	submitted  atomic.Uint64
+	completed  atomic.Uint64
+	failed     atomic.Uint64
+	cancelled  atomic.Uint64
+	cacheHits  atomic.Uint64
+	cacheMiss  atomic.Uint64
+	coalesced  atomic.Uint64
+	running    atomic.Int64
+	samples    atomic.Uint64
+	solveNanos atomic.Int64
+}
+
+// New starts a service with cfg's worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:        cfg,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		inflight:   make(map[Key]*Job),
+		cache:      newLRU(cfg.CacheSize),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close cancels running jobs, drains the queue and waits for the
+// worker pool to exit. The service rejects submissions afterwards.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue) // Submit sends under s.mu, so no send can race this
+	s.mu.Unlock()
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+// Submit enqueues a solve. The returned job may be shared: an
+// identical request already queued or running is coalesced onto the
+// existing job (coalesced=true), and a cached result completes the
+// new job immediately (Job.Snapshot().CacheHit). Distinct requests
+// beyond the queue bound fail with ErrQueueFull.
+func (s *Service) Submit(req Request) (job *Job, coalescedFlag bool, err error) {
+	if err := core.ValidateRequest(req.Problem, req.Options); err != nil {
+		return nil, false, err
+	}
+	if err := req.Problem.Validate(); err != nil {
+		return nil, false, err
+	}
+	key := HashRequest(req.Problem, req.Options, req.Adaptive)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	if sol, ok := s.cache.get(key); ok {
+		j := s.newJobLocked(key, req)
+		j.cacheHit = true
+		s.mu.Unlock()
+		s.cacheHits.Add(1)
+		s.submitted.Add(1)
+		s.completed.Add(1)
+		j.finish(StatusDone, sol, nil)
+		s.retireJob(j)
+		return j, false, nil
+	}
+	if j := s.inflight[key]; j != nil {
+		s.mu.Unlock()
+		s.coalesced.Add(1)
+		return j, true, nil
+	}
+	j := s.newJobLocked(key, req)
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		j.cancelCtx()
+		return nil, false, ErrQueueFull
+	}
+	s.inflight[key] = j
+	s.mu.Unlock()
+	s.cacheMiss.Add(1)
+	s.submitted.Add(1)
+	return j, false, nil
+}
+
+// newJobLocked allocates and registers a job; s.mu must be held.
+func (s *Service) newJobLocked(key Key, req Request) *Job {
+	s.nextID++
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &Job{
+		id:        jobID(s.nextID),
+		key:       key,
+		req:       req,
+		ctx:       ctx,
+		cancelCtx: cancel,
+		done:      make(chan struct{}),
+		status:    StatusQueued,
+		created:   time.Now(),
+	}
+	j.cancelHook = func() { s.cancelJob(j) }
+	s.jobs[j.id] = j
+	return j
+}
+
+func jobID(n uint64) string { return fmt.Sprintf("j%d", n) }
+
+// Job looks up a job by id.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels the job with the given id, reporting whether the id
+// was known.
+func (s *Service) Cancel(id string) bool {
+	j, ok := s.Job(id)
+	if !ok {
+		return false
+	}
+	s.cancelJob(j)
+	return true
+}
+
+// cancelJob cancels a job's context and, when no worker has picked it
+// up yet, settles it as cancelled immediately so pollers never wait
+// on a dead queue entry.
+func (s *Service) cancelJob(j *Job) {
+	j.cancelCtx()
+	if j.finishIfQueued() {
+		s.cancelled.Add(1)
+		s.retireJob(j)
+		s.clearInflight(j)
+	}
+}
+
+// clearInflight removes j from the coalescing index if it still owns
+// its key, so a later identical request solves afresh.
+func (s *Service) clearInflight(j *Job) {
+	s.mu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.mu.Unlock()
+}
+
+// retireJob enrols a finished job in the bounded retention window,
+// evicting the oldest finished jobs beyond Config.JobRetention so a
+// long-running daemon's job index cannot grow without bound. Only
+// finished jobs enter the window, so queued/running jobs are safe.
+func (s *Service) retireJob(j *Job) {
+	s.mu.Lock()
+	s.retired = append(s.retired, j.id)
+	for len(s.retired) > s.cfg.JobRetention {
+		delete(s.jobs, s.retired[0])
+		s.retired = s.retired[1:]
+	}
+	s.mu.Unlock()
+}
+
+// worker is the solver loop: one goroutine per Config.Workers.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Service) runJob(j *Job) {
+	if j.ctx.Err() != nil {
+		// cancelled (or service-closed) while queued
+		if j.finish(StatusCancelled, nil, context.Canceled) {
+			s.cancelled.Add(1)
+			s.retireJob(j)
+		}
+		s.clearInflight(j)
+		return
+	}
+	if !j.markRunning() {
+		s.clearInflight(j)
+		return
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	opt := j.req.Options
+	opt.Progress = j.setProgress
+	if s.cfg.SolveWorkers > 0 {
+		opt.Workers = s.cfg.SolveWorkers
+	}
+	start := time.Now()
+	var (
+		sol core.Solution
+		err error
+	)
+	if j.req.Adaptive {
+		sol, err = core.SolveAdaptiveCtx(j.ctx, j.req.Problem, opt)
+	} else {
+		sol, err = core.SolveCtx(j.ctx, j.req.Problem, opt)
+	}
+	elapsed := time.Since(start)
+
+	switch {
+	case err == nil:
+		// cache-insert and inflight-clear atomically: an identical
+		// Submit must never observe the key absent from both (it would
+		// enqueue a duplicate full solve)
+		s.mu.Lock()
+		s.cache.add(j.key, &sol)
+		if s.inflight[j.key] == j {
+			delete(s.inflight, j.key)
+		}
+		s.mu.Unlock()
+		s.samples.Add(sol.Stats.SamplesSimulated)
+		s.solveNanos.Add(int64(elapsed))
+		if j.finish(StatusDone, &sol, nil) {
+			s.completed.Add(1)
+			s.retireJob(j)
+		}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.clearInflight(j)
+		if j.finish(StatusCancelled, nil, err) {
+			s.cancelled.Add(1)
+			s.retireJob(j)
+		}
+	default:
+		s.clearInflight(j)
+		if j.finish(StatusFailed, nil, err) {
+			s.failed.Add(1)
+			s.retireJob(j)
+		}
+	}
+}
+
+// Sigma evaluates σ for an explicit seed group synchronously — the
+// daemon's POST /v1/sigma. It validates the seeds, honours ctx
+// cancellation and contributes to the service throughput counters.
+func (s *Service) Sigma(ctx context.Context, p *diffusion.Problem, seeds []diffusion.Seed, mc int, seed uint64) (diffusion.Estimate, error) {
+	// same request gate as Submit: typed errors for nil problem,
+	// negative budget, T < 1 and a negative sample count
+	if err := core.ValidateRequest(p, core.Options{MC: mc}); err != nil {
+		return diffusion.Estimate{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return diffusion.Estimate{}, err
+	}
+	if mc == 0 {
+		mc = 100
+	}
+	if err := p.ValidateSeeds(seeds); err != nil {
+		return diffusion.Estimate{}, err
+	}
+	est := diffusion.NewEstimator(p, mc, seed)
+	if s.cfg.SolveWorkers > 0 {
+		est.Workers = s.cfg.SolveWorkers
+	}
+	est.Bind(ctx)
+	start := time.Now()
+	run := est.Run(seeds, nil, false)
+	if err := ctx.Err(); err != nil {
+		return diffusion.Estimate{}, err
+	}
+	s.samples.Add(est.SamplesDone())
+	s.solveNanos.Add(int64(time.Since(start)))
+	return run, nil
+}
+
+// Metrics snapshots the service counters.
+func (s *Service) Metrics() Metrics {
+	s.mu.Lock()
+	entries := s.cache.len()
+	depth := len(s.queue)
+	s.mu.Unlock()
+	m := Metrics{
+		JobsSubmitted:    s.submitted.Load(),
+		JobsCompleted:    s.completed.Load(),
+		JobsFailed:       s.failed.Load(),
+		JobsCancelled:    s.cancelled.Load(),
+		CacheHits:        s.cacheHits.Load(),
+		CacheMisses:      s.cacheMiss.Load(),
+		Coalesced:        s.coalesced.Load(),
+		CacheEntries:     entries,
+		QueueDepth:       depth,
+		Running:          int(s.running.Load()),
+		SamplesSimulated: s.samples.Load(),
+		SolveSeconds:     time.Duration(s.solveNanos.Load()).Seconds(),
+	}
+	if m.SolveSeconds > 0 {
+		m.SamplesPerSec = float64(m.SamplesSimulated) / m.SolveSeconds
+	}
+	return m
+}

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Serve-layer smoke: boots imdppd on a random port, drives one
+# end-to-end session — async solve to completion, identical resubmit
+# asserted to be a cache hit with bit-identical σ, cancel endpoint
+# asserted to abort a running solve — then appends the service
+# throughput record to BENCH_serve.json (one JSON object per line).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORKDIR=$(mktemp -d)
+BIN="$WORKDIR/imdppd"
+LOG="$WORKDIR/imdppd.log"
+go build -o "$BIN" ./cmd/imdppd
+
+"$BIN" -addr 127.0.0.1:0 -workers 2 >"$LOG" 2>&1 &
+PID=$!
+cleanup() {
+    kill "$PID" 2>/dev/null || true
+    wait "$PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+# readiness: the daemon prints its resolved address once listening
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's#^imdppd listening on ##p' "$LOG")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "imdppd never became ready:" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+echo "imdppd at $ADDR"
+
+curl -sf "$ADDR/healthz" | jq -e '.ok' >/dev/null
+
+# small Amazon-scale solve (same shape as the solver smoke)
+REQ='{"dataset":"amazon","scale":0.05,"budget":100,"t":4,"mc":8,"mcsi":4,"candidate_cap":64,"seed":1}'
+
+R1=$(curl -sf -X POST "$ADDR/v1/solve" -d "$REQ")
+JOB=$(echo "$R1" | jq -r .job_id)
+[ "$(echo "$R1" | jq -r .cache_hit)" = "false" ] || { echo "cold submit claimed a cache hit: $R1" >&2; exit 1; }
+
+STATUS=""
+VIEW=""
+for _ in $(seq 1 600); do
+    VIEW=$(curl -sf "$ADDR/v1/jobs/$JOB")
+    STATUS=$(echo "$VIEW" | jq -r .status)
+    case "$STATUS" in
+        done) break ;;
+        failed | cancelled)
+            echo "job $STATUS: $VIEW" >&2
+            exit 1
+            ;;
+    esac
+    sleep 0.2
+done
+[ "$STATUS" = done ] || { echo "solve never finished: $VIEW" >&2; exit 1; }
+SIGMA1=$(echo "$VIEW" | jq -r .solution.sigma)
+echo "solve done: σ = $SIGMA1"
+
+# identical resubmit: O(1) cache hit, bit-identical σ (the §3
+# determinism contract made observable over HTTP)
+R2=$(curl -sf -X POST "$ADDR/v1/solve" -d "$REQ")
+[ "$(echo "$R2" | jq -r .cache_hit)" = "true" ] || { echo "resubmit missed the cache: $R2" >&2; exit 1; }
+JOB2=$(echo "$R2" | jq -r .job_id)
+SIGMA2=$(curl -sf "$ADDR/v1/jobs/$JOB2" | jq -r .solution.sigma)
+[ "$SIGMA1" = "$SIGMA2" ] || { echo "cached σ differs: $SIGMA1 vs $SIGMA2" >&2; exit 1; }
+echo "cache hit: bit-identical σ"
+
+# cancel path: a heavy solve (≳30s uncancelled) aborted mid-run
+HEAVY='{"dataset":"amazon","scale":0.05,"budget":100,"t":4,"mc":131072,"mcsi":4096,"candidate_cap":256,"seed":99}'
+R3=$(curl -sf -X POST "$ADDR/v1/solve" -d "$HEAVY")
+JOB3=$(echo "$R3" | jq -r .job_id)
+for _ in $(seq 1 100); do
+    [ "$(curl -sf "$ADDR/v1/jobs/$JOB3" | jq -r .status)" = running ] && break
+    sleep 0.1
+done
+curl -sf -X DELETE "$ADDR/v1/jobs/$JOB3" >/dev/null
+ST3=""
+for _ in $(seq 1 50); do
+    ST3=$(curl -sf "$ADDR/v1/jobs/$JOB3" | jq -r .status)
+    [ "$ST3" = cancelled ] && break
+    sleep 0.1
+done
+[ "$ST3" = cancelled ] || { echo "cancel never took effect (status $ST3)" >&2; exit 1; }
+echo "cancel OK"
+
+METRICS=$(curl -sf "$ADDR/metrics")
+echo "$METRICS" | jq -e '.cache_hits >= 1 and .jobs_completed >= 2 and .jobs_cancelled >= 1 and .samples_per_sec > 0' >/dev/null ||
+    { echo "metrics incoherent: $METRICS" >&2; exit 1; }
+
+echo "$METRICS" | jq -c "{ts: (now | floor), sigma: $SIGMA1, samples_per_sec, samples_simulated, solve_seconds, jobs_completed, cache_hits, jobs_cancelled, coalesced}" >>BENCH_serve.json
+echo "serve smoke OK; appended to BENCH_serve.json:"
+tail -1 BENCH_serve.json
