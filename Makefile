@@ -3,7 +3,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race bench fmt fmt-check vet lint smoke serve-smoke
+.PHONY: all build test race bench fmt fmt-check vet lint smoke serve-smoke shard-smoke
 
 all: build test
 
@@ -53,3 +53,10 @@ smoke:
 # throughput record to BENCH_serve.json.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Sharded-estimation smoke: boots one coordinator + two estimator
+# workers on random ports, asserts σ and a full solve are bit-identical
+# to a single-process daemon, and appends shard throughput to
+# BENCH_shard.json.
+shard-smoke:
+	./scripts/shard_smoke.sh

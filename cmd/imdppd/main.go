@@ -8,10 +8,11 @@
 //
 //	POST   /v1/solve      submit a solve; returns a job id
 //	GET    /v1/jobs/{id}  job status, progress and (when done) the solution
-//	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	DELETE /v1/jobs/{id}  cancel a queued or running job (409 if finished)
 //	POST   /v1/sigma      evaluate σ for an explicit seed group (sync)
 //	GET    /healthz       liveness
-//	GET    /metrics       JSON counters: jobs, cache hits, samples/sec
+//	GET    /metrics       JSON counters: jobs, cache hits, samples/sec,
+//	                      worker-pool depth (solver pool + shard fleet)
 //
 // Quickstart:
 //
@@ -19,6 +20,13 @@
 //	curl -s -X POST localhost:8080/v1/solve \
 //	  -d '{"dataset":"sample","budget":100,"t":4,"mc":8}'
 //	curl -s localhost:8080/v1/jobs/j1
+//
+// Scale-out (DESIGN.md §7): `imdppd -worker` turns the process into a
+// remote estimator worker serving the shard RPC (problem upload +
+// per-sample-range estimation); a coordinator started with
+// `-shard-workers http://hostA:8081,http://hostB:8081` fans every
+// solve's σ/π batches out over the fleet, bit-identical to a local
+// solve. See README.md "Deploying a worker fleet".
 package main
 
 import (
@@ -46,21 +54,53 @@ func main() {
 	queue := flag.Int("queue", 16, "bounded job-queue depth")
 	cacheSize := flag.Int("cache", 128, "content-addressed result cache entries")
 	solveWorkers := flag.Int("solve-workers", 0, "estimator goroutines per solve (0 = GOMAXPROCS)")
+	workerMode := flag.Bool("worker", false, "run as a remote estimator worker (shard RPC only)")
+	shardWorkers := flag.String("shard-workers", "", "comma-separated worker base URLs; fan σ/π estimation out over them")
+	shardProbe := flag.Duration("shard-probe", 5*time.Second, "worker health-probe interval")
 	flag.Parse()
 
-	d := newDaemon(imdpp.ServiceConfig{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheSize:    *cacheSize,
-		SolveWorkers: *solveWorkers,
-	})
-	defer d.svc.Close()
+	var handler http.Handler
+	var cleanup func()
+	switch {
+	case *workerMode:
+		if *shardWorkers != "" {
+			log.Fatal("imdppd: -worker and -shard-workers are mutually exclusive")
+		}
+		w := newWorkerDaemon(*solveWorkers)
+		handler = w.handler()
+		cleanup = func() {}
+	default:
+		cfg := imdpp.ServiceConfig{
+			Workers:      *workers,
+			QueueDepth:   *queue,
+			CacheSize:    *cacheSize,
+			SolveWorkers: *solveWorkers,
+		}
+		var pool *imdpp.ShardPool
+		if *shardWorkers != "" {
+			urls := strings.Split(*shardWorkers, ",")
+			pool = imdpp.NewShardPool(urls, nil)
+			healthy := pool.Check(context.Background())
+			log.Printf("imdppd: shard pool: %d/%d workers healthy", healthy, pool.Size())
+			pool.StartHealthLoop(*shardProbe)
+			cfg.Backend = imdpp.ShardBackend(pool)
+		}
+		d := newDaemon(cfg, pool)
+		handler = d.handler()
+		cleanup = func() {
+			d.svc.Close()
+			if pool != nil {
+				pool.Close()
+			}
+		}
+	}
+	defer cleanup()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("imdppd: listen %s: %v", *addr, err)
 	}
-	srv := &http.Server{Handler: d.handler()}
+	srv := &http.Server{Handler: handler}
 
 	// the resolved address line is a readiness contract: the smoke
 	// harness scrapes it to discover the random port
@@ -81,10 +121,13 @@ func main() {
 
 // daemon wires the HTTP surface to the serving layer, memoizing the
 // synthetic datasets so repeated requests against one workload don't
-// pay regeneration.
+// pay regeneration. pool is non-nil when the daemon coordinates a
+// shard worker fleet.
 type daemon struct {
-	svc   *imdpp.Service
-	start time.Time
+	svc     *imdpp.Service
+	pool    *imdpp.ShardPool
+	workers int
+	start   time.Time
 
 	mu       sync.Mutex
 	datasets map[dsKey]*imdpp.Dataset
@@ -95,12 +138,56 @@ type dsKey struct {
 	scale float64
 }
 
-func newDaemon(cfg imdpp.ServiceConfig) *daemon {
+func newDaemon(cfg imdpp.ServiceConfig, pool *imdpp.ShardPool) *daemon {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
 	return &daemon{
 		svc:      imdpp.NewService(cfg),
+		pool:     pool,
+		workers:  workers,
 		start:    time.Now(),
 		datasets: make(map[dsKey]*imdpp.Dataset),
 	}
+}
+
+// workerDaemon is the `imdppd -worker` surface: the shard estimator
+// RPC plus liveness and counters. It holds no job queue, cache or
+// datasets — a worker only simulates the sample ranges coordinators
+// send it, against problems they upload by content address.
+type workerDaemon struct {
+	w     *imdpp.ShardWorker
+	start time.Time
+}
+
+func newWorkerDaemon(solveWorkers int) *workerDaemon {
+	return &workerDaemon{
+		w:     imdpp.NewShardWorker(imdpp.ShardWorkerConfig{Workers: solveWorkers}),
+		start: time.Now(),
+	}
+}
+
+func (wd *workerDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	wd.w.Mount(mux)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok":             true,
+			"worker":         true,
+			"uptime_seconds": time.Since(wd.start).Seconds(),
+		})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			imdpp.ShardWorkerStats
+			UptimeSeconds float64 `json:"uptime_seconds"`
+		}{
+			ShardWorkerStats: wd.w.Stats(),
+			UptimeSeconds:    time.Since(wd.start).Seconds(),
+		})
+	})
+	return mux
 }
 
 func (d *daemon) handler() http.Handler {
@@ -270,11 +357,23 @@ func (d *daemon) handleJobGet(w http.ResponseWriter, r *http.Request) {
 
 func (d *daemon) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !d.svc.Cancel(id) {
+	job, ok := d.svc.Job(id)
+	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 		return
 	}
-	job, _ := d.svc.Job(id)
+	// cancelling a finished job is a conflict, not a silent no-op: the
+	// job's outcome is already settled and will not change
+	if snap := job.Snapshot(); snap.Status == imdpp.JobDone ||
+		snap.Status == imdpp.JobFailed || snap.Status == imdpp.JobCancelled {
+		writeJSON(w, http.StatusConflict, errorBody{
+			Error:  fmt.Sprintf("job %q already finished with status %q", id, snap.Status),
+			Code:   "job_finished",
+			Status: snap.Status,
+		})
+		return
+	}
+	job.Cancel()
 	writeJSON(w, http.StatusOK, job.Snapshot())
 }
 
@@ -312,15 +411,34 @@ func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	d.mu.Lock()
 	datasets := len(d.datasets)
 	d.mu.Unlock()
-	writeJSON(w, http.StatusOK, struct {
+	out := struct {
 		imdpp.ServiceMetrics
-		DatasetsCached int     `json:"datasets_cached"`
-		UptimeSeconds  float64 `json:"uptime_seconds"`
+		// SolveWorkers is the solver worker-pool depth: how many jobs
+		// can run concurrently.
+		SolveWorkers   int                   `json:"solve_workers"`
+		Shard          *imdpp.ShardPoolStats `json:"shard,omitempty"`
+		DatasetsCached int                   `json:"datasets_cached"`
+		UptimeSeconds  float64               `json:"uptime_seconds"`
 	}{
 		ServiceMetrics: d.svc.Metrics(),
+		SolveWorkers:   d.workers,
 		DatasetsCached: datasets,
 		UptimeSeconds:  time.Since(d.start).Seconds(),
-	})
+	}
+	if d.pool != nil {
+		st := d.pool.Snapshot()
+		out.Shard = &st
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// errorBody is the daemon's typed error payload. Code is a stable
+// machine-readable discriminator (e.g. "job_finished"); Status carries
+// the job's settled state where relevant.
+type errorBody struct {
+	Error  string          `json:"error"`
+	Code   string          `json:"code,omitempty"`
+	Status imdpp.JobStatus `json:"status,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -330,5 +448,5 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, errorBody{Error: err.Error()})
 }

@@ -14,7 +14,7 @@ import (
 
 func newTestDaemon(t *testing.T) (*daemon, *httptest.Server) {
 	t.Helper()
-	d := newDaemon(imdpp.ServiceConfig{Workers: 1, QueueDepth: 8, CacheSize: 32})
+	d := newDaemon(imdpp.ServiceConfig{Workers: 1, QueueDepth: 8, CacheSize: 32}, nil)
 	srv := httptest.NewServer(d.handler())
 	t.Cleanup(func() {
 		srv.Close()
@@ -224,8 +224,92 @@ func TestDaemonRejectsBadInput(t *testing.T) {
 	}
 }
 
+// TestDaemonCancelFinishedJobConflict pins the DELETE contract: a job
+// that already settled returns 409 with a typed error body, not 200.
+func TestDaemonCancelFinishedJobConflict(t *testing.T) {
+	_, srv := newTestDaemon(t)
+
+	var sub solveResponse
+	if code := postJSON(t, srv.URL+"/v1/solve", quickSolve, &sub); code != http.StatusAccepted {
+		t.Fatalf("solve: status %d", code)
+	}
+	pollUntil(t, srv.URL+"/v1/jobs/"+sub.JobID, func(v imdpp.JobView) bool {
+		return v.Status == imdpp.JobDone
+	})
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+sub.JobID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE finished job: status %d want 409", resp.StatusCode)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	if eb.Code != "job_finished" || eb.Status != imdpp.JobDone || eb.Error == "" {
+		t.Fatalf("error body not typed: %+v", eb)
+	}
+
+	// the job itself is untouched: still done, solution still there
+	done := pollUntil(t, srv.URL+"/v1/jobs/"+sub.JobID, func(v imdpp.JobView) bool { return true })
+	if done.Status != imdpp.JobDone || done.Solution == nil {
+		t.Fatalf("conflict mutated the job: %+v", done)
+	}
+}
+
+// TestDaemonShardedCoordinator boots two worker-mode daemons and a
+// coordinator over them, and checks the coordinator's sharded /v1/sigma
+// is bit-identical to a plain local daemon's — the shard-smoke contract
+// in-process.
+func TestDaemonShardedCoordinator(t *testing.T) {
+	w1 := httptest.NewServer(newWorkerDaemon(2).handler())
+	w2 := httptest.NewServer(newWorkerDaemon(2).handler())
+	t.Cleanup(w1.Close)
+	t.Cleanup(w2.Close)
+
+	pool := imdpp.NewShardPool([]string{w1.URL, w2.URL}, nil)
+	t.Cleanup(pool.Close)
+	coord := newDaemon(imdpp.ServiceConfig{
+		Workers: 1, QueueDepth: 8, CacheSize: 32,
+		Backend: imdpp.ShardBackend(pool),
+	}, pool)
+	coordSrv := httptest.NewServer(coord.handler())
+	t.Cleanup(func() {
+		coordSrv.Close()
+		coord.svc.Close()
+	})
+	_, localSrv := newTestDaemon(t)
+
+	body := `{"dataset":"sample","budget":80,"t":3,"mc":64,"seed":5,"seeds":[{"user":0,"item":0,"t":1},{"user":3,"item":1,"t":2}]}`
+	var sharded, local imdpp.Estimate
+	if code := postJSON(t, coordSrv.URL+"/v1/sigma", body, &sharded); code != http.StatusOK {
+		t.Fatalf("sharded sigma: status %d", code)
+	}
+	if code := postJSON(t, localSrv.URL+"/v1/sigma", body, &local); code != http.StatusOK {
+		t.Fatalf("local sigma: status %d", code)
+	}
+	if sharded.Sigma != local.Sigma || sharded.Pi != local.Pi || sharded.Adoptions != local.Adoptions {
+		t.Fatalf("sharded σ differs from local: %+v vs %+v", sharded, local)
+	}
+
+	// the coordinator's metrics expose the worker-pool depth
+	var m struct {
+		Shard *imdpp.ShardPoolStats `json:"shard"`
+	}
+	if code := getJSON(t, coordSrv.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if m.Shard == nil || m.Shard.Workers != 2 || m.Shard.Healthy != 2 {
+		t.Fatalf("shard pool depth not reported: %+v", m.Shard)
+	}
+}
+
 func TestDaemonQueueFull(t *testing.T) {
-	d := newDaemon(imdpp.ServiceConfig{Workers: 1, QueueDepth: 1})
+	d := newDaemon(imdpp.ServiceConfig{Workers: 1, QueueDepth: 1}, nil)
 	srv := httptest.NewServer(d.handler())
 	defer func() {
 		srv.Close()

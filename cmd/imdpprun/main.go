@@ -6,9 +6,17 @@
 //	imdpprun -dataset amazon -algo dysim -budget 500 -T 10
 //	imdpprun -dataset yelp -algo bgrd -budget 200 -T 5 -evalmc 200
 //	imdpprun -dataset sample -algo dysim -json   # machine-readable output
+//	imdpprun -dataset amazon -workers http://hostA:8081,http://hostB:8081
+//
+// -workers fans the solver's σ/π estimation out over `imdppd -worker`
+// processes (DESIGN.md §7); the result is bit-identical to a local
+// run. It applies to the dysim and adaptive algorithms, which run
+// through the estimator backend; the baselines always estimate
+// locally.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -44,6 +52,7 @@ func main() {
 	evalMC := flag.Int("evalmc", 100, "evaluation Monte-Carlo samples")
 	seed := flag.Uint64("seed", 1, "RNG master seed")
 	asJSON := flag.Bool("json", false, "emit the result as JSON on stdout")
+	workerURLs := flag.String("workers", "", "comma-separated shard worker base URLs (imdppd -worker); dysim/adaptive σ/π estimation fans out over them")
 	flag.Parse()
 
 	if *mc < 1 {
@@ -58,6 +67,13 @@ func main() {
 
 	p := d.Clone(*budget, *promos)
 	opt := imdpp.Options{MC: *mc, Seed: *seed}
+	if *workerURLs != "" {
+		pool := imdpp.NewShardPool(strings.Split(*workerURLs, ","), nil)
+		defer pool.Close()
+		healthy := pool.Check(context.Background())
+		fmt.Fprintf(os.Stderr, "imdpprun: shard pool: %d/%d workers healthy\n", healthy, pool.Size())
+		opt.Backend = imdpp.ShardBackend(pool)
+	}
 	// one shared gate with the daemon: typed errors for bad budget/T/options
 	fatal(imdpp.ValidateRequest(p, opt))
 

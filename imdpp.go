@@ -38,6 +38,7 @@ import (
 	"imdpp/internal/diffusion"
 	"imdpp/internal/exp"
 	"imdpp/internal/service"
+	"imdpp/internal/shard"
 )
 
 // Core problem and diffusion types.
@@ -264,4 +265,47 @@ var (
 	// — the cache/coalescing key, exploiting the determinism contract
 	// (DESIGN.md §3).
 	HashSolveRequest = service.HashRequest
+	// HashProblem returns the content address of a Problem alone — the
+	// key the shard subsystem uploads problems to workers under.
+	HashProblem = service.HashProblem
+)
+
+// Sharded estimation (package shard, DESIGN.md §7): fan σ/π batches
+// out over remote estimator workers, bit-identical to single-process.
+type (
+	// SolverEstimator is the estimation-backend interface the solver
+	// pipeline consumes (Options.Backend / ServiceConfig.Backend).
+	SolverEstimator = core.Estimator
+	// EstimatorFactory constructs the estimation backend for one
+	// solver run.
+	EstimatorFactory = core.EstimatorFactory
+	// ShardPool is the coordinator-side worker registry: health
+	// checks, per-shard retry, failover re-dispatch, local fallback.
+	ShardPool = shard.Pool
+	// ShardPoolStats is the registry snapshot (/metrics "shard").
+	ShardPoolStats = shard.PoolStats
+	// ShardWorker is the worker-process side of the estimator RPC.
+	ShardWorker = shard.Worker
+	// ShardWorkerConfig sizes a shard worker.
+	ShardWorkerConfig = shard.WorkerConfig
+	// ShardWorkerStats is the worker-side counter snapshot.
+	ShardWorkerStats = shard.WorkerStats
+)
+
+// Sharded-estimation constructors.
+var (
+	// LocalEstimator is the default EstimatorFactory: the in-process
+	// batch engine.
+	LocalEstimator = core.LocalEstimator
+	// NewShardPool registers remote estimator workers by base URL.
+	NewShardPool = shard.NewPool
+	// ShardBackend returns the EstimatorFactory dispatching over a
+	// pool — plug it into Options.Backend or ServiceConfig.Backend to
+	// run any solve over the worker fleet.
+	ShardBackend = shard.Backend
+	// NewShardWorker creates the worker-side RPC state (imdppd -worker
+	// mounts it).
+	NewShardWorker = shard.NewWorker
+	// NewShardEstimator creates one sharded estimator directly.
+	NewShardEstimator = shard.NewEstimator
 )

@@ -1,0 +1,19 @@
+// Package baselines implements the comparison algorithms of Sec. VI:
+//
+//   - BGRD (Banerjee et al., SIGMOD'19): utility-driven welfare
+//     maximisation; selects users and promotes items as a bundle.
+//   - HAG (Hung et al., KDD'16): greedy over user-item pair
+//     combinations with item-inference awareness.
+//   - PS (Teng et al., SDM'18): per-seed influence estimated from
+//     maximum-influence paths with a discounting strategy.
+//   - DRHGA (Huang et al., KBS'20): per-item greedy user selection
+//     under static complementary/substitutable preferences.
+//   - CR-Greedy (Sun et al., KDD'18): the multi-round scheduling
+//     wrapper the paper uses to give every single-promotion baseline
+//     promotional timings.
+//   - OPT: exact brute force over bounded seed groups for the Fig. 8
+//     small-instance comparison.
+//
+// All baselines honour per-(user,item) costs and the shared budget, as
+// the paper's extension prescribes.
+package baselines

@@ -1,0 +1,16 @@
+// Package cluster groups nominees (user,item pairs) into the clusters
+// that TMI turns into target markets. The paper delegates this to POT
+// (opinion-based user clustering, footnote 15) and FGCC (goal-oriented
+// co-clustering); both are stand-ins for "put socially close users
+// promoting mutually complementary items together", which is exactly
+// what the two strategies here implement:
+//
+//   - Proximity (POT-like): nominees are connected when their users
+//     are within MaxHops in the social network and their items are more
+//     complementary than substitutable on average; connected components
+//     are the clusters.
+//   - CoCluster (FGCC-like): users are clustered by social proximity
+//     and items by the complementary-relevance graph independently;
+//     each non-empty (user-cluster × item-cluster) cell is a nominee
+//     cluster.
+package cluster

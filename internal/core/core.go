@@ -1,22 +1,3 @@
-// Package core implements Dysim — Dynamic perception for seeding in
-// target markets — the approximation algorithm for IMDPP (Sec. IV of
-// the paper), with its three phases:
-//
-//   - TMI (Target Market Identification): selects nominees by marginal
-//     cost-performance ratio (MCP, Procedure 2), clusters them
-//     (Procedure 3), expands clusters into target markets via MIOA,
-//     and prioritises overlapping markets by Antagonistic Extent
-//     (Procedure 4).
-//   - DRE (Dynamic Reachability Evaluation): ranks each market's items
-//     by DR = PI + RI (Eq. 1, 9, 10) under the post-promotion expected
-//     perception.
-//   - TDSI (Timing Determination by Substantial Inﬂuence): assigns each
-//     nominee the promotional timing in [t̂, min(t̂+1, ΣTτ)] with the
-//     largest SI = MA + (T−t+1)/T·ML (Eq. 2, 11, 12).
-//
-// Options expose the ablations of Sec. VI-C (w/o TM, w/o IP), the
-// market-order metrics of Sec. VI-D (AE/PF/SZ/RMS/RD), the θ
-// sensitivity of Sec. VI-G, and the adaptive mode of Sec. V-D.
 package core
 
 import (
@@ -88,6 +69,14 @@ type Options struct {
 	DisableItemPriority bool
 	// Workers bounds estimator parallelism (0 → GOMAXPROCS).
 	Workers int
+	// Backend, when non-nil, constructs the σ/π estimation backend the
+	// solver runs over — e.g. a sharded remote-worker estimator
+	// (internal/shard) instead of the in-process batch engine. Every
+	// conforming backend is result-invariant under the §3 determinism
+	// contract (same problem, seed and sample count ⇒ bit-identical
+	// estimates), so, like Workers and Progress, Backend is excluded
+	// from the serving layer's content-address hash.
+	Backend EstimatorFactory
 	// Progress, when non-nil, receives solver progress events: one per
 	// nominee selection, per TDSI assignment and per adaptive
 	// promotion. Events are emitted synchronously from the solver
@@ -188,24 +177,26 @@ type Solution struct {
 	Stats   Stats            `json:"stats"`
 }
 
-// solver carries shared run state.
+// solver carries shared run state. Both estimators are held through
+// the backend interface, so the whole pipeline — Solve, TDSI, the
+// adaptive variant — runs unchanged over the in-process engine or a
+// sharded remote backend (Options.Backend).
 type solver struct {
 	ctx   context.Context
 	p     *diffusion.Problem
 	opt   Options
-	est   *diffusion.Estimator // MC-sample estimator for selection
-	estSI *diffusion.Estimator // MCSI-sample estimator for DRE/TDSI
+	est   Estimator // MC-sample estimator for selection
+	estSI Estimator // MCSI-sample estimator for DRE/TDSI
 	stats Stats
 }
 
 func newSolver(ctx context.Context, p *diffusion.Problem, opt Options) *solver {
 	opt = opt.withDefaults()
 	s := &solver{ctx: ctx, p: p, opt: opt}
-	s.est = diffusion.NewEstimator(p, opt.MC, opt.Seed)
-	s.est.Workers = opt.Workers
+	backend := opt.backend()
+	s.est = backend(p, opt.MC, opt.Seed, opt.Workers)
 	s.est.Bind(ctx)
-	s.estSI = diffusion.NewEstimator(p, opt.MCSI, opt.Seed+0x9e37)
-	s.estSI.Workers = opt.Workers
+	s.estSI = backend(p, opt.MCSI, opt.Seed+0x9e37, opt.Workers)
 	s.estSI.Bind(ctx)
 	return s
 }

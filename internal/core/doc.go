@@ -1,0 +1,27 @@
+// Package core implements Dysim — Dynamic perception for seeding in
+// target markets — the approximation algorithm for IMDPP (Sec. IV of
+// the paper), with its three phases:
+//
+//   - TMI (Target Market Identification): selects nominees by marginal
+//     cost-performance ratio (MCP, Procedure 2), clusters them
+//     (Procedure 3), expands clusters into target markets via MIOA,
+//     and prioritises overlapping markets by Antagonistic Extent
+//     (Procedure 4).
+//   - DRE (Dynamic Reachability Evaluation): ranks each market's items
+//     by DR = PI + RI (Eq. 1, 9, 10) under the post-promotion expected
+//     perception.
+//   - TDSI (Timing Determination by Substantial Inﬂuence): assigns each
+//     nominee the promotional timing in [t̂, min(t̂+1, ΣTτ)] with the
+//     largest SI = MA + (T−t+1)/T·ML (Eq. 2, 11, 12).
+//
+// Options expose the ablations of Sec. VI-C (w/o TM, w/o IP), the
+// market-order metrics of Sec. VI-D (AE/PF/SZ/RMS/RD), the θ
+// sensitivity of Sec. VI-G, and the adaptive mode of Sec. V-D.
+//
+// All σ/π evaluation flows through the Estimator backend interface
+// (estimator.go): the in-process batch engine by default, or — via
+// Options.Backend — the sharded remote-worker estimator of
+// internal/shard, with bit-identical results either way (DESIGN.md
+// §3, §7). SolveCtx/SolveAdaptiveCtx thread cancellation through
+// every selection loop and the backend.
+package core

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"context"
+
+	"imdpp/internal/diffusion"
+)
+
+// Estimator is the σ/π estimation surface the Dysim solver consumes —
+// everything Solve, SolveAdaptiveCtx and TDSI ask of a Monte-Carlo
+// backend, and nothing more. *diffusion.Estimator (in-process batch
+// engine) is the canonical implementation; internal/shard provides a
+// remote-fanout implementation that partitions the (group × sample)
+// grid across worker processes. Any implementation MUST honour the
+// DESIGN.md §3 determinism contract: results are a pure function of
+// (the problem, the current master seed, the sample count), and Bind's
+// context may abort an evaluation but never reorder it — that is what
+// lets the solver, the serving layer's content-addressed cache and the
+// golden tests treat local and sharded backends interchangeably.
+type Estimator interface {
+	// Bind attaches a cancellation context; in-flight and future
+	// evaluations stop promptly once it fires, returning garbage the
+	// caller must discard after checking the context.
+	Bind(ctx context.Context)
+	// Reseed replaces the master seed for subsequent estimates (the
+	// winner's-curse reseed between greedy rounds).
+	Reseed(seed uint64)
+	// Sigma returns the Monte-Carlo estimate of σ(seeds).
+	Sigma(seeds []diffusion.Seed) float64
+	// Run estimates one seed group (market nil = all users; withPi
+	// adds the future-adoption likelihood π).
+	Run(seeds []diffusion.Seed, market []bool, withPi bool) diffusion.Estimate
+	// RunBatch estimates every group under one shared market mask with
+	// common random numbers across groups.
+	RunBatch(groups [][]diffusion.Seed, market []bool) []diffusion.Estimate
+	// RunBatchPi is RunBatch with π evaluated per group.
+	RunBatchPi(groups [][]diffusion.Seed, market []bool) []diffusion.Estimate
+	// RunBatchMasked estimates each group under its own market mask
+	// (masks[g] may be nil), optionally with π.
+	RunBatchMasked(groups [][]diffusion.Seed, masks [][]bool, withPi bool) []diffusion.Estimate
+	// SigmaBatch returns just the σ of every group.
+	SigmaBatch(groups [][]diffusion.Seed) []float64
+	// MeanWeights returns the expected end-of-campaign meta-graph
+	// weighting vector averaged over users (the DRE expectation step).
+	MeanWeights(seeds []diffusion.Seed, users []int) []float64
+	// SamplesDone reports cumulative Monte-Carlo campaigns simulated,
+	// for throughput accounting.
+	SamplesDone() uint64
+	// StateBytes reports the largest retained per-worker simulation
+	// state footprint (0 is fine for backends that cannot observe it).
+	StateBytes() uint64
+}
+
+// The in-process batch engine is the reference Estimator.
+var _ Estimator = (*diffusion.Estimator)(nil)
+
+// EstimatorFactory constructs the estimation backend for one solver
+// run: the problem, the per-estimate sample count, the master seed and
+// the worker bound (0 → GOMAXPROCS) a local engine would use. A solver
+// run constructs two backends (the MC selection estimator and the MCSI
+// scheduling estimator) through the same factory.
+type EstimatorFactory func(p *diffusion.Problem, samples int, seed uint64, workers int) Estimator
+
+// LocalEstimator is the default EstimatorFactory: the in-process batch
+// engine of internal/diffusion.
+func LocalEstimator(p *diffusion.Problem, samples int, seed uint64, workers int) Estimator {
+	e := diffusion.NewEstimator(p, samples, seed)
+	e.Workers = workers
+	return e
+}
+
+// backend resolves the configured factory, defaulting to the local
+// engine.
+func (o Options) backend() EstimatorFactory {
+	if o.Backend != nil {
+		return o.Backend
+	}
+	return LocalEstimator
+}

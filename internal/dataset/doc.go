@@ -1,0 +1,13 @@
+// Package dataset builds the evaluation workloads. The paper evaluates
+// on four real social networks with real KGs — Douban, Gowalla, Yelp
+// and Amazon (supplemented with Pokec friendships) — plus five
+// recruited classes for the course-promotion empirical study. Those
+// corpora are proprietary crawls; per the substitution rule we generate
+// synthetic datasets that preserve the *shape* reported in Table II and
+// Table III: node/edge type counts, user:item ratios, friendship
+// density and directedness, average initial influence strength, and
+// average item importance, with heavy-tailed (Barabási–Albert) social
+// degrees and ecosystem-structured KGs that exercise complementary and
+// substitutable meta-graphs. Absolute sizes are scaled to laptop
+// budgets; DESIGN.md §2 records the substitution.
+package dataset

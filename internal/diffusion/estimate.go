@@ -26,7 +26,10 @@ type Estimate struct {
 // single (Run) and batched (RunBatch and friends) — goes through the
 // batch engine in batch.go, which shares common random numbers across
 // the groups of a batch and reduces samples in a fixed order, so every
-// Estimate is a pure function of (Seed, M) regardless of Workers.
+// Estimate is a pure function of (Seed, M) regardless of Workers. It
+// is the reference implementation of the solver's estimation-backend
+// interface (core.Estimator); internal/shard provides the distributed
+// one, built on RunBatchSamples/ReduceSampleGrid (shardable.go).
 type Estimator struct {
 	P       *Problem
 	M       int // samples per estimate

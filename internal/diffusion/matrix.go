@@ -53,3 +53,9 @@ func (m Matrix) Set(r, c int, v float64) { m.data[r*m.cols+c] = v }
 // Row returns a mutable view of row r. Dataset generators fill
 // matrices through row views; the diffusion engine only reads.
 func (m Matrix) Row(r int) []float64 { return m.data[r*m.cols : (r+1)*m.cols] }
+
+// Data returns the row-major backing slice without copying — the wire
+// codec of the shard subsystem serialises matrices through it. The
+// view must be treated as read-only by anyone other than the matrix's
+// creator.
+func (m Matrix) Data() []float64 { return m.data }

@@ -1,11 +1,3 @@
-// Package diffusion implements the IMDPP diffusion process of Sec. III:
-// a campaign of T promotions, each with steps ζ = 0,1,... in which
-// users adopting items promote them to friends, extra adoptions are
-// triggered by item associations, and the four dynamic factors —
-// relevance measurement, preference estimation, influence learning and
-// item associations — are updated at the end of every step. A parallel
-// Monte-Carlo estimator computes the importance-aware influence σ
-// (Def. 1) and the future-adoption likelihood π (Eq. 13).
 package diffusion
 
 import (
@@ -52,30 +44,31 @@ const (
 )
 
 // Params are the diffusion-model hyper-parameters. The zero value is
-// invalid; use DefaultParams.
+// invalid; use DefaultParams. The JSON field names are a stable wire
+// contract (shard problem upload).
 type Params struct {
 	// Eta is the learning rate of the meta-graph weighting update
 	// (relevance measurement).
-	Eta float64
+	Eta float64 `json:"eta"`
 	// Lambda scales the cross-elasticity preference update: adopting a
 	// complement of y raises Ppref(·,y), a substitute lowers it.
-	Lambda float64
+	Lambda float64 `json:"lambda"`
 	// Gamma scales influence learning: Pact grows by up to Gamma
 	// relative to the base strength as similarity reaches 1.
-	Gamma float64
+	Gamma float64 `json:"gamma"`
 	// Chi scales the extra-adoption probability Pext of item
 	// associations.
-	Chi float64
+	Chi float64 `json:"chi"`
 	// MaxSteps caps the number of steps per promotion (safety net; the
 	// process stops by itself when no new adoptions occur).
-	MaxSteps int
+	MaxSteps int `json:"max_steps"`
 	// AIS selects the aggregated influence form for π (Eq. 13).
-	AIS AISModel
+	AIS AISModel `json:"ais"`
 	// Static freezes Ppref, Pact and Pext at their initial values
 	// (Lemma 1 / Theorem 4 regime): no weighting updates, no
 	// preference updates, no influence learning. Item associations
 	// still fire but with initial relevance.
-	Static bool
+	Static bool `json:"static,omitempty"`
 }
 
 // DefaultParams returns the defaults documented in DESIGN.md §2.

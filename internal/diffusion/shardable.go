@@ -1,0 +1,164 @@
+package diffusion
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"imdpp/internal/rng"
+)
+
+// This file is the shardable face of the batch engine. The (group ×
+// sample) grid of DESIGN.md §3 is partitionable by global sample index
+// with zero accuracy cost: sample i of every group always draws from
+// the stream Split(i) of the master generator, so *which process*
+// simulates a sample cannot change its outcome. What is NOT free is
+// the reduction: float64 addition is non-associative, so a shard must
+// ship its raw per-sample outcomes — not pre-reduced partial sums —
+// and the merger must fold them in global sample order 0..M-1 with the
+// same accumulation arithmetic the single-process engine uses. That is
+// exactly what RunBatchSamples (producer) and ReduceSampleGrid
+// (merger) implement; DESIGN.md §7 states the full sharding contract.
+
+// SampleResult is one Monte-Carlo sample's raw campaign outcome — the
+// unit shipped between shard workers and the coordinator. Per-item
+// adoptions are sparse (Items/Counts parallel, zero entries omitted),
+// mirroring the engine's internal sampleSlot so the merged reduction
+// is float-exact (x + 0 == x). The JSON field names are a stable wire
+// contract of the shard estimator RPC.
+type SampleResult struct {
+	Sigma       float64   `json:"sigma"`
+	MarketSigma float64   `json:"market_sigma"`
+	Pi          float64   `json:"pi"`
+	Adoptions   float64   `json:"adoptions"`
+	Items       []int32   `json:"items,omitempty"`
+	Counts      []float64 `json:"counts,omitempty"`
+}
+
+// RunBatchSamples simulates the global samples lo..hi-1 of every seed
+// group and returns their raw outcomes, outer-indexed by group and
+// inner-indexed by sample offset (result[g][i-lo] is sample i of group
+// g). market is one shared mask (nil = all users); masks, when
+// non-nil, overrides it with a per-group mask (masks[g] may be nil);
+// withPi adds the future-adoption likelihood π per sample.
+//
+// Sample i draws from rng.New(e.Seed).Split(i) regardless of lo/hi, so
+// a worker computing [lo,hi) produces bit-identical outcomes to the
+// single-process engine's samples lo..hi-1 — the shard-safety half of
+// the §3 determinism contract. No reduction happens here; outcomes are
+// scheduled onto e.Workers goroutines in any order, which is safe
+// precisely because each sample is written to its own slot.
+//
+// A bound, cancelled context (Bind) makes workers stop claiming units;
+// as with the batch engine, the partial result is garbage and callers
+// must check their context before trusting it.
+func (e *Estimator) RunBatchSamples(groups [][]Seed, market []bool, masks [][]bool, withPi bool, lo, hi int) [][]SampleResult {
+	k := len(groups)
+	out := make([][]SampleResult, k)
+	if k == 0 || hi <= lo {
+		return out
+	}
+	maskOf := func(int) []bool { return market }
+	if masks != nil {
+		maskOf = func(g int) []bool { return masks[g] }
+	}
+	span := hi - lo
+	for g := range out {
+		out[g] = make([]SampleResult, span)
+	}
+	master := rng.New(e.Seed)
+	units := k * span
+
+	w := e.workers()
+	if w > units {
+		w = units
+	}
+	var next int64
+	body := func() {
+		st := e.getState()
+		defer e.putState(st)
+		var res Result
+		res.PerItem = make([]float64, e.P.NumItems())
+		for {
+			if e.preempted() {
+				return // cancelled: abandon between units
+			}
+			u := atomic.AddInt64(&next, 1) - 1
+			if u >= int64(units) {
+				return
+			}
+			g := int(u) / span
+			i := lo + int(u)%span
+			market := maskOf(g)
+			e.runSample(st, &res, groups[g], market, i, master)
+			slot := &out[g][i-lo]
+			slot.Sigma = res.Sigma
+			slot.MarketSigma = res.MarketSigma
+			slot.Adoptions = float64(res.Adoptions)
+			for j, v := range res.PerItem {
+				if v != 0 {
+					slot.Items = append(slot.Items, int32(j))
+					slot.Counts = append(slot.Counts, v)
+				}
+			}
+			if withPi {
+				slot.Pi = st.LikelihoodPi(market)
+			}
+		}
+	}
+	if w <= 1 {
+		body()
+	} else {
+		var wg sync.WaitGroup
+		for wi := 0; wi < w; wi++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				body()
+			}()
+		}
+		wg.Wait()
+	}
+	e.samples.Add(uint64(units))
+	return out
+}
+
+// ReduceSampleGrid folds a fully assembled per-sample grid (grid[g][i]
+// is global sample i of group g; every row must hold all M samples in
+// index order) into mean Estimates. The fold is the same left-to-right
+// sample-order accumulation — Sigma, MarketSigma, Pi, Adoptions, then
+// the sparse per-item entries, scaled by 1/M at the end — that the
+// batch engine's internal reduction performs, so an Estimate merged
+// from any partition of [0,M) into worker-computed ranges is
+// bit-identical to the single-process RunBatch result.
+func ReduceSampleGrid(grid [][]SampleResult, items int) []Estimate {
+	k := len(grid)
+	out := make([]Estimate, k)
+	if k == 0 {
+		return out
+	}
+	buf := make([]float64, k*items)
+	for g := range out {
+		acc := &out[g]
+		acc.PerItem = buf[g*items : (g+1)*items : (g+1)*items]
+		row := grid[g]
+		for si := range row {
+			s := &row[si]
+			acc.Sigma += s.Sigma
+			acc.MarketSigma += s.MarketSigma
+			acc.Pi += s.Pi
+			acc.Adoptions += s.Adoptions
+			for jj, it := range s.Items {
+				acc.PerItem[it] += s.Counts[jj]
+			}
+		}
+		inv := 1 / float64(len(row))
+		acc.Sigma *= inv
+		acc.MarketSigma *= inv
+		acc.Pi *= inv
+		acc.Adoptions *= inv
+		for j := range acc.PerItem {
+			acc.PerItem[j] *= inv
+		}
+	}
+	return out
+}

@@ -1,0 +1,8 @@
+// Package exp is the benchmark harness: one driver per table and
+// figure of the paper's evaluation (Sec. VI). Each driver builds the
+// workload, runs Dysim and the baselines, evaluates every returned
+// seed group with one shared high-sample estimator (so algorithms are
+// compared on identical footing), and emits the same rows/series the
+// paper plots. DESIGN.md §4 maps figure ids to drivers;
+// cmd/imdppbench is the CLI front-end.
+package exp

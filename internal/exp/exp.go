@@ -1,10 +1,3 @@
-// Package exp is the benchmark harness: one driver per table and
-// figure of the paper's evaluation (Sec. VI). Each driver builds the
-// workload, runs Dysim and the baselines, evaluates every returned
-// seed group with one shared high-sample estimator (so algorithms are
-// compared on identical footing), and emits the same rows/series the
-// paper plots. DESIGN.md §4 is the index; EXPERIMENTS.md records
-// paper-vs-measured shapes.
 package exp
 
 import (

@@ -1,25 +1,3 @@
-// Package graph implements the social-network substrate for IMDPP:
-// a compact directed weighted graph in true CSR (compressed sparse
-// row) form, plus the traversals (BFS, Dijkstra on influence
-// probabilities) and statistics the Dysim pipeline needs.
-//
-// Adjacency is stored as flat offset + packed parallel arrays — one
-// `offsets []int32` and parallel `to []int32` / `w []float64` per
-// direction — so neighbour iteration is a linear scan over contiguous
-// memory with no per-vertex heap objects to pointer-chase.
-//
-// Determinism contract: within every vertex's adjacency, arcs are
-// sorted by target id, fixed once at Build(). The diffusion engine
-// draws one RNG variate per neighbour while iterating Out(u), so
-// neighbour order is part of the reproducibility contract (DESIGN.md
-// §3, §5): two graphs built from the same edge multiset — in any
-// insertion order — propagate bit-identically. Duplicate arcs are
-// merged at Build(), keeping the maximum weight.
-//
-// Edge weights carry the *initial* social influence strength
-// P0act(u,v) in (0,1]. The diffusion engine layers a dynamic
-// multiplier on top of these base weights (influence learning), so the
-// graph itself is immutable after construction.
 package graph
 
 import (
@@ -168,23 +146,29 @@ func (b *Builder) Build() *Graph {
 	g.outTo = to[:write:write]
 	g.outW = w[:write:write]
 	g.m = int(write)
+	g.buildIn()
+	return g
+}
 
-	// in-adjacency from the merged arc set: counting sort by target.
-	// Iterating sources in ascending order fills each in-segment in
-	// ascending source order, so in-lists come out sorted for free, and
-	// the out-merge already removed duplicates.
-	inOff := make([]int32, b.n+1)
+// buildIn derives the in-adjacency CSR from the merged out-arcs:
+// counting sort by target. Iterating sources in ascending order fills
+// each in-segment in ascending source order, so in-lists come out
+// sorted for free, and the out-merge already removed duplicates. It is
+// shared by Build and Import so an imported graph reproduces the
+// in-arrays of the original bit for bit.
+func (g *Graph) buildIn() {
+	inOff := make([]int32, g.n+1)
 	for _, v := range g.outTo {
 		inOff[v+1]++
 	}
-	for v := 0; v < b.n; v++ {
+	for v := 0; v < g.n; v++ {
 		inOff[v+1] += inOff[v]
 	}
 	g.inOff = inOff
 	g.inTo = make([]int32, g.m)
 	g.inW = make([]float64, g.m)
-	cursor = append(cursor[:0], inOff...)
-	for u := 0; u < b.n; u++ {
+	cursor := append([]int32(nil), inOff...)
+	for u := 0; u < g.n; u++ {
 		for i := g.outOff[u]; i < g.outOff[u+1]; i++ {
 			v := g.outTo[i]
 			c := cursor[v]
@@ -193,7 +177,6 @@ func (b *Builder) Build() *Graph {
 			cursor[v] = c + 1
 		}
 	}
-	return g
 }
 
 // arcSeg sorts one vertex's (to, w) segment by target id. Duplicate

@@ -1,0 +1,6 @@
+// Package kg implements the knowledge-graph substrate of IMDPP: a
+// heterogeneous information network G_KG = (V, E, Φ, Ψ) with typed
+// nodes and edges, meta-graph schemas describing item relationships,
+// and instance counting that turns a meta-graph m into a pairwise item
+// relevance function s(x,y|m) ∈ [0,1).
+package kg

@@ -66,6 +66,15 @@ func pairKey(x, y int32) uint64 {
 	return uint64(x)<<32 | uint64(uint32(y))
 }
 
+// RelTableFromRows wraps pre-materialised relevance rows (adj[x]
+// sorted by Other) as a RelTable with no meta-graph schema attached.
+// The shard subsystem uses it to rebuild a worker-side pin.Model from
+// the wire image of the merged relevance rows: the diffusion hot path
+// only ever reads tables through Row/S, so a schema-less table is
+// indistinguishable from one materialised by BuildRelTable with the
+// same contents.
+func RelTableFromRows(adj [][]ItemRel) *RelTable { return &RelTable{adj: adj} }
+
 // S returns s(x,y|m); 0 when the pair has no instances or x==y.
 func (t *RelTable) S(x, y int) float64 {
 	if x == y {

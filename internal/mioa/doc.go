@@ -1,0 +1,7 @@
+// Package mioa implements the Maximum Influence Out-Arborescence of
+// Chen, Wang and Wang (KDD 2010), which TMI uses to expand a cluster of
+// nominees into a target market (footnote 17): starting from the
+// nominees' users, every user reachable through a maximum-influence
+// path whose propagation probability is at least θ belongs to the
+// region the nominees can effectively influence.
+package mioa

@@ -1,0 +1,15 @@
+// Package pin implements personal item networks: the per-user dynamic
+// perception of item relationships (Sec. V-A(1) of the paper).
+//
+// A Model bundles the meta-graphs {mC} ∪ {mS} with their materialised
+// relevance tables s(x,y|m). A user's perception is a weighting vector
+// over the meta-graphs; the complementary / substitutable relevance in
+// that user's personal item network is the weighting-weighted sum of
+// the per-meta-graph relevance:
+//
+//	rC(u,x,y) = Σ_{m ∈ mC} Wmeta(u,m)·s(x,y|m)   (clamped to [0,1])
+//	rS(u,x,y) = Σ_{m ∈ mS} Wmeta(u,m)·s(x,y|m)
+//
+// Adoptions update the weightings (SemRec-style): meta-graphs that
+// explain co-adoptions gain weight, reproducing Fig. 1(c)→(d).
+package pin

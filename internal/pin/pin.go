@@ -1,17 +1,3 @@
-// Package pin implements personal item networks: the per-user dynamic
-// perception of item relationships (Sec. V-A(1) of the paper).
-//
-// A Model bundles the meta-graphs {mC} ∪ {mS} with their materialised
-// relevance tables s(x,y|m). A user's perception is a weighting vector
-// over the meta-graphs; the complementary / substitutable relevance in
-// that user's personal item network is the weighting-weighted sum of
-// the per-meta-graph relevance:
-//
-//	rC(u,x,y) = Σ_{m ∈ mC} Wmeta(u,m)·s(x,y|m)   (clamped to [0,1])
-//	rS(u,x,y) = Σ_{m ∈ mS} Wmeta(u,m)·s(x,y|m)
-//
-// Adoptions update the weightings (SemRec-style): meta-graphs that
-// explain co-adoptions gain weight, reproducing Fig. 1(c)→(d).
 package pin
 
 import (
@@ -23,16 +9,19 @@ import (
 )
 
 // Contrib is one meta-graph's contribution to a related item pair.
+// The JSON field names are a stable wire contract of the shard
+// subsystem's problem upload.
 type Contrib struct {
-	Meta uint8   // index into the model's meta-graph list
-	S    float64 // s(x,y|m)
+	Meta uint8   `json:"m"` // index into the model's meta-graph list
+	S    float64 `json:"s"` // s(x,y|m)
 }
 
 // PairRel is one entry of an item's merged relevance row: the related
-// item and the per-meta-graph contributions.
+// item and the per-meta-graph contributions. JSON field names are a
+// stable wire contract (shard problem upload).
 type PairRel struct {
-	Y        int32
-	Contribs []Contrib
+	Y        int32     `json:"y"`
+	Contribs []Contrib `json:"c"`
 }
 
 // RelInit is one row entry's (rC, rS) under the initial weights.
@@ -132,6 +121,82 @@ func NewModel(g *kg.KG, metasC, metasS []*kg.MetaGraph, initWeights []float64) (
 	}
 	return m, nil
 }
+
+// ModelFromRows rebuilds a Model from its merged relevance rows — the
+// wire image the shard subsystem ships to remote estimator workers.
+// g supplies |I| (a minimal items-only KG suffices: the diffusion hot
+// path never walks KG edges through the model); numC splits the
+// initWeights-indexed meta-graph list into complementary then
+// substitutable, matching NewModel's layout. The per-meta relevance
+// tables, the item adjacency and the initial-weights relevance cache
+// are all re-derived from the rows, and the derivations reuse the same
+// arithmetic as NewModel, so a round-tripped model drives the
+// diffusion — and hashes (service.HashProblem) — identically to the
+// original. Meta-graph schemas are not part of the wire image;
+// Metas holds placeholders and only its length is meaningful.
+func ModelFromRows(g *kg.KG, numC int, initWeights []float64, rows [][]PairRel) (*Model, error) {
+	numMeta := len(initWeights)
+	if numMeta == 0 {
+		return nil, fmt.Errorf("pin: no meta-graphs")
+	}
+	if numC < 0 || numC > numMeta {
+		return nil, fmt.Errorf("pin: numC %d outside [0,%d]", numC, numMeta)
+	}
+	items := g.NumItems()
+	if len(rows) != items {
+		return nil, fmt.Errorf("pin: %d relevance rows != %d items", len(rows), items)
+	}
+	m := &Model{
+		KG:          g,
+		Metas:       make([]*kg.MetaGraph, numMeta),
+		numC:        numC,
+		rows:        rows,
+		InitWeights: append([]float64(nil), initWeights...),
+	}
+	metaAdj := make([][][]kg.ItemRel, numMeta)
+	for mi := range metaAdj {
+		metaAdj[mi] = make([][]kg.ItemRel, items)
+	}
+	m.itemAdj = make([][]int32, items)
+	m.initRel = make([][]RelInit, items)
+	for x := range rows {
+		row := rows[x]
+		adj := make([]int32, len(row))
+		init := make([]RelInit, len(row))
+		for i, pr := range row {
+			if int(pr.Y) < 0 || int(pr.Y) >= items {
+				return nil, fmt.Errorf("pin: row %d: related item %d out of range", x, pr.Y)
+			}
+			if i > 0 && row[i-1].Y >= pr.Y {
+				return nil, fmt.Errorf("pin: row %d not strictly ascending", x)
+			}
+			adj[i] = pr.Y
+			// validate every meta index BEFORE EvalContribs touches the
+			// weights slice: a corrupt upload must fail typed, not panic
+			for _, c := range pr.Contribs {
+				if int(c.Meta) >= numMeta {
+					return nil, fmt.Errorf("pin: row %d: meta index %d out of range", x, c.Meta)
+				}
+			}
+			init[i].RC, init[i].RS = m.EvalContribs(m.InitWeights, pr.Contribs)
+			for _, c := range pr.Contribs {
+				metaAdj[c.Meta][x] = append(metaAdj[c.Meta][x], kg.ItemRel{Other: pr.Y, S: c.S})
+			}
+		}
+		m.itemAdj[x] = adj
+		m.initRel[x] = init
+	}
+	for mi := range metaAdj {
+		// rows are sorted by Y, so each filtered per-meta row is sorted
+		// by Other — the same ordering BuildRelTable materialises
+		m.tables = append(m.tables, kg.RelTableFromRows(metaAdj[mi]))
+	}
+	return m, nil
+}
+
+// Rows returns the full merged relevance structure (rows[x] mirrors
+// Row(x)) — the payload ModelFromRows round-trips. Do not modify.
+func (m *Model) Rows() [][]PairRel { return m.rows }
 
 func pairKey(x, y int32) uint64 {
 	if x > y {

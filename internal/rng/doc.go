@@ -1,0 +1,9 @@
+// Package rng provides fast, splittable pseudo-random number generation
+// for Monte-Carlo influence simulation.
+//
+// The generator is xoshiro256**, seeded through splitmix64 so that any
+// 64-bit master seed yields a well-mixed state. Streams derived with
+// Split are statistically independent, which lets parallel Monte-Carlo
+// workers draw from their own stream while keeping the overall
+// experiment deterministic for a fixed master seed.
+package rng

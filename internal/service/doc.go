@@ -1,0 +1,18 @@
+// Package service is the campaign-solving subsystem behind the
+// imdppd daemon: a bounded job queue over a solver worker pool, with
+// per-job status and progress, prompt cancellation, a
+// content-addressed LRU result cache and in-flight request
+// coalescing.
+//
+// The cache and coalescing lean on the determinism contract of
+// DESIGN.md §3: a solve is a pure function of its content-addressed
+// inputs (HashRequest), so a cached Solution is the exact result an
+// identical request would recompute, and concurrent duplicates can
+// share one in-flight solve without changing what any caller
+// observes. Because sharded estimation (internal/shard, DESIGN.md §7)
+// is result-invariant too, the same cache sits unchanged above a
+// remote-worker backend (Config.Backend): fleet-computed and local
+// solves share cache entries, and HashProblem — the problem-only
+// restriction of the digest — doubles as the content address problems
+// are uploaded to estimator workers under.
+package service

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"imdpp/internal/core"
 	"imdpp/internal/diffusion"
@@ -21,8 +22,9 @@ import (
 // initial meta-graph weights of the PIN model, the importance /
 // base-preference / cost tables, budget, T, the diffusion
 // hyper-parameters, and every Options field that steers selection.
-// Options.Workers and Options.Progress are deliberately excluded —
-// the §3 contract guarantees they cannot change the result.
+// Options.Workers, Options.Progress and Options.Backend are
+// deliberately excluded — the §3 (and, for sharded backends, §7)
+// contracts guarantee they cannot change the result.
 
 // Key is the 128-bit content address of a solve request.
 type Key struct {
@@ -31,6 +33,25 @@ type Key struct {
 
 // String renders the key as 32 hex digits.
 func (k Key) String() string { return fmt.Sprintf("%016x%016x", k.Hi, k.Lo) }
+
+// ParseKey parses the 32-hex-digit form produced by Key.String — the
+// content-address format the shard RPC passes problem references in.
+// Parsing is strict (exactly 32 hex digits, no whitespace or signs),
+// so distinct wire strings cannot alias to one key.
+func ParseKey(s string) (Key, error) {
+	if len(s) != 32 {
+		return Key{}, fmt.Errorf("service: key %q is not 32 hex digits", s)
+	}
+	hi, err := strconv.ParseUint(s[:16], 16, 64)
+	if err != nil {
+		return Key{}, fmt.Errorf("service: bad key %q: %w", s, err)
+	}
+	lo, err := strconv.ParseUint(s[16:], 16, 64)
+	if err != nil {
+		return Key{}, fmt.Errorf("service: bad key %q: %w", s, err)
+	}
+	return Key{Hi: hi, Lo: lo}, nil
+}
 
 const (
 	fnvOffset uint64 = 14695981039346656037
@@ -86,6 +107,20 @@ func HashRequest(p *diffusion.Problem, opt core.Options, adaptive bool) Key {
 	return Key{Hi: d.a, Lo: d.b}
 }
 
+// HashProblem returns the content address of a Problem alone — the
+// key under which the shard subsystem uploads a problem to remote
+// estimator workers once and references it by hash thereafter. It
+// covers everything the diffusion dynamics can observe (graph CSR,
+// PIN rows and initial weights, the economic tables, budget, T,
+// params), so two problems with equal keys estimate bit-identically;
+// a worker recomputes the hash over the decoded upload, making the
+// address self-verifying against codec drift.
+func HashProblem(p *diffusion.Problem) Key {
+	d := newDigest()
+	hashProblem(d, p)
+	return Key{Hi: d.a, Lo: d.b}
+}
+
 func hashOptions(d *digest, o core.Options) {
 	d.i64(o.MC)
 	d.i64(o.MCSI)
@@ -99,9 +134,9 @@ func hashOptions(d *digest, o core.Options) {
 	d.i64(int(o.Order))
 	d.bool(o.DisableTargetMarkets)
 	d.bool(o.DisableItemPriority)
-	// Workers and Progress intentionally omitted: neither can affect
-	// the result under the §3 determinism contract, so requests that
-	// differ only there should share one cache entry.
+	// Workers, Progress and Backend intentionally omitted: none can
+	// affect the result under the §3/§7 determinism contracts, so
+	// requests that differ only there should share one cache entry.
 }
 
 func hashProblem(d *digest, p *diffusion.Problem) {

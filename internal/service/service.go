@@ -1,15 +1,3 @@
-// Package service is the campaign-solving subsystem behind the
-// imdppd daemon: a bounded job queue over a solver worker pool, with
-// per-job status and progress, prompt cancellation, a
-// content-addressed LRU result cache and in-flight request
-// coalescing.
-//
-// The cache and coalescing lean on the determinism contract of
-// DESIGN.md §3: a solve is a pure function of its content-addressed
-// inputs (HashRequest), so a cached Solution is the exact result an
-// identical request would recompute, and concurrent duplicates can
-// share one in-flight solve without changing what any caller
-// observes.
 package service
 
 import (
@@ -53,6 +41,14 @@ type Config struct {
 	// and their ids return not-found. Queued and running jobs are
 	// never evicted.
 	JobRetention int
+	// Backend, when non-nil, constructs the σ/π estimation backend
+	// every solve and sigma evaluation runs over — e.g. a sharded
+	// remote-worker estimator (internal/shard). The determinism
+	// contract makes any conforming backend result-invariant, so the
+	// content-addressed cache and coalescing sit above it unchanged: a
+	// request solved by the fleet and one solved in-process share one
+	// cache entry with bit-identical bytes.
+	Backend core.EstimatorFactory
 }
 
 func (c Config) withDefaults() Config {
@@ -322,6 +318,9 @@ func (s *Service) runJob(j *Job) {
 	if s.cfg.SolveWorkers > 0 {
 		opt.Workers = s.cfg.SolveWorkers
 	}
+	if opt.Backend == nil {
+		opt.Backend = s.cfg.Backend
+	}
 	start := time.Now()
 	var (
 		sol core.Solution
@@ -384,10 +383,11 @@ func (s *Service) Sigma(ctx context.Context, p *diffusion.Problem, seeds []diffu
 	if err := p.ValidateSeeds(seeds); err != nil {
 		return diffusion.Estimate{}, err
 	}
-	est := diffusion.NewEstimator(p, mc, seed)
-	if s.cfg.SolveWorkers > 0 {
-		est.Workers = s.cfg.SolveWorkers
+	backend := core.LocalEstimator
+	if s.cfg.Backend != nil {
+		backend = s.cfg.Backend
 	}
+	est := backend(p, mc, seed, s.cfg.SolveWorkers)
 	est.Bind(ctx)
 	start := time.Now()
 	run := est.Run(seeds, nil, false)

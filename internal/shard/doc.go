@@ -1,0 +1,28 @@
+// Package shard scales σ/π estimation across worker processes — the
+// distributed face of the batch engine (DESIGN.md §7).
+//
+// The Monte-Carlo (group × sample) grid of DESIGN.md §3 is
+// partitionable by global sample index at zero accuracy cost: sample i
+// of every candidate draws from the stream Split(i) of the master
+// seed, so which process simulates a sample cannot change its outcome,
+// and the coordinator can re-assemble per-sample outcomes from any
+// partition of [0,M) and reduce them in global sample order with the
+// single-process engine's own arithmetic. Sharded estimation is
+// therefore bit-identical to local estimation — pinned by golden
+// tests — which in turn makes shard dispatch idempotent: a failed or
+// slow shard can be re-dispatched to any other worker (or computed
+// locally) without a coordination protocol.
+//
+// The package provides:
+//
+//   - Plan: the contiguous sample-range planner.
+//   - Worker: the HTTP server side (mounted by `imdppd -worker`) —
+//     content-addressed problem upload (a problem ships once and is
+//     referenced by its service.HashProblem key thereafter) and the
+//     estimate RPC computing one shard's raw per-sample outcomes.
+//   - Pool: the coordinator-side worker registry — health checks,
+//     per-shard retry, failover re-dispatch and local fallback.
+//   - Estimator: a core.Estimator backend that fans batches out over
+//     the pool, so Solve/SolveAdaptiveCtx/TDSI and the serving layer
+//     run unchanged over local or sharded estimation.
+package shard

@@ -1,0 +1,240 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"imdpp/internal/core"
+	"imdpp/internal/diffusion"
+)
+
+// Estimator is the sharded σ/π estimation backend: a core.Estimator
+// that partitions every batch's global sample indices [0,M) into
+// contiguous ranges (Plan), fans the ranges out over the pool's
+// healthy workers, re-assembles the raw per-sample outcomes into the
+// full (group × sample) grid, and reduces it in global sample order
+// (diffusion.ReduceSampleGrid). Because sample i always draws from
+// Split(i) wherever it runs and the merge uses the single-process
+// accumulation arithmetic, every estimate is bit-identical to the
+// in-process engine's — DESIGN.md §7 gives the argument, the package
+// golden tests pin it across 1/2/7 shards.
+//
+// Failures degrade, never corrupt: a shard whose worker dies is
+// re-dispatched to the next healthy worker, and when none remain it is
+// computed locally by the embedded fallback engine. With an empty or
+// fully dead pool the Estimator is exactly the local engine.
+//
+// Like diffusion.Estimator, it is safe for sequential reuse by one
+// solver; Bind must not race an in-flight evaluation.
+type Estimator struct {
+	pool *Pool
+	p    *diffusion.Problem
+	m    int
+	seed uint64
+
+	// local is the fallback engine; it also serves MeanWeights (a
+	// cheap single-group expectation not worth a round-trip) and keeps
+	// the Reseed/Bind state mirrored so fallback results are identical
+	// to what a remote worker would have produced.
+	local *diffusion.Estimator
+	ctx   context.Context
+
+	remoteSamples atomic.Uint64
+}
+
+// NewEstimator creates a sharded estimator over the pool. samples and
+// seed mirror diffusion.NewEstimator; workers bounds the *local*
+// engine's parallelism for fallback ranges (0 → GOMAXPROCS) — remote
+// workers size themselves.
+func NewEstimator(pool *Pool, p *diffusion.Problem, samples int, seed uint64, workers int) *Estimator {
+	if samples < 1 {
+		samples = 1
+	}
+	local := diffusion.NewEstimator(p, samples, seed)
+	local.Workers = workers
+	return &Estimator{
+		pool:  pool,
+		p:     p,
+		m:     samples,
+		seed:  seed,
+		local: local,
+		ctx:   context.Background(),
+	}
+}
+
+// Backend returns a core.EstimatorFactory dispatching over pool — the
+// Options.Backend / service Config.Backend value that runs the whole
+// solver pipeline over the worker fleet.
+func Backend(pool *Pool) core.EstimatorFactory {
+	return func(p *diffusion.Problem, samples int, seed uint64, workers int) core.Estimator {
+		return NewEstimator(pool, p, samples, seed, workers)
+	}
+}
+
+var _ core.Estimator = (*Estimator)(nil)
+
+// Bind attaches a cancellation context: shard RPCs are issued with it
+// (cancelling aborts the HTTP requests, which preempts the remote
+// engines), and the local fallback engine is bound to it. As with the
+// local engine, a cancelled batch returns garbage the caller must
+// discard after checking the context.
+func (e *Estimator) Bind(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx = ctx
+	e.local.Bind(ctx)
+}
+
+// Reseed replaces the master seed for subsequent estimates.
+func (e *Estimator) Reseed(seed uint64) {
+	e.seed = seed
+	e.local.Reseed(seed)
+}
+
+// SamplesDone reports cumulative Monte-Carlo campaigns simulated on
+// behalf of this estimator, locally and remotely.
+func (e *Estimator) SamplesDone() uint64 {
+	return e.remoteSamples.Load() + e.local.SamplesDone()
+}
+
+// StateBytes reports the local fallback engine's retained state
+// footprint (remote workers' state lives in their own processes).
+func (e *Estimator) StateBytes() uint64 { return e.local.StateBytes() }
+
+// Sigma returns the Monte-Carlo estimate of σ(seeds).
+func (e *Estimator) Sigma(seeds []diffusion.Seed) float64 {
+	return e.Run(seeds, nil, false).Sigma
+}
+
+// Run estimates one seed group; it is the single-group case of the
+// sharded batch path.
+func (e *Estimator) Run(seeds []diffusion.Seed, market []bool, withPi bool) diffusion.Estimate {
+	return e.runBatch([][]diffusion.Seed{seeds}, market, nil, withPi)[0]
+}
+
+// RunBatch estimates every group under one shared market mask.
+func (e *Estimator) RunBatch(groups [][]diffusion.Seed, market []bool) []diffusion.Estimate {
+	return e.runBatch(groups, market, nil, false)
+}
+
+// RunBatchPi is RunBatch with π evaluated per group.
+func (e *Estimator) RunBatchPi(groups [][]diffusion.Seed, market []bool) []diffusion.Estimate {
+	return e.runBatch(groups, market, nil, true)
+}
+
+// RunBatchMasked estimates each group under its own mask.
+func (e *Estimator) RunBatchMasked(groups [][]diffusion.Seed, masks [][]bool, withPi bool) []diffusion.Estimate {
+	return e.runBatch(groups, nil, masks, withPi)
+}
+
+// SigmaBatch returns the σ estimate of every seed group.
+func (e *Estimator) SigmaBatch(groups [][]diffusion.Seed) []float64 {
+	ests := e.RunBatch(groups, nil)
+	out := make([]float64, len(ests))
+	for i, est := range ests {
+		out[i] = est.Sigma
+	}
+	return out
+}
+
+// MeanWeights delegates to the local engine: it is one group's worth
+// of simulation, and the local engine computes it bit-identically to
+// any worker (same seed derivation, same streams).
+func (e *Estimator) MeanWeights(seeds []diffusion.Seed, users []int) []float64 {
+	return e.local.MeanWeights(seeds, users)
+}
+
+// runBatch is the sharded engine body.
+func (e *Estimator) runBatch(groups [][]diffusion.Seed, market []bool, masks [][]bool, withPi bool) []diffusion.Estimate {
+	k := len(groups)
+	if k == 0 {
+		return make([]diffusion.Estimate, 0)
+	}
+	remotes := e.pool.healthyRemotes()
+	if len(remotes) == 0 {
+		// dead or empty fleet: the whole batch runs locally, and the
+		// counter must say so — operators watch local_fallbacks to spot
+		// a coordinator that has silently stopped using its workers
+		e.pool.localFallbacks.Add(1)
+		return e.localBatch(groups, market, masks, withPi)
+	}
+	blob, err := e.pool.blobFor(e.p)
+	if err != nil {
+		// un-encodable problem: nothing remote can be done
+		e.pool.localFallbacks.Add(1)
+		return e.localBatch(groups, market, masks, withPi)
+	}
+
+	ranges := Plan(e.m, len(remotes))
+	tmpl := EstimateRequest{
+		Problem: blob.Key.String(),
+		Seed:    e.seed,
+		WithPi:  withPi,
+		Groups:  groups,
+		Market:  maskToUsers(market),
+	}
+	if masks != nil {
+		tmpl.PerGroupMasks = make([][]int32, len(masks))
+		for g, mk := range masks {
+			tmpl.PerGroupMasks[g] = maskToUsers(mk)
+		}
+	}
+
+	grid := make([][]diffusion.SampleResult, k)
+	for g := range grid {
+		grid[g] = make([]diffusion.SampleResult, e.m)
+	}
+	var wg sync.WaitGroup
+	for ri, rg := range ranges {
+		wg.Add(1)
+		go func(ri int, rg Range) {
+			defer wg.Done()
+			req := tmpl
+			req.Lo, req.Hi = rg.Lo, rg.Hi
+			rows := e.pool.runShard(e.ctx, remotes, ri%len(remotes), blob, &req, e.p.NumItems())
+			if rows == nil {
+				if e.ctx.Err() != nil {
+					return // cancelled: the whole batch result is garbage
+				}
+				// every worker failed for this range: compute it locally
+				// — identical outcomes, since sample streams depend only
+				// on the global index
+				e.pool.localFallbacks.Add(1)
+				rows = e.local.RunBatchSamples(groups, market, masks, withPi, rg.Lo, rg.Hi)
+			} else {
+				e.remoteSamples.Add(uint64(k * rg.Span()))
+			}
+			for g := range rows {
+				copy(grid[g][rg.Lo:rg.Hi], rows[g])
+			}
+		}(ri, rg)
+	}
+	wg.Wait()
+	if e.ctx.Err() != nil {
+		// match the local engine's cancellation contract: return
+		// promptly with placeholder estimates the caller must discard
+		out := make([]diffusion.Estimate, k)
+		items := e.p.NumItems()
+		buf := make([]float64, k*items)
+		for g := range out {
+			out[g].PerItem = buf[g*items : (g+1)*items : (g+1)*items]
+		}
+		return out
+	}
+	return diffusion.ReduceSampleGrid(grid, e.p.NumItems())
+}
+
+// localBatch runs the whole batch on the embedded engine — the
+// empty-pool / dead-fleet degradation path, bit-identical to a
+// non-sharded solve.
+func (e *Estimator) localBatch(groups [][]diffusion.Seed, market []bool, masks [][]bool, withPi bool) []diffusion.Estimate {
+	if masks != nil {
+		return e.local.RunBatchMasked(groups, masks, withPi)
+	}
+	if withPi {
+		return e.local.RunBatchPi(groups, market)
+	}
+	return e.local.RunBatch(groups, market)
+}

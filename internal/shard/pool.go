@@ -1,0 +1,474 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"imdpp/internal/diffusion"
+	"imdpp/internal/service"
+)
+
+// Pool is the coordinator-side worker registry: the set of remote
+// estimator workers, their health, which problems each has been sent,
+// and the dispatch/retry/failover logic. All methods are safe for
+// concurrent use.
+//
+// Failure handling leans entirely on determinism: a shard is a pure
+// function of (problem hash, seed, range, groups), so re-dispatching
+// it to any other worker — or computing it locally — after a failure
+// is idempotent by construction. No shard needs fencing, draining or
+// exactly-once delivery.
+type Pool struct {
+	client *http.Client
+
+	mu      sync.Mutex
+	remotes []*Remote
+	blobs   map[*diffusion.Problem]*ProblemBlob // bounded memo, see blobFor
+	blobLRU []*diffusion.Problem
+
+	stopOnce sync.Once
+	stop     chan struct{}
+
+	redispatches   atomic.Uint64
+	localFallbacks atomic.Uint64
+}
+
+// Remote is one registered worker.
+type Remote struct {
+	url string
+
+	mu       sync.Mutex
+	healthy  bool
+	lastErr  string
+	problems map[service.Key]bool // uploads acknowledged by this worker
+
+	shards   atomic.Uint64
+	failures atomic.Uint64
+}
+
+// URL returns the worker's base URL.
+func (r *Remote) URL() string { return r.url }
+
+// Healthy reports the worker's last known health.
+func (r *Remote) Healthy() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.healthy
+}
+
+func (r *Remote) setHealth(ok bool, err error) {
+	r.mu.Lock()
+	r.healthy = ok
+	if err != nil {
+		r.lastErr = err.Error()
+	} else if ok {
+		r.lastErr = ""
+	}
+	r.mu.Unlock()
+}
+
+// markFailed records a dispatch failure and takes the worker out of
+// rotation until a health probe restores it.
+func (r *Remote) markFailed(err error) {
+	r.failures.Add(1)
+	r.setHealth(false, err)
+}
+
+// knowsProblem reports whether this worker acknowledged an upload of
+// key.
+func (r *Remote) knowsProblem(key service.Key) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.problems[key]
+}
+
+func (r *Remote) setProblem(key service.Key, known bool) {
+	r.mu.Lock()
+	if known {
+		r.problems[key] = true
+	} else {
+		delete(r.problems, key)
+	}
+	r.mu.Unlock()
+}
+
+// NewPool registers the workers at the given base URLs (e.g.
+// "http://10.0.0.7:8081"). Workers start optimistically healthy; the
+// first failed dispatch or health probe takes a dead one out of
+// rotation, and later probes bring recovered workers back. Call Check
+// once at startup to verify the fleet, and StartHealthLoop for
+// continuous probing.
+//
+// client nil selects a default with a 10-minute per-request ceiling —
+// a liveness guard so a worker that accepts a shard and then hangs
+// forever is eventually classified as failed and its range
+// re-dispatched, rather than stalling the solve. Deployments whose
+// individual shard estimates legitimately run longer must pass their
+// own client with a larger (or zero) Timeout, or estimates will be
+// misclassified as worker failures and the batch will fall back to
+// local compute (visible as local_fallbacks in PoolStats).
+func NewPool(urls []string, client *http.Client) *Pool {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Minute}
+	}
+	p := &Pool{
+		client: client,
+		blobs:  make(map[*diffusion.Problem]*ProblemBlob),
+		stop:   make(chan struct{}),
+	}
+	for _, u := range urls {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		p.remotes = append(p.remotes, &Remote{
+			url:      u,
+			healthy:  true,
+			problems: make(map[service.Key]bool),
+		})
+	}
+	return p
+}
+
+// Size returns the number of registered workers.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.remotes)
+}
+
+// healthyRemotes snapshots the workers currently in rotation.
+func (p *Pool) healthyRemotes() []*Remote {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Remote, 0, len(p.remotes))
+	for _, r := range p.remotes {
+		if r.Healthy() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Check probes every worker's /healthz concurrently (one slow or dead
+// worker must not delay the rest — a fleet-wide check costs one probe
+// timeout, not one per casualty), updating health both ways: dead
+// workers leave rotation, recovered ones rejoin. It returns the
+// healthy count.
+func (p *Pool) Check(ctx context.Context) int {
+	p.mu.Lock()
+	remotes := append([]*Remote(nil), p.remotes...)
+	p.mu.Unlock()
+	var (
+		wg      sync.WaitGroup
+		healthy atomic.Int64
+	)
+	for _, r := range remotes {
+		wg.Add(1)
+		go func(r *Remote) {
+			defer wg.Done()
+			if err := p.probe(ctx, r); err != nil {
+				r.setHealth(false, err)
+			} else {
+				r.setHealth(true, nil)
+				healthy.Add(1)
+			}
+		}(r)
+	}
+	wg.Wait()
+	return int(healthy.Load())
+}
+
+func (p *Pool) probe(ctx context.Context, r *Remote) error {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// StartHealthLoop probes the fleet every interval until Close. A
+// worker that died mid-batch is already out of rotation (markFailed);
+// the loop's job is recovery — restarted workers rejoin without
+// operator action (their problem store is re-filled lazily through the
+// unknown_problem path).
+func (p *Pool) StartHealthLoop(interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.Check(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops the health loop. In-flight dispatches are unaffected.
+func (p *Pool) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+}
+
+// RemoteStats is one worker's registry entry in PoolStats.
+type RemoteStats struct {
+	URL      string `json:"url"`
+	Healthy  bool   `json:"healthy"`
+	LastErr  string `json:"last_err,omitempty"`
+	Shards   uint64 `json:"shards"`
+	Failures uint64 `json:"failures"`
+	Problems int    `json:"problems"`
+}
+
+// PoolStats is the registry snapshot the coordinator daemon reports
+// under /metrics ("worker-pool depth": Workers registered, Healthy in
+// rotation).
+type PoolStats struct {
+	Workers        int           `json:"workers"`
+	Healthy        int           `json:"healthy"`
+	Redispatches   uint64        `json:"redispatches"`
+	LocalFallbacks uint64        `json:"local_fallbacks"`
+	Remotes        []RemoteStats `json:"remotes"`
+}
+
+// Snapshot reports the pool's registry state and dispatch counters.
+func (p *Pool) Snapshot() PoolStats {
+	p.mu.Lock()
+	remotes := append([]*Remote(nil), p.remotes...)
+	p.mu.Unlock()
+	st := PoolStats{
+		Workers:        len(remotes),
+		Redispatches:   p.redispatches.Load(),
+		LocalFallbacks: p.localFallbacks.Load(),
+	}
+	for _, r := range remotes {
+		r.mu.Lock()
+		rs := RemoteStats{
+			URL:      r.url,
+			Healthy:  r.healthy,
+			LastErr:  r.lastErr,
+			Problems: len(r.problems),
+		}
+		r.mu.Unlock()
+		rs.Shards = r.shards.Load()
+		rs.Failures = r.failures.Load()
+		if rs.Healthy {
+			st.Healthy++
+		}
+		st.Remotes = append(st.Remotes, rs)
+	}
+	return st
+}
+
+// ProblemBlob is a problem encoded once for the wire, with its content
+// address. Uploading the same blob to every worker (and re-uploading
+// after worker restarts) reuses the bytes.
+type ProblemBlob struct {
+	Key  service.Key
+	body []byte
+}
+
+// NewProblemBlob encodes a problem and computes its content address.
+func NewProblemBlob(p *diffusion.Problem) (*ProblemBlob, error) {
+	body, err := json.Marshal(EncodeProblem(p))
+	if err != nil {
+		return nil, fmt.Errorf("shard: encode problem: %w", err)
+	}
+	return &ProblemBlob{Key: service.HashProblem(p), body: body}, nil
+}
+
+// blobFor memoizes NewProblemBlob per problem pointer. A solver run
+// creates two estimators (MC and MCSI) over one problem; the memo
+// makes them share one encoding. The memo is bounded: problems are
+// immutable but short-lived (one per solve request), so a small
+// FIFO window suffices.
+func (p *Pool) blobFor(prob *diffusion.Problem) (*ProblemBlob, error) {
+	p.mu.Lock()
+	if b, ok := p.blobs[prob]; ok {
+		p.mu.Unlock()
+		return b, nil
+	}
+	p.mu.Unlock()
+	b, err := NewProblemBlob(prob)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if _, ok := p.blobs[prob]; !ok {
+		p.blobs[prob] = b
+		p.blobLRU = append(p.blobLRU, prob)
+		for len(p.blobLRU) > 4 {
+			delete(p.blobs, p.blobLRU[0])
+			p.blobLRU = p.blobLRU[1:]
+		}
+	}
+	p.mu.Unlock()
+	return b, nil
+}
+
+// shardError is a dispatch failure with the worker's typed code.
+type shardError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *shardError) Error() string {
+	return fmt.Sprintf("shard rpc: status %d code %q: %s", e.status, e.code, e.msg)
+}
+
+// post sends one JSON RPC and decodes the response into out.
+func (p *Pool) post(ctx context.Context, url string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb ErrorBody
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		_ = json.Unmarshal(data, &eb)
+		if eb.Error == "" {
+			eb.Error = strings.TrimSpace(string(data))
+		}
+		return &shardError{status: resp.StatusCode, code: eb.Code, msg: eb.Error}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// ensureProblem uploads blob to r unless r already acknowledged it,
+// verifying the worker-computed content address against the local one.
+func (p *Pool) ensureProblem(ctx context.Context, r *Remote, blob *ProblemBlob) error {
+	if r.knowsProblem(blob.Key) {
+		return nil
+	}
+	var ack UploadResponse
+	if err := p.post(ctx, r.url+PathProblems, blob.body, &ack); err != nil {
+		return err
+	}
+	if ack.Hash != blob.Key.String() {
+		// the worker decoded different content than we encoded — a
+		// build-skew bug, not a transient fault; surface it loudly
+		return &shardError{status: http.StatusConflict, code: CodeHashMismatch,
+			msg: fmt.Sprintf("worker hashed %s, coordinator %s", ack.Hash, blob.Key)}
+	}
+	r.setProblem(blob.Key, true)
+	return nil
+}
+
+// estimateOn runs one shard request on one worker, handling the
+// lazy-upload and evicted/restarted-worker (unknown_problem) paths.
+func (p *Pool) estimateOn(ctx context.Context, r *Remote, blob *ProblemBlob, req *EstimateRequest) (*EstimateResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; ; attempt++ {
+		if err := p.ensureProblem(ctx, r, blob); err != nil {
+			return nil, err
+		}
+		var resp EstimateResponse
+		err = p.post(ctx, r.url+PathEstimate, body, &resp)
+		if err == nil {
+			r.shards.Add(1)
+			return &resp, nil
+		}
+		var se *shardError
+		if attempt == 0 && errors.As(err, &se) && se.code == CodeUnknownProblem {
+			// the worker evicted or lost the problem (e.g. restart):
+			// forget the acknowledgement and re-upload once
+			r.setProblem(blob.Key, false)
+			continue
+		}
+		return nil, err
+	}
+}
+
+// runShard computes one sample range, trying the preferred worker
+// first and failing over across the rest of the given rotation. A
+// worker failure marks it unhealthy (a health probe restores it
+// later); cancellation aborts without blaming any worker. It returns
+// nil when every worker failed — the caller falls back to computing
+// the range locally.
+func (p *Pool) runShard(ctx context.Context, remotes []*Remote, preferred int, blob *ProblemBlob, req *EstimateRequest, items int) [][]diffusion.SampleResult {
+	n := len(remotes)
+	for i := 0; i < n; i++ {
+		r := remotes[(preferred+i)%n]
+		if ctx.Err() != nil {
+			return nil
+		}
+		if !r.Healthy() {
+			continue
+		}
+		resp, err := p.estimateOn(ctx, r, blob, req)
+		if err == nil {
+			err = validateSamples(resp.Samples, req, items)
+			if err == nil {
+				return resp.Samples
+			}
+		}
+		if ctx.Err() != nil {
+			return nil // cancelled mid-request: not the worker's fault
+		}
+		r.markFailed(err)
+		if i < n-1 {
+			p.redispatches.Add(1)
+		}
+	}
+	return nil
+}
+
+// validateSamples sanity-checks a worker response shape so a buggy or
+// hostile worker cannot panic the coordinator's reduction.
+func validateSamples(samples [][]diffusion.SampleResult, req *EstimateRequest, items int) error {
+	if len(samples) != len(req.Groups) {
+		return fmt.Errorf("shard: %d sample rows for %d groups", len(samples), len(req.Groups))
+	}
+	span := req.Hi - req.Lo
+	for g, row := range samples {
+		if len(row) != span {
+			return fmt.Errorf("shard: group %d: %d samples for range span %d", g, len(row), span)
+		}
+		for i := range row {
+			if len(row[i].Items) != len(row[i].Counts) {
+				return fmt.Errorf("shard: group %d sample %d: items/counts length mismatch", g, i)
+			}
+			for _, it := range row[i].Items {
+				if int(it) < 0 || int(it) >= items {
+					return fmt.Errorf("shard: group %d sample %d: item %d out of range", g, i, it)
+				}
+			}
+		}
+	}
+	return nil
+}

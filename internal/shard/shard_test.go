@@ -1,0 +1,371 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"imdpp/internal/core"
+	"imdpp/internal/dataset"
+	"imdpp/internal/diffusion"
+	"imdpp/internal/graph"
+	"imdpp/internal/pin"
+	"imdpp/internal/service"
+)
+
+func sampleProblem(t testing.TB, budget float64, T int) *diffusion.Problem {
+	t.Helper()
+	d, err := dataset.AmazonSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Clone(budget, T)
+}
+
+// newFleet boots n in-process shard workers and returns a pool over
+// them plus the workers for white-box inspection.
+func newFleet(t testing.TB, n int) (*Pool, []*Worker, []*httptest.Server) {
+	t.Helper()
+	urls := make([]string, n)
+	workers := make([]*Worker, n)
+	servers := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		w := NewWorker(WorkerConfig{Workers: 2})
+		mux := http.NewServeMux()
+		w.Mount(mux)
+		mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+			writeShardJSON(rw, http.StatusOK, map[string]bool{"ok": true})
+		})
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+		workers[i] = w
+		servers[i] = srv
+	}
+	pool := NewPool(urls, nil)
+	t.Cleanup(pool.Close)
+	return pool, workers, servers
+}
+
+func groupsFor(p *diffusion.Problem) [][]diffusion.Seed {
+	return [][]diffusion.Seed{
+		{{User: 1, Item: 0, T: 1}},
+		{{User: 2, Item: 1, T: 1}, {User: 5, Item: 0, T: 2}},
+		{{User: 9, Item: 2, T: 1}},
+		{},
+	}
+}
+
+func requireSameEstimates(t *testing.T, label string, want, got []diffusion.Estimate) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d estimates", label, len(want), len(got))
+	}
+	for g := range want {
+		w, gg := want[g], got[g]
+		same := func(name string, a, b float64) {
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("%s: group %d %s differs: %v (%x) vs %v (%x)",
+					label, g, name, a, math.Float64bits(a), b, math.Float64bits(b))
+			}
+		}
+		same("sigma", w.Sigma, gg.Sigma)
+		same("market_sigma", w.MarketSigma, gg.MarketSigma)
+		same("pi", w.Pi, gg.Pi)
+		same("adoptions", w.Adoptions, gg.Adoptions)
+		if len(w.PerItem) != len(gg.PerItem) {
+			t.Fatalf("%s: group %d PerItem lengths %d vs %d", label, g, len(w.PerItem), len(gg.PerItem))
+		}
+		for j := range w.PerItem {
+			same("per_item", w.PerItem[j], gg.PerItem[j])
+		}
+	}
+}
+
+func TestPlan(t *testing.T) {
+	cases := []struct{ m, shards, want int }{
+		{10, 1, 1}, {10, 2, 2}, {10, 7, 7}, {3, 7, 3}, {1, 4, 1}, {0, 3, 0},
+	}
+	for _, c := range cases {
+		ranges := Plan(c.m, c.shards)
+		if len(ranges) != c.want {
+			t.Fatalf("Plan(%d,%d) returned %d ranges, want %d", c.m, c.shards, len(ranges), c.want)
+		}
+		next := 0
+		for _, r := range ranges {
+			if r.Lo != next || r.Hi <= r.Lo {
+				t.Fatalf("Plan(%d,%d): range %+v breaks contiguity at %d", c.m, c.shards, r, next)
+			}
+			next = r.Hi
+		}
+		if c.m > 0 && next != c.m {
+			t.Fatalf("Plan(%d,%d) covers [0,%d), want [0,%d)", c.m, c.shards, next, c.m)
+		}
+		// even split: spans differ by at most one
+		if len(ranges) > 0 {
+			minS, maxS := ranges[0].Span(), ranges[0].Span()
+			for _, r := range ranges {
+				if s := r.Span(); s < minS {
+					minS = s
+				} else if s > maxS {
+					maxS = s
+				}
+			}
+			if maxS-minS > 1 {
+				t.Fatalf("Plan(%d,%d) uneven spans %d..%d", c.m, c.shards, minS, maxS)
+			}
+		}
+	}
+}
+
+func TestProblemCodecRoundTrip(t *testing.T) {
+	p := sampleProblem(t, 120, 3)
+	decoded, err := DecodeProblem(EncodeProblem(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the content address is self-verifying: encode→decode must land on
+	// the same key
+	if h1, h2 := service.HashProblem(p), service.HashProblem(decoded); h1 != h2 {
+		t.Fatalf("codec changed the content address: %s vs %s", h1, h2)
+	}
+	// and the decoded problem must drive the engine bit-identically
+	groups := groupsFor(p)
+	a := diffusion.NewEstimator(p, 16, 42)
+	b := diffusion.NewEstimator(decoded, 16, 42)
+	requireSameEstimates(t, "codec", a.RunBatchPi(groups, nil), b.RunBatchPi(groups, nil))
+}
+
+// TestShardedBitIdenticalGolden is the acceptance pin: sharded σ/π
+// over 1, 2 and 7 workers is bit-for-bit the single-process result.
+func TestShardedBitIdenticalGolden(t *testing.T) {
+	p := sampleProblem(t, 120, 3)
+	groups := groupsFor(p)
+	mask := make([]bool, p.NumUsers())
+	for u := 0; u < p.NumUsers()/2; u++ {
+		mask[u] = true
+	}
+	const m, seed = 13, 99
+	localEst := diffusion.NewEstimator(p, m, seed)
+	plain := localEst.RunBatch(groups, nil)
+	withPi := localEst.RunBatchPi(groups, mask)
+	masked := localEst.RunBatchMasked(groups, [][]bool{mask, nil, mask, nil}, true)
+
+	for _, shards := range []int{1, 2, 7} {
+		pool, _, _ := newFleet(t, shards)
+		est := NewEstimator(pool, p, m, seed, 2)
+		requireSameEstimates(t, "RunBatch", plain, est.RunBatch(groups, nil))
+		requireSameEstimates(t, "RunBatchPi", withPi, est.RunBatchPi(groups, mask))
+		requireSameEstimates(t, "RunBatchMasked", masked, est.RunBatchMasked(groups, [][]bool{mask, nil, mask, nil}, true))
+		if st := pool.Snapshot(); st.Healthy != shards || st.LocalFallbacks != 0 {
+			t.Fatalf("%d shards: pool snapshot %+v expected all-healthy, no fallback", shards, st)
+		}
+	}
+}
+
+// TestShardedSolveGolden runs the full Dysim pipeline over a sharded
+// backend and pins the Solution against the plain in-process solve.
+func TestShardedSolveGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full solve; skipped under -short")
+	}
+	p := sampleProblem(t, 100, 2)
+	opt := core.Options{MC: 8, MCSI: 4, CandidateCap: 32, Seed: 7}
+	want, err := core.Solve(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool, workers, _ := newFleet(t, 2)
+	opt.Backend = Backend(pool)
+	got, err := core.Solve(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(want.Sigma) != math.Float64bits(got.Sigma) {
+		t.Fatalf("sharded solve σ %v != local %v", got.Sigma, want.Sigma)
+	}
+	if len(want.Seeds) != len(got.Seeds) {
+		t.Fatalf("seed counts differ: %d vs %d", len(got.Seeds), len(want.Seeds))
+	}
+	for i := range want.Seeds {
+		if want.Seeds[i] != got.Seeds[i] {
+			t.Fatalf("seed %d differs: %+v vs %+v", i, got.Seeds[i], want.Seeds[i])
+		}
+	}
+	served := workers[0].Stats().ShardsServed + workers[1].Stats().ShardsServed
+	if served == 0 {
+		t.Fatal("no shards reached the workers — the solve ran locally")
+	}
+}
+
+// TestFailoverWorkerDeath kills one of two workers mid-fleet and
+// checks the batch still completes bit-identically via re-dispatch.
+func TestFailoverWorkerDeath(t *testing.T) {
+	p := sampleProblem(t, 120, 3)
+	groups := groupsFor(p)
+	const m, seed = 12, 5
+	want := diffusion.NewEstimator(p, m, seed).RunBatch(groups, nil)
+
+	pool, _, servers := newFleet(t, 2)
+	est := NewEstimator(pool, p, m, seed, 2)
+	// warm both workers, then kill one
+	requireSameEstimates(t, "warm", want, est.RunBatch(groups, nil))
+	servers[1].Close()
+	requireSameEstimates(t, "after death", want, est.RunBatch(groups, nil))
+
+	st := pool.Snapshot()
+	if st.Healthy != 1 {
+		t.Fatalf("dead worker still in rotation: %+v", st)
+	}
+	if st.Redispatches == 0 && st.LocalFallbacks == 0 {
+		t.Fatalf("death produced neither redispatch nor fallback: %+v", st)
+	}
+	// with the whole fleet dead the estimator degrades to local compute
+	servers[0].Close()
+	requireSameEstimates(t, "fleet dead", want, est.RunBatch(groups, nil))
+}
+
+// TestWorkerRestartReupload drops a worker's problem store (the
+// observable effect of a restart) and checks the unknown_problem
+// re-upload path recovers transparently.
+func TestWorkerRestartReupload(t *testing.T) {
+	p := sampleProblem(t, 120, 3)
+	groups := groupsFor(p)
+	const m, seed = 6, 11
+	want := diffusion.NewEstimator(p, m, seed).RunBatch(groups, nil)
+
+	pool, workers, _ := newFleet(t, 1)
+	est := NewEstimator(pool, p, m, seed, 2)
+	requireSameEstimates(t, "first", want, est.RunBatch(groups, nil))
+	workers[0].DropProblems()
+	requireSameEstimates(t, "after restart", want, est.RunBatch(groups, nil))
+	if st := pool.Snapshot(); st.Healthy != 1 {
+		t.Fatalf("restart marked the worker unhealthy: %+v", st)
+	}
+}
+
+// TestWorkerRejectsHostileRequests pins the worker's input guards: a
+// zero-vertex graph payload smuggling arcs must fail decoding (not
+// panic in CSR rebuild), and an estimate whose groups × span work
+// bound is absurd must be rejected before allocation.
+func TestWorkerRejectsHostileRequests(t *testing.T) {
+	// corrupt graph: n=0 with a dangling arc
+	_, err := DecodeProblem(ProblemUpload{
+		Users: 0, Items: 0,
+		Graph: graph.Export{N: 0, OutOff: []int32{0}, OutTo: []int32{3}, OutW: []float64{0.5}},
+	})
+	if err == nil {
+		t.Fatal("zero-vertex graph with arcs decoded without error")
+	}
+	// NaN weight: both w <= 0 and w > 1 are false for NaN, so a naive
+	// range check would wave it through into the diffusion engine
+	if _, err := graph.Import(graph.Export{
+		N: 2, OutOff: []int32{0, 1, 1}, OutTo: []int32{1}, OutW: []float64{math.NaN()},
+	}); err == nil {
+		t.Fatal("NaN arc weight imported without error")
+	}
+	// out-of-range meta index in a relevance row: must fail typed, not
+	// panic inside EvalContribs
+	good := EncodeProblem(sampleProblem(t, 120, 3))
+	bad := good
+	bad.Rows = append([][]pin.PairRel(nil), good.Rows...)
+	bad.Rows[0] = []pin.PairRel{{Y: 1, Contribs: []pin.Contrib{{Meta: 200, S: 0.5}}}}
+	if _, err := DecodeProblem(bad); err == nil {
+		t.Fatal("out-of-range meta index decoded without error")
+	}
+	// non-canonical content keys (embedded whitespace) must not alias
+	if _, err := service.ParseKey("0000000000000001 000000000000002"); err == nil {
+		t.Fatal("whitespace-laced key parsed without error")
+	}
+
+	pool, workers, servers := newFleet(t, 1)
+	p := sampleProblem(t, 120, 3)
+	blob, err := NewProblemBlob(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := pool.healthyRemotes()[0]
+	if err := pool.ensureProblem(context.Background(), r, blob); err != nil {
+		t.Fatal(err)
+	}
+	req := &EstimateRequest{
+		Problem: blob.Key.String(),
+		Lo:      0,
+		Hi:      1 << 40,
+		Groups:  [][]diffusion.Seed{{}},
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(servers[0].URL+PathEstimate, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized estimate: status %d want 400", resp.StatusCode)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Code != CodeBadRequest {
+		t.Fatalf("oversized estimate: body %+v err %v", eb, err)
+	}
+	if got := workers[0].Stats().ShardsServed; got != 0 {
+		t.Fatalf("hostile request counted as served: %d", got)
+	}
+}
+
+// TestCancellationPropagates cancels a sharded solve whose only worker
+// hangs, and expects the coordinator to unwind promptly with ctx.Err().
+func TestCancellationPropagates(t *testing.T) {
+	p := sampleProblem(t, 100, 2)
+
+	var inFlight atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		writeShardJSON(rw, http.StatusOK, map[string]bool{"ok": true})
+	})
+	// uploads must succeed (via a real worker) so the estimate is the
+	// call that hangs
+	real := NewWorker(WorkerConfig{})
+	realMux := http.NewServeMux()
+	real.Mount(realMux)
+	mux.Handle("POST "+PathProblems, realMux)
+	mux.HandleFunc("POST "+PathEstimate, func(rw http.ResponseWriter, r *http.Request) {
+		// drain the body so the server's background read can observe the
+		// coordinator abandoning the connection
+		_, _ = io.Copy(io.Discard, r.Body)
+		inFlight.Add(1)
+		<-r.Context().Done() // hang until the coordinator goes away
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	pool := NewPool([]string{srv.URL}, nil)
+	t.Cleanup(pool.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for i := 0; i < 200 && inFlight.Load() == 0; i++ {
+			time.Sleep(5 * time.Millisecond)
+		}
+		cancel()
+	}()
+	opt := core.Options{MC: 8, MCSI: 4, CandidateCap: 16, Seed: 3, Backend: Backend(pool)}
+	start := time.Now()
+	_, err := core.SolveCtx(ctx, p, opt)
+	if err == nil {
+		t.Fatal("cancelled sharded solve returned nil error")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v to propagate through the coordinator", elapsed)
+	}
+	if inFlight.Load() == 0 {
+		t.Fatal("the hanging worker was never reached; the test proved nothing")
+	}
+}

@@ -1,0 +1,224 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"imdpp/internal/diffusion"
+	"imdpp/internal/service"
+)
+
+// WorkerConfig sizes a shard worker. The zero value selects defaults.
+type WorkerConfig struct {
+	// MaxProblems bounds the content-addressed problem store (default
+	// 8; the oldest problem is evicted beyond it). Evicted problems
+	// are transparently re-uploaded by coordinators on the next
+	// unknown_problem response.
+	MaxProblems int
+	// Workers bounds estimator goroutines per shard request
+	// (0 → GOMAXPROCS).
+	Workers int
+	// MaxUnits bounds one estimate request's total work — groups ×
+	// sample-range span, each unit one campaign simulation — so a
+	// buggy or hostile coordinator cannot OOM or pin the worker with
+	// one request (default 1<<24; requests beyond it are rejected
+	// with a typed bad_request).
+	MaxUnits int
+}
+
+// Worker is the server side of the estimator RPC: a content-addressed
+// store of decoded problems plus the estimate handler that simulates
+// one shard's sample range. It holds one pooled batch-engine estimator
+// per problem; requests against the same problem serialise on that
+// estimator (one coordinator dispatches at most one shard per worker
+// per batch, so the lock is uncontended in the intended topology).
+type Worker struct {
+	cfg WorkerConfig
+
+	mu       sync.Mutex
+	problems map[service.Key]*workerProblem
+	order    []service.Key // insertion order, oldest first, for eviction
+
+	shardsServed atomic.Uint64
+	samplesDone  atomic.Uint64
+}
+
+type workerProblem struct {
+	mu  sync.Mutex
+	p   *diffusion.Problem
+	est *diffusion.Estimator
+}
+
+// NewWorker creates a shard worker.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.MaxProblems <= 0 {
+		cfg.MaxProblems = 8
+	}
+	if cfg.MaxUnits <= 0 {
+		cfg.MaxUnits = 1 << 24
+	}
+	return &Worker{cfg: cfg, problems: make(map[service.Key]*workerProblem)}
+}
+
+// Mount registers the shard RPC endpoints on mux.
+func (w *Worker) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST "+PathProblems, w.handleUpload)
+	mux.HandleFunc("POST "+PathEstimate, w.handleEstimate)
+}
+
+// WorkerStats is the worker-side counter snapshot, reported by the
+// worker daemon's /metrics.
+type WorkerStats struct {
+	ProblemsCached   int    `json:"problems_cached"`
+	ShardsServed     uint64 `json:"shards_served"`
+	SamplesSimulated uint64 `json:"samples_simulated"`
+}
+
+// Stats snapshots the worker counters.
+func (w *Worker) Stats() WorkerStats {
+	w.mu.Lock()
+	n := len(w.problems)
+	w.mu.Unlock()
+	return WorkerStats{
+		ProblemsCached:   n,
+		ShardsServed:     w.shardsServed.Load(),
+		SamplesSimulated: w.samplesDone.Load(),
+	}
+}
+
+// DropProblems empties the problem store — the observable effect of a
+// worker restart. Coordinators recover through the unknown_problem
+// re-upload path; tests use it to exercise exactly that.
+func (w *Worker) DropProblems() {
+	w.mu.Lock()
+	w.problems = make(map[service.Key]*workerProblem)
+	w.order = nil
+	w.mu.Unlock()
+}
+
+// handleUpload decodes a problem image, verifies its content address
+// by recomputation, and stores it under that key.
+func (w *Worker) handleUpload(rw http.ResponseWriter, r *http.Request) {
+	var u ProblemUpload
+	if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
+		writeShardError(rw, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad problem upload: %w", err))
+		return
+	}
+	p, err := DecodeProblem(u)
+	if err != nil {
+		writeShardError(rw, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	key := service.HashProblem(p)
+	wp := &workerProblem{p: p, est: diffusion.NewEstimator(p, 1, 0)}
+	wp.est.Workers = w.cfg.Workers
+
+	w.mu.Lock()
+	if _, ok := w.problems[key]; !ok {
+		w.problems[key] = wp
+		w.order = append(w.order, key)
+		for len(w.order) > w.cfg.MaxProblems {
+			delete(w.problems, w.order[0])
+			w.order = w.order[1:]
+		}
+	}
+	w.mu.Unlock()
+	writeShardJSON(rw, http.StatusOK, UploadResponse{Hash: key.String()})
+}
+
+// handleEstimate simulates samples [Lo,Hi) of every group and returns
+// their raw outcomes. The estimator is bound to the request context,
+// so a coordinator abandoning the request (cancellation, failover
+// timeout) preempts the simulation within about one campaign.
+func (w *Worker) handleEstimate(rw http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeShardError(rw, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad estimate request: %w", err))
+		return
+	}
+	key, err := service.ParseKey(req.Problem)
+	if err != nil {
+		writeShardError(rw, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	w.mu.Lock()
+	wp := w.problems[key]
+	w.mu.Unlock()
+	if wp == nil {
+		writeShardError(rw, http.StatusNotFound, CodeUnknownProblem,
+			fmt.Errorf("problem %s not loaded on this worker", req.Problem))
+		return
+	}
+	p := wp.p
+	if req.Lo < 0 || req.Hi <= req.Lo {
+		writeShardError(rw, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("bad sample range [%d,%d)", req.Lo, req.Hi))
+		return
+	}
+	span := req.Hi - req.Lo
+	groups := len(req.Groups)
+	if groups == 0 {
+		groups = 1
+	}
+	if span > w.cfg.MaxUnits/groups {
+		writeShardError(rw, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("request of %d groups × %d samples exceeds the worker's %d-unit bound", len(req.Groups), span, w.cfg.MaxUnits))
+		return
+	}
+	for g, seeds := range req.Groups {
+		for _, s := range seeds {
+			if s.User < 0 || s.User >= p.NumUsers() || s.Item < 0 || s.Item >= p.NumItems() || s.T < 1 || s.T > p.T {
+				writeShardError(rw, http.StatusBadRequest, CodeBadRequest,
+					fmt.Errorf("group %d: seed (%d,%d,%d) out of range", g, s.User, s.Item, s.T))
+				return
+			}
+		}
+	}
+	market, err := usersToMask(req.Market, p.NumUsers())
+	if err != nil {
+		writeShardError(rw, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	var masks [][]bool
+	if req.PerGroupMasks != nil {
+		if len(req.PerGroupMasks) != len(req.Groups) {
+			writeShardError(rw, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("%d masks for %d groups", len(req.PerGroupMasks), len(req.Groups)))
+			return
+		}
+		masks = make([][]bool, len(req.PerGroupMasks))
+		for g, users := range req.PerGroupMasks {
+			if masks[g], err = usersToMask(users, p.NumUsers()); err != nil {
+				writeShardError(rw, http.StatusBadRequest, CodeBadRequest, err)
+				return
+			}
+		}
+	}
+
+	wp.mu.Lock()
+	wp.est.Seed = req.Seed
+	wp.est.Bind(r.Context())
+	samples := wp.est.RunBatchSamples(req.Groups, market, masks, req.WithPi, req.Lo, req.Hi)
+	wp.mu.Unlock()
+
+	if r.Context().Err() != nil {
+		// the coordinator is gone; the partial result is garbage
+		return
+	}
+	w.shardsServed.Add(1)
+	w.samplesDone.Add(uint64(len(req.Groups) * (req.Hi - req.Lo)))
+	writeShardJSON(rw, http.StatusOK, EstimateResponse{Samples: samples})
+}
+
+func writeShardJSON(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	_ = json.NewEncoder(rw).Encode(v)
+}
+
+func writeShardError(rw http.ResponseWriter, status int, code string, err error) {
+	writeShardJSON(rw, status, ErrorBody{Error: err.Error(), Code: code})
+}
