@@ -3,7 +3,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race bench fmt fmt-check vet lint smoke serve-smoke shard-smoke
+.PHONY: all build test race bench fmt fmt-check vet lint smoke serve-smoke shard-smoke bench-diff fuzz
 
 all: build test
 
@@ -54,9 +54,25 @@ smoke:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
-# Sharded-estimation smoke: boots one coordinator + two estimator
-# workers on random ports, asserts σ and a full solve are bit-identical
-# to a single-process daemon, and appends shard throughput to
-# BENCH_shard.json.
+# Sharded-estimation smoke: boots two estimator workers plus binary-
+# and JSON-codec coordinators on random ports, asserts σ and a full
+# solve are bit-identical to a single-process daemon in both codecs,
+# that the binary codec cuts wire bytes ≥3×, and appends codec-tagged
+# shard throughput to BENCH_shard.json.
 shard-smoke:
 	./scripts/shard_smoke.sh
+
+# Perf-trajectory diff: warn (fail-soft) when the freshest
+# samples_per_sec in a bench record dropped >10% against the previous
+# one (CI artifact via BENCH_PREV_DIR, else HEAD, else in-file).
+bench-diff:
+	./scripts/bench_diff.sh BENCH_solve.json BENCH_serve.json BENCH_shard.json
+
+# Short fuzz pass over every wire-codec decoder (the seed corpora are
+# committed under */testdata/fuzz).
+fuzz:
+	$(GO) test ./internal/wirebin -run '^FuzzReader$$' -fuzz '^FuzzReader$$' -fuzztime 10s
+	$(GO) test ./internal/diffusion -run '^FuzzSampleGridCodec$$' -fuzz '^FuzzSampleGridCodec$$' -fuzztime 10s
+	$(GO) test ./internal/graph -run '^FuzzDecodeBinaryExport$$' -fuzz '^FuzzDecodeBinaryExport$$' -fuzztime 10s
+	$(GO) test ./internal/shard -run '^FuzzDecodeProblemUploadBinary$$' -fuzz '^FuzzDecodeProblemUploadBinary$$' -fuzztime 10s
+	$(GO) test ./internal/shard -run '^FuzzDecodeEstimateResponseBinary$$' -fuzz '^FuzzDecodeEstimateResponseBinary$$' -fuzztime 10s

@@ -8,26 +8,37 @@
 //	imdppbench -fig 9 -scale 0.5       # Fig. 9 at half dataset scale
 //	imdppbench -fig tables,case        # Table II/III + case studies
 //	imdppbench -fig solve              # solver bench → BENCH_solve.json
+//	imdppbench -fig shard -codec both  # shard wire/plan bench → BENCH_shard.json
 //
-// Figure ids: tables, 8a, 8b, 9, 9h, 10, 11, 12, 13, 14, case, solve.
+// Figure ids: tables, 8a, 8b, 9, 9h, 10, 11, 12, 13, 14, case, solve,
+// shard.
 //
-// The solve id is not part of 'all': it runs one Dysim Solve on a
-// preset (-preset/-budget/-T) and writes machine-readable phase
-// timings, estimator throughput (samples/sec) and σ to -benchout, so
-// CI can track the perf trajectory across commits.
+// The solve and shard ids are not part of 'all': solve runs one Dysim
+// Solve on a preset (-preset/-budget/-T) and writes machine-readable
+// phase timings, estimator throughput (samples/sec) and σ to
+// -benchout; shard boots an in-process worker fleet and drives a
+// CELF-shaped batched-estimation workload through the shard RPC,
+// appending one record per codec (-codec json|binary|both) with the
+// -weighted planning mode, wire bytes and throughput to -shardout —
+// so CI can track the perf trajectory of both the solver and the wire
+// across commits.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"time"
 
 	"imdpp/internal/core"
 	"imdpp/internal/dataset"
+	"imdpp/internal/diffusion"
 	"imdpp/internal/exp"
+	"imdpp/internal/shard"
 )
 
 func main() {
@@ -40,6 +51,10 @@ func main() {
 	budget := flag.Float64("budget", 500, "budget for -fig solve")
 	promos := flag.Int("T", 10, "promotions for -fig solve")
 	benchout := flag.String("benchout", "BENCH_solve.json", "output path of the -fig solve JSON report")
+	shardout := flag.String("shardout", "BENCH_shard.json", "append path of the -fig shard JSON records")
+	codec := flag.String("codec", "both", "-fig shard wire codec: json, binary or both (one record each)")
+	weighted := flag.Bool("weighted", true, "-fig shard: throughput-proportional shard planning")
+	shardN := flag.Int("shards", 2, "-fig shard: in-process worker count")
 	flag.Parse()
 
 	cfg := exp.Config{
@@ -138,6 +153,144 @@ func main() {
 		}
 		fmt.Printf("[solve done in %v]\n", time.Since(start).Round(time.Millisecond))
 	}
+	if want["shard"] {
+		start := time.Now()
+		if err := shardBench(*preset, *scale, *budget, *promos, *solverMC, *seed, *codec, *weighted, *shardN, *shardout); err != nil {
+			fmt.Fprintf(os.Stderr, "shard: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[shard done in %v]\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// shardReport is one appended line of the shard wire/planning
+// trajectory (BENCH_shard.json): which codec and planner produced the
+// numbers, the wire bytes they cost, and the estimation throughput.
+type shardReport struct {
+	TS       int64   `json:"ts"`
+	Bench    string  `json:"bench"`
+	Preset   string  `json:"preset"`
+	Scale    float64 `json:"scale"`
+	Codec    string  `json:"codec"`
+	Weighted bool    `json:"weighted"`
+	Shards   int     `json:"shards"`
+	MC       int     `json:"mc"`
+	Groups   int     `json:"groups"`
+	Batches  int     `json:"batches"`
+
+	Samples         uint64  `json:"samples_simulated"`
+	SamplesPerSec   float64 `json:"samples_per_sec"`
+	BytesTx         uint64  `json:"bytes_tx"`
+	BytesRx         uint64  `json:"bytes_rx"`
+	Redispatches    uint64  `json:"redispatches"`
+	SpeculativeHits uint64  `json:"speculative_hits"`
+	Sigma           float64 `json:"sigma"`
+}
+
+// shardBench boots an in-process worker fleet and drives a CELF-shaped
+// batched-estimation workload (one problem upload amortized over
+// many-group σ batches) through the shard RPC, appending one record
+// per requested codec to out. σ of group 0 is recorded so trajectory
+// diffs can also confirm the modes agree bit-for-bit.
+func shardBench(preset string, scale, budget float64, T, mc int, seed uint64, codec string, weighted bool, shards int, out string) error {
+	var codecs []string
+	switch codec {
+	case "both":
+		codecs = []string{"json", "binary"}
+	case "json", "binary":
+		codecs = []string{codec}
+	default:
+		return fmt.Errorf("unknown codec %q (want json|binary|both)", codec)
+	}
+	builders := map[string]func(dataset.Scale) (*dataset.Dataset, error){
+		"Amazon": dataset.Amazon, "Yelp": dataset.Yelp,
+		"Douban": dataset.Douban, "Gowalla": dataset.Gowalla,
+	}
+	build, ok := builders[preset]
+	if !ok {
+		return fmt.Errorf("unknown preset %q", preset)
+	}
+	d, err := build(dataset.Scale(scale))
+	if err != nil {
+		return err
+	}
+	p := d.Clone(budget, T)
+
+	const nGroups, batches = 24, 6
+	groups := make([][]diffusion.Seed, nGroups)
+	for i := range groups {
+		groups[i] = []diffusion.Seed{
+			{User: i % p.NumUsers(), Item: i % p.NumItems(), T: 1},
+			{User: (i * 7) % p.NumUsers(), Item: (i + 1) % p.NumItems(), T: 1 + i%p.T},
+		}
+	}
+
+	f, err := os.OpenFile(out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+
+	for _, c := range codecs {
+		urls := make([]string, shards)
+		servers := make([]*httptest.Server, shards)
+		for i := range urls {
+			w := shard.NewWorker(shard.WorkerConfig{})
+			mux := http.NewServeMux()
+			w.Mount(mux)
+			mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+				rw.WriteHeader(http.StatusOK)
+				_, _ = rw.Write([]byte(`{"ok":true}`))
+			})
+			servers[i] = httptest.NewServer(mux)
+			urls[i] = servers[i].URL
+		}
+		pool := shard.NewPool(urls, nil)
+		if err := pool.SetCodec(c); err != nil {
+			return err
+		}
+		pool.SetWeighted(weighted)
+		est := shard.NewEstimator(pool, p, mc, seed, 0)
+
+		start := time.Now()
+		var sigma0 float64
+		for b := 0; b < batches; b++ {
+			ests := est.RunBatchPi(groups, nil)
+			sigma0 = ests[0].Sigma
+		}
+		elapsed := time.Since(start)
+		st := pool.Snapshot()
+		pool.Close()
+		for _, srv := range servers {
+			srv.Close()
+		}
+		if st.LocalFallbacks > 0 {
+			return fmt.Errorf("codec %s: %d local fallbacks — the fleet was not exercised", c, st.LocalFallbacks)
+		}
+
+		samples := uint64(nGroups * mc * batches)
+		rep := shardReport{
+			TS: time.Now().Unix(), Bench: "shard", Preset: preset, Scale: scale,
+			Codec: c, Weighted: st.Weighted, Shards: shards,
+			MC: mc, Groups: nGroups, Batches: batches,
+			Samples:         samples,
+			BytesTx:         st.BytesTx,
+			BytesRx:         st.BytesRx,
+			Redispatches:    st.Redispatches,
+			SpeculativeHits: st.SpeculativeHits,
+			Sigma:           sigma0,
+		}
+		if secs := elapsed.Seconds(); secs > 0 {
+			rep.SamplesPerSec = float64(samples) / secs
+		}
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		fmt.Printf("shard: codec=%s weighted=%v shards=%d σ₀=%.3f throughput=%.0f samples/sec wire=%d tx + %d rx bytes\n",
+			c, weighted, shards, sigma0, rep.SamplesPerSec, st.BytesTx, st.BytesRx)
+	}
+	return nil
 }
 
 // benchReport is the machine-readable solver benchmark record; one per

@@ -57,6 +57,9 @@ func main() {
 	workerMode := flag.Bool("worker", false, "run as a remote estimator worker (shard RPC only)")
 	shardWorkers := flag.String("shard-workers", "", "comma-separated worker base URLs; fan σ/π estimation out over them")
 	shardProbe := flag.Duration("shard-probe", 5*time.Second, "worker health-probe interval")
+	shardCodec := flag.String("shard-codec", "binary", "shard RPC wire codec: binary (DESIGN.md §8) or json; binary falls back to json per worker on mixed-version fleets")
+	shardWeighted := flag.Bool("shard-weighted", true, "size shard ranges proportionally to measured worker throughput")
+	shardSpec := flag.Bool("shard-speculate", true, "speculatively re-dispatch straggler shards to idle workers")
 	flag.Parse()
 
 	var handler http.Handler
@@ -80,8 +83,14 @@ func main() {
 		if *shardWorkers != "" {
 			urls := strings.Split(*shardWorkers, ",")
 			pool = imdpp.NewShardPool(urls, nil)
+			if err := pool.SetCodec(*shardCodec); err != nil {
+				log.Fatalf("imdppd: %v", err)
+			}
+			pool.SetWeighted(*shardWeighted)
+			pool.SetSpeculation(*shardSpec)
 			healthy := pool.Check(context.Background())
-			log.Printf("imdppd: shard pool: %d/%d workers healthy", healthy, pool.Size())
+			log.Printf("imdppd: shard pool: %d/%d workers healthy (codec=%s weighted=%v speculate=%v)",
+				healthy, pool.Size(), pool.Codec(), *shardWeighted, *shardSpec)
 			pool.StartHealthLoop(*shardProbe)
 			cfg.Backend = imdpp.ShardBackend(pool)
 		}

@@ -1,0 +1,143 @@
+package diffusion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"imdpp/internal/wirebin"
+)
+
+// randomGrid builds a NaN/Inf-free grid shaped like real engine
+// output: integral counts, ascending sparse item ids, float sigmas.
+func randomGrid(rng *rand.Rand, groups, span, items int) [][]SampleResult {
+	grid := make([][]SampleResult, groups)
+	for g := range grid {
+		row := make([]SampleResult, span)
+		for i := range row {
+			s := &row[i]
+			s.Sigma = rng.Float64() * 20
+			s.MarketSigma = rng.Float64() * 10
+			if rng.Intn(2) == 0 {
+				s.Pi = rng.Float64()
+			}
+			total := 0.0
+			for j := 0; j < items; j++ {
+				if rng.Intn(3) == 0 {
+					c := float64(1 + rng.Intn(5))
+					s.Items = append(s.Items, int32(j))
+					s.Counts = append(s.Counts, c)
+					total += c
+				}
+			}
+			s.Adoptions = total
+		}
+		grid[g] = row
+	}
+	return grid
+}
+
+func gridsEqual(t *testing.T, want, got [][]SampleResult) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("group count %d != %d", len(got), len(want))
+	}
+	for g := range want {
+		if len(want[g]) != len(got[g]) {
+			t.Fatalf("group %d span %d != %d", g, len(got[g]), len(want[g]))
+		}
+		for i := range want[g] {
+			w, gg := &want[g][i], &got[g][i]
+			for _, pair := range [][2]float64{
+				{w.Sigma, gg.Sigma}, {w.MarketSigma, gg.MarketSigma},
+				{w.Pi, gg.Pi}, {w.Adoptions, gg.Adoptions},
+			} {
+				if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+					t.Fatalf("group %d sample %d scalar differs: %v vs %v", g, i, pair[1], pair[0])
+				}
+			}
+			if len(w.Items) != len(gg.Items) || len(w.Counts) != len(gg.Counts) {
+				t.Fatalf("group %d sample %d sparse lengths differ", g, i)
+			}
+			for j := range w.Items {
+				if w.Items[j] != gg.Items[j] || math.Float64bits(w.Counts[j]) != math.Float64bits(gg.Counts[j]) {
+					t.Fatalf("group %d sample %d entry %d differs", g, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSampleGridBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := [][][]SampleResult{
+		{},                         // empty grid
+		{{}},                       // one group, zero samples
+		randomGrid(rng, 1, 1, 4),   // single sample
+		randomGrid(rng, 4, 13, 9),  // typical shard
+		randomGrid(rng, 2, 64, 40), // wider
+		{{{Sigma: -0.0, Pi: math.SmallestNonzeroFloat64}}}, // awkward floats
+	}
+	for ci, grid := range cases {
+		b := AppendSampleGrid(nil, grid)
+		got, err := DecodeSampleGrid(wirebin.NewReader(b))
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		gridsEqual(t, grid, got)
+		// the reduction over the decoded grid must match the original's
+		if len(grid) > 0 && len(grid[0]) > 0 {
+			a := ReduceSampleGrid(grid, 64)
+			bb := ReduceSampleGrid(got, 64)
+			for g := range a {
+				if math.Float64bits(a[g].Sigma) != math.Float64bits(bb[g].Sigma) {
+					t.Fatalf("case %d: reduced σ differs after round trip", ci)
+				}
+			}
+		}
+	}
+}
+
+// TestSampleGridBinaryMatchesEngine round-trips real engine output:
+// whatever RunBatchSamples produces must decode to a grid whose
+// reduction is bit-identical to reducing the original.
+func TestSampleGridBinaryMatchesEngine(t *testing.T) {
+	p := testProblem(t, lineGraph(6, 0.6), func(u, x int) float64 { return 0.4 }, nil, 3, DefaultParams())
+	est := NewEstimator(p, 9, 77)
+	groups := [][]Seed{{{User: 0, Item: 0, T: 1}}, {{User: 1, Item: 1, T: 1}, {User: 2, Item: 0, T: 1}}}
+	grid := est.RunBatchSamples(groups, nil, nil, true, 0, 9)
+	got, err := DecodeSampleGrid(wirebin.NewReader(AppendSampleGrid(nil, grid)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridsEqual(t, grid, got)
+	want := ReduceSampleGrid(grid, p.NumItems())
+	have := ReduceSampleGrid(got, p.NumItems())
+	for g := range want {
+		if math.Float64bits(want[g].Sigma) != math.Float64bits(have[g].Sigma) ||
+			math.Float64bits(want[g].Pi) != math.Float64bits(have[g].Pi) {
+			t.Fatalf("group %d: reduction differs after binary round trip", g)
+		}
+	}
+}
+
+// FuzzSampleGridCodec feeds arbitrary bytes to the decoder (no panic,
+// no unbounded allocation) and, when they happen to decode, checks the
+// re-encode/decode fixpoint.
+func FuzzSampleGridCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendSampleGrid(nil, [][]SampleResult{{}}))
+	f.Add(AppendSampleGrid(nil, randomGrid(rand.New(rand.NewSource(1)), 2, 3, 5)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		grid, err := DecodeSampleGrid(wirebin.NewReader(data))
+		if err != nil {
+			return
+		}
+		b := AppendSampleGrid(nil, grid)
+		again, err := DecodeSampleGrid(wirebin.NewReader(b))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded grid failed: %v", err)
+		}
+		gridsEqual(t, grid, again)
+	})
+}

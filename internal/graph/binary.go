@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"imdpp/internal/wirebin"
+)
+
+// Binary codec of the CSR image, the graph's half of the shard
+// subsystem's binary problem upload (DESIGN.md §8). The layout
+// exploits the canonical form Build guarantees: offsets are monotone
+// (encoded as per-vertex degrees) and each vertex's targets are
+// strictly ascending (encoded as first-id + deltas), so a typical arc
+// costs ~1 varint byte plus its weight instead of the ~10 JSON bytes
+// of the Export field form. Weights use the wirebin compact float,
+// bit-exact by construction.
+//
+// AppendBinary/DecodeBinaryExport move the *image* only; structural
+// validation stays where it always was, in Import — a decoded Export
+// is as untrusted as a JSON one.
+
+// AppendBinary appends the Export's binary image to b.
+func (e Export) AppendBinary(b []byte) []byte {
+	b = wirebin.AppendUvarint(b, uint64(e.N))
+	b = wirebin.AppendBool(b, e.Directed)
+	for u := 0; u < e.N; u++ {
+		b = wirebin.AppendAscInt32s(b, e.OutTo[e.OutOff[u]:e.OutOff[u+1]])
+	}
+	b = wirebin.AppendUvarint(b, uint64(len(e.OutW)))
+	for _, w := range e.OutW {
+		b = wirebin.AppendFloat(b, w)
+	}
+	return b
+}
+
+// DecodeBinaryExport reads one Export image from r. The result carries
+// whatever the bytes said; run it through Import for validation.
+func DecodeBinaryExport(r *wirebin.Reader) (Export, error) {
+	var e Export
+	n := r.Count(1)
+	if err := r.Err(); err != nil {
+		return e, fmt.Errorf("graph: decode binary: %w", err)
+	}
+	e.N = n
+	e.Directed = r.Bool()
+	e.OutOff = make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		row := r.AscInt32s()
+		if r.Err() != nil {
+			return e, fmt.Errorf("graph: decode binary: %w", r.Err())
+		}
+		if total := int64(len(e.OutTo)) + int64(len(row)); total > math.MaxInt32 {
+			return e, fmt.Errorf("graph: decode binary: arc count overflow at vertex %d", u)
+		}
+		e.OutTo = append(e.OutTo, row...)
+		e.OutOff[u+1] = int32(len(e.OutTo))
+	}
+	m := len(e.OutTo)
+	wn := r.Count(2)
+	if r.Err() != nil {
+		return e, fmt.Errorf("graph: decode binary: %w", r.Err())
+	}
+	if wn != m {
+		return e, fmt.Errorf("graph: decode binary: %d weights for %d arcs", wn, m)
+	}
+	e.OutW = make([]float64, m)
+	for i := range e.OutW {
+		e.OutW[i] = r.Float()
+	}
+	if err := r.Err(); err != nil {
+		return e, fmt.Errorf("graph: decode binary: %w", err)
+	}
+	return e, nil
+}

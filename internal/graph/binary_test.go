@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"imdpp/internal/wirebin"
+)
+
+// randomCSR builds a canonical graph (through Build, so adjacency is
+// sorted and deduplicated) with random arcs.
+func randomCSR(rng *rand.Rand, n, arcs int, directed bool) *Graph {
+	b := NewBuilder(n, directed)
+	for i := 0; i < arcs; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v, 0.05+0.9*rng.Float64())
+	}
+	return b.Build()
+}
+
+func TestExportBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := []*Graph{
+		NewBuilder(0, true).Build(),
+		NewBuilder(3, true).Build(), // vertices, no arcs
+		randomCSR(rng, 1, 0, true),
+		randomCSR(rng, 12, 40, true),
+		randomCSR(rng, 12, 40, false),
+		randomCSR(rng, 200, 1500, true),
+	}
+	for ci, g := range cases {
+		e := g.Export()
+		b := e.AppendBinary(nil)
+		got, err := DecodeBinaryExport(wirebin.NewReader(b))
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if got.N != e.N || got.Directed != e.Directed ||
+			len(got.OutOff) != len(e.OutOff) || len(got.OutTo) != len(e.OutTo) || len(got.OutW) != len(e.OutW) {
+			t.Fatalf("case %d: shape drifted: %+v vs %+v", ci, got, e)
+		}
+		for i := range e.OutOff {
+			if got.OutOff[i] != e.OutOff[i] {
+				t.Fatalf("case %d: offset %d differs", ci, i)
+			}
+		}
+		for i := range e.OutTo {
+			if got.OutTo[i] != e.OutTo[i] {
+				t.Fatalf("case %d: target %d differs", ci, i)
+			}
+			if math.Float64bits(got.OutW[i]) != math.Float64bits(e.OutW[i]) {
+				t.Fatalf("case %d: weight %d differs bitwise", ci, i)
+			}
+		}
+		// and the image must Import back to an identical graph
+		gg, err := Import(got)
+		if err != nil {
+			t.Fatalf("case %d: import of binary round trip: %v", ci, err)
+		}
+		if gg.N() != g.N() || gg.M() != g.M() {
+			t.Fatalf("case %d: imported graph shape drifted", ci)
+		}
+	}
+}
+
+// FuzzDecodeBinaryExport: arbitrary bytes must produce a typed error
+// or an Export whose re-encode decodes again — never a panic.
+func FuzzDecodeBinaryExport(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(randomCSR(rand.New(rand.NewSource(2)), 6, 14, true).Export().AppendBinary(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := DecodeBinaryExport(wirebin.NewReader(data))
+		if err != nil {
+			return
+		}
+		b := e.AppendBinary(nil)
+		if _, err := DecodeBinaryExport(wirebin.NewReader(b)); err != nil {
+			t.Fatalf("re-encode of decoded export failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package kg
+
+import (
+	"fmt"
+
+	"imdpp/internal/wirebin"
+)
+
+// Binary codec of materialised relevance tables. The shard problem
+// upload ships the PIN model's *merged* rows (pin.AppendRowsBinary);
+// this codec covers the per-meta-graph tables underneath them — the
+// piece a future dataset-upload path (ROADMAP "real-dataset
+// ingestion": POST a problem by content hash) needs to move a
+// pre-built RelTable without recounting meta-graph instances. Rows are
+// sorted by Other (a BuildRelTable invariant), so ids encode as
+// ascending deltas; relevances use the compact float.
+
+// AppendBinary appends the table's sparse rows to b. The meta-graph
+// itself is identified out of band (tables travel alongside their
+// model), so only the adjacency is encoded.
+func (t *RelTable) AppendBinary(b []byte) []byte {
+	b = wirebin.AppendUvarint(b, uint64(len(t.adj)))
+	for _, row := range t.adj {
+		b = wirebin.AppendUvarint(b, uint64(len(row)))
+		prev := int32(0)
+		for i, rel := range row {
+			if i == 0 {
+				b = wirebin.AppendVarint(b, int64(rel.Other))
+			} else {
+				if rel.Other < prev {
+					panic(fmt.Sprintf("kg: RelTable.AppendBinary row not sorted: %d after %d", rel.Other, prev))
+				}
+				b = wirebin.AppendUvarint(b, uint64(rel.Other-prev))
+			}
+			prev = rel.Other
+			b = wirebin.AppendFloat(b, rel.S)
+		}
+	}
+	return b
+}
+
+// DecodeRelTableBinary reads rows written by AppendBinary and wraps
+// them as a RelTable (Meta left nil, exactly like RelTableFromRows).
+func DecodeRelTableBinary(r *wirebin.Reader) (*RelTable, error) {
+	n := r.Count(1)
+	if r.Err() != nil {
+		return nil, fmt.Errorf("kg: decode rel table: %w", r.Err())
+	}
+	adj := make([][]ItemRel, n)
+	for x := range adj {
+		cnt := r.Count(3) // id varint + float tag + varint at minimum
+		if r.Err() != nil {
+			return nil, fmt.Errorf("kg: decode rel table: %w", r.Err())
+		}
+		if cnt == 0 {
+			continue
+		}
+		row := make([]ItemRel, cnt)
+		prev := int64(0)
+		for i := range row {
+			if i == 0 {
+				prev = r.Varint()
+			} else {
+				prev += int64(r.Uvarint())
+			}
+			if prev < 0 || prev > int64(^uint32(0)>>1) {
+				return nil, fmt.Errorf("kg: decode rel table: item id %d out of int32 range", prev)
+			}
+			row[i].Other = int32(prev)
+			row[i].S = r.Float()
+		}
+		adj[x] = row
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("kg: decode rel table: %w", err)
+	}
+	return RelTableFromRows(adj), nil
+}

@@ -1,0 +1,60 @@
+package kg
+
+import (
+	"math"
+	"testing"
+
+	"imdpp/internal/wirebin"
+)
+
+func TestRelTableBinaryRoundTrip(t *testing.T) {
+	cases := [][][]ItemRel{
+		nil,
+		{},
+		{nil, {}},
+		{
+			{{Other: 1, S: 0.5}, {Other: 4, S: 0.75}},
+			{{Other: 0, S: 0.5}},
+			{},
+			{{Other: 0, S: 0.8}, {Other: 1, S: 1.0 / 3.0}},
+			{{Other: 3, S: 1.0 / 3.0}},
+		},
+	}
+	for ci, adj := range cases {
+		tbl := RelTableFromRows(adj)
+		b := tbl.AppendBinary(nil)
+		got, err := DecodeRelTableBinary(wirebin.NewReader(b))
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if len(got.adj) != len(adj) {
+			t.Fatalf("case %d: %d rows != %d", ci, len(got.adj), len(adj))
+		}
+		for x := range adj {
+			if len(got.adj[x]) != len(adj[x]) {
+				t.Fatalf("case %d row %d: %d entries != %d", ci, x, len(got.adj[x]), len(adj[x]))
+			}
+			for j := range adj[x] {
+				if got.adj[x][j].Other != adj[x][j].Other ||
+					math.Float64bits(got.adj[x][j].S) != math.Float64bits(adj[x][j].S) {
+					t.Fatalf("case %d row %d entry %d drifted", ci, x, j)
+				}
+			}
+		}
+	}
+}
+
+func FuzzDecodeRelTableBinary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(RelTableFromRows([][]ItemRel{{{Other: 1, S: 0.5}}, {{Other: 0, S: 0.5}}}).AppendBinary(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl, err := DecodeRelTableBinary(wirebin.NewReader(data))
+		if err != nil {
+			return
+		}
+		b := tbl.AppendBinary(nil)
+		if _, err := DecodeRelTableBinary(wirebin.NewReader(b)); err != nil {
+			t.Fatalf("re-encode of decoded table failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package pin
+
+import (
+	"fmt"
+
+	"imdpp/internal/wirebin"
+)
+
+// Binary codec of the merged relevance rows — the PIN model's half of
+// the shard subsystem's binary problem upload (DESIGN.md §8). Rows are
+// sorted by related-item id (a Model invariant), so the Y ids encode
+// as first-id + ascending deltas; contributions are a meta index byte
+// plus a compact float. Like the JSON form, the binary image carries
+// no derived state: ModelFromRows revalidates and rebuilds initRel
+// from whatever arrives.
+
+// AppendRowsBinary appends the binary image of merged relevance rows.
+func AppendRowsBinary(b []byte, rows [][]PairRel) []byte {
+	b = wirebin.AppendUvarint(b, uint64(len(rows)))
+	for _, row := range rows {
+		b = wirebin.AppendUvarint(b, uint64(len(row)))
+		prev := int32(0)
+		for i, pr := range row {
+			if i == 0 {
+				b = wirebin.AppendVarint(b, int64(pr.Y))
+			} else {
+				if pr.Y < prev {
+					panic(fmt.Sprintf("pin: AppendRowsBinary row not sorted by Y: %d after %d", pr.Y, prev))
+				}
+				b = wirebin.AppendUvarint(b, uint64(pr.Y-prev))
+			}
+			prev = pr.Y
+			b = wirebin.AppendUvarint(b, uint64(len(pr.Contribs)))
+			for _, c := range pr.Contribs {
+				b = wirebin.AppendU8(b, c.Meta)
+				b = wirebin.AppendFloat(b, c.S)
+			}
+		}
+	}
+	return b
+}
+
+// DecodeRowsBinary reads merged relevance rows written by
+// AppendRowsBinary. Structural validation (meta ranges, symmetry)
+// stays in ModelFromRows, exactly as on the JSON path.
+func DecodeRowsBinary(r *wirebin.Reader) ([][]PairRel, error) {
+	n := r.Count(1)
+	if r.Err() != nil {
+		return nil, fmt.Errorf("pin: decode rows: %w", r.Err())
+	}
+	rows := make([][]PairRel, n)
+	for x := range rows {
+		cnt := r.Count(2) // ≥ id varint + contrib count per entry
+		if r.Err() != nil {
+			return nil, fmt.Errorf("pin: decode rows: %w", r.Err())
+		}
+		if cnt == 0 {
+			continue
+		}
+		row := make([]PairRel, cnt)
+		prev := int64(0)
+		for i := range row {
+			if i == 0 {
+				prev = r.Varint()
+			} else {
+				prev += int64(r.Uvarint())
+			}
+			if prev < 0 || prev > int64(^uint32(0)>>1) {
+				return nil, fmt.Errorf("pin: decode rows: related id %d out of int32 range", prev)
+			}
+			row[i].Y = int32(prev)
+			cn := r.Count(2) // meta byte + float tag at minimum
+			if r.Err() != nil {
+				return nil, fmt.Errorf("pin: decode rows: %w", r.Err())
+			}
+			if cn > 0 {
+				contribs := make([]Contrib, cn)
+				for j := range contribs {
+					contribs[j].Meta = r.U8()
+					contribs[j].S = r.Float()
+				}
+				row[i].Contribs = contribs
+			}
+		}
+		rows[x] = row
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("pin: decode rows: %w", err)
+	}
+	return rows, nil
+}

@@ -1,0 +1,64 @@
+package pin
+
+import (
+	"math"
+	"testing"
+
+	"imdpp/internal/wirebin"
+)
+
+func TestRowsBinaryRoundTrip(t *testing.T) {
+	cases := [][][]PairRel{
+		nil,
+		{},
+		{nil, {}},
+		{
+			{{Y: 1, Contribs: []Contrib{{Meta: 0, S: 0.5}}}, {Y: 3, Contribs: []Contrib{{Meta: 1, S: 0.75}, {Meta: 0, S: 0.125}}}},
+			{{Y: 0, Contribs: []Contrib{{Meta: 0, S: 0.5}}}},
+			{{Y: 1, Contribs: nil}},
+			{},
+		},
+	}
+	for ci, rows := range cases {
+		b := AppendRowsBinary(nil, rows)
+		got, err := DecodeRowsBinary(wirebin.NewReader(b))
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if len(got) != len(rows) {
+			t.Fatalf("case %d: %d rows != %d", ci, len(got), len(rows))
+		}
+		for x := range rows {
+			if len(got[x]) != len(rows[x]) {
+				t.Fatalf("case %d row %d: %d entries != %d", ci, x, len(got[x]), len(rows[x]))
+			}
+			for j := range rows[x] {
+				w, g := rows[x][j], got[x][j]
+				if w.Y != g.Y || len(w.Contribs) != len(g.Contribs) {
+					t.Fatalf("case %d row %d entry %d drifted", ci, x, j)
+				}
+				for k := range w.Contribs {
+					if w.Contribs[k].Meta != g.Contribs[k].Meta ||
+						math.Float64bits(w.Contribs[k].S) != math.Float64bits(g.Contribs[k].S) {
+						t.Fatalf("case %d row %d entry %d contrib %d drifted", ci, x, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func FuzzDecodeRowsBinary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendRowsBinary(nil, [][]PairRel{{{Y: 2, Contribs: []Contrib{{Meta: 1, S: 0.25}}}}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows, err := DecodeRowsBinary(wirebin.NewReader(data))
+		if err != nil {
+			return
+		}
+		b := AppendRowsBinary(nil, rows)
+		if _, err := DecodeRowsBinary(wirebin.NewReader(b)); err != nil {
+			t.Fatalf("re-encode of decoded rows failed: %v", err)
+		}
+	})
+}

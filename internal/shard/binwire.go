@@ -1,0 +1,383 @@
+package shard
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"imdpp/internal/diffusion"
+	"imdpp/internal/graph"
+	"imdpp/internal/pin"
+	"imdpp/internal/service"
+	"imdpp/internal/wirebin"
+)
+
+// Binary wire format of the shard RPC (DESIGN.md §8). Every binary
+// request/response body is one frame:
+//
+//	magic   [3]byte  "IMB"
+//	version byte     1
+//	kind    byte     frameProblem | frameEstimateReq | frameEstimateResp
+//	flags   byte     bit 0: payload is DEFLATE-compressed
+//	length  u32 LE   payload byte count (after compression)
+//	payload [length]byte
+//
+// The payload is a wirebin stream (little-endian, length-prefixed
+// slices, tagged compact floats — see internal/wirebin). Frames are
+// self-describing enough to reject version or kind drift with a typed
+// error before any payload decoding; semantic compatibility between
+// coordinator and worker builds is still gated by the content hash,
+// exactly as on the JSON path — a worker whose decoder disagrees with
+// the coordinator's encoder lands on a different hash and the upload
+// fails loudly with hash_mismatch.
+//
+// Negotiation is plain HTTP: a binary-capable coordinator sends
+// Content-Type: application/x-imdpp-shard and advertises the same
+// type in Accept; a binary-capable worker decodes by Content-Type and
+// answers estimate responses binary iff Accept asks. JSON remains the
+// fallback in both directions, so mixed-version fleets degrade to the
+// PR 4 wire format instead of failing (README "Deploying a worker
+// fleet").
+
+// ContentTypeBinary negotiates the binary shard codec; JSON bodies
+// keep application/json.
+const ContentTypeBinary = "application/x-imdpp-shard"
+
+// Frame kind bytes.
+const (
+	frameProblem      = 1
+	frameEstimateReq  = 2
+	frameEstimateResp = 3
+)
+
+const (
+	frameVersion = 1
+	flagDeflate  = 1 << 0
+	// compressMin is the payload size below which DEFLATE is skipped:
+	// tiny frames (estimate requests, acks) gain nothing and would pay
+	// the flate setup latency on every RPC. Mid-size sample grids —
+	// a few hundred bytes per shard on small problems — still carry
+	// enough float-run redundancy to be worth it, so the bar is low.
+	compressMin = 256
+	// maxFramePayload bounds a declared payload (and its decompressed
+	// form) so a hostile length field cannot provoke an absurd
+	// allocation. 1 GiB is orders of magnitude above any real grid.
+	maxFramePayload = 1 << 30
+)
+
+var frameMagic = [3]byte{'I', 'M', 'B'}
+
+var flateWriters = sync.Pool{New: func() any {
+	// BestSpeed: the wire win over JSON is already structural; flate
+	// exists to strip the residual entropy of float runs, and the hot
+	// path cannot afford higher levels
+	w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+	return w
+}}
+
+// appendFrame wraps payload (b[start:]) in place: the caller appends
+// the frame header via beginFrame, then the payload, then calls
+// finishFrame to patch the length and optionally compress.
+func beginFrame(b []byte, kind byte) []byte {
+	b = append(b, frameMagic[0], frameMagic[1], frameMagic[2], frameVersion, kind, 0)
+	b = wirebin.AppendU32(b, 0) // length, patched by finishFrame
+	return b
+}
+
+const frameHeaderLen = 10
+
+// finishFrame completes the frame begun at offset start in b: when the
+// payload crosses compressMin it is DEFLATE-compressed in place (the
+// flags bit records it), and the length word is patched either way.
+func finishFrame(b []byte, start int) []byte {
+	payload := b[start+frameHeaderLen:]
+	if len(payload) >= compressMin {
+		var buf bytes.Buffer
+		buf.Grow(len(payload) / 2)
+		fw := flateWriters.Get().(*flate.Writer)
+		fw.Reset(&buf)
+		_, werr := fw.Write(payload)
+		cerr := fw.Close()
+		flateWriters.Put(fw)
+		if werr == nil && cerr == nil && buf.Len() < len(payload) {
+			b = append(b[:start+frameHeaderLen], buf.Bytes()...)
+			b[start+5] |= flagDeflate
+		}
+	}
+	n := len(b) - start - frameHeaderLen
+	b[start+6] = byte(n)
+	b[start+7] = byte(n >> 8)
+	b[start+8] = byte(n >> 16)
+	b[start+9] = byte(n >> 24)
+	return b
+}
+
+// openFrame validates a frame's header and returns its decoded (and,
+// when flagged, decompressed) payload.
+func openFrame(data []byte, wantKind byte) ([]byte, error) {
+	if len(data) < frameHeaderLen {
+		return nil, fmt.Errorf("shard: binary frame truncated at %d bytes", len(data))
+	}
+	if data[0] != frameMagic[0] || data[1] != frameMagic[1] || data[2] != frameMagic[2] {
+		return nil, fmt.Errorf("shard: bad frame magic %q", data[:3])
+	}
+	if data[3] != frameVersion {
+		return nil, fmt.Errorf("shard: unsupported frame version %d (want %d)", data[3], frameVersion)
+	}
+	if data[4] != wantKind {
+		return nil, fmt.Errorf("shard: frame kind %d, want %d", data[4], wantKind)
+	}
+	flags := data[5]
+	n := int(uint32(data[6]) | uint32(data[7])<<8 | uint32(data[8])<<16 | uint32(data[9])<<24)
+	if n > maxFramePayload {
+		return nil, fmt.Errorf("shard: frame payload %d exceeds %d-byte bound", n, maxFramePayload)
+	}
+	if len(data) != frameHeaderLen+n {
+		return nil, fmt.Errorf("shard: frame length %d != header-declared %d", len(data)-frameHeaderLen, n)
+	}
+	payload := data[frameHeaderLen:]
+	if flags&flagDeflate != 0 {
+		fr := flate.NewReader(bytes.NewReader(payload))
+		out, err := io.ReadAll(io.LimitReader(fr, maxFramePayload+1))
+		if err != nil {
+			return nil, fmt.Errorf("shard: inflate frame: %w", err)
+		}
+		if len(out) > maxFramePayload {
+			return nil, fmt.Errorf("shard: inflated payload exceeds %d-byte bound", maxFramePayload)
+		}
+		payload = out
+	}
+	return payload, nil
+}
+
+// AppendBinary appends the problem upload's binary frame to b.
+func (u ProblemUpload) AppendBinary(b []byte) []byte {
+	start := len(b)
+	b = beginFrame(b, frameProblem)
+	b = wirebin.AppendUvarint(b, uint64(u.Users))
+	b = wirebin.AppendUvarint(b, uint64(u.Items))
+	b = u.Graph.AppendBinary(b)
+	b = wirebin.AppendUvarint(b, uint64(u.NumC))
+	b = wirebin.AppendFloats(b, u.InitWeights)
+	b = pin.AppendRowsBinary(b, u.Rows)
+	b = wirebin.AppendFloats(b, u.Importance)
+	b = wirebin.AppendFloats(b, u.BasePref)
+	b = wirebin.AppendFloats(b, u.Cost)
+	b = wirebin.AppendFloat(b, u.Budget)
+	b = wirebin.AppendUvarint(b, uint64(u.T))
+	b = wirebin.AppendFloat(b, u.Params.Eta)
+	b = wirebin.AppendFloat(b, u.Params.Lambda)
+	b = wirebin.AppendFloat(b, u.Params.Gamma)
+	b = wirebin.AppendFloat(b, u.Params.Chi)
+	b = wirebin.AppendUvarint(b, uint64(u.Params.MaxSteps))
+	b = wirebin.AppendU8(b, byte(u.Params.AIS))
+	b = wirebin.AppendBool(b, u.Params.Static)
+	return finishFrame(b, start)
+}
+
+// DecodeProblemUploadBinary reads one binary problem-upload frame. The
+// result is as untrusted as a JSON-decoded one: DecodeProblem performs
+// the same structural validation either way.
+func DecodeProblemUploadBinary(data []byte) (ProblemUpload, error) {
+	var u ProblemUpload
+	payload, err := openFrame(data, frameProblem)
+	if err != nil {
+		return u, err
+	}
+	r := wirebin.NewReader(payload)
+	users, items := r.Uvarint(), r.Uvarint()
+	if users > math.MaxInt32 || items > math.MaxInt32 {
+		return u, fmt.Errorf("shard: binary upload users/items %d/%d out of range", users, items)
+	}
+	u.Users, u.Items = int(users), int(items)
+	if u.Graph, err = graph.DecodeBinaryExport(r); err != nil {
+		return u, err
+	}
+	numC := r.Uvarint()
+	if numC > math.MaxInt32 {
+		return u, fmt.Errorf("shard: binary upload numC %d out of range", numC)
+	}
+	u.NumC = int(numC)
+	u.InitWeights = r.Floats()
+	if u.Rows, err = pin.DecodeRowsBinary(r); err != nil {
+		return u, err
+	}
+	u.Importance = r.Floats()
+	u.BasePref = r.Floats()
+	u.Cost = r.Floats()
+	u.Budget = r.Float()
+	tt := r.Uvarint()
+	if tt > math.MaxInt32 {
+		return u, fmt.Errorf("shard: binary upload T %d out of range", tt)
+	}
+	u.T = int(tt)
+	u.Params.Eta = r.Float()
+	u.Params.Lambda = r.Float()
+	u.Params.Gamma = r.Float()
+	u.Params.Chi = r.Float()
+	steps := r.Uvarint()
+	if steps > math.MaxInt32 {
+		return u, fmt.Errorf("shard: binary upload max_steps %d out of range", steps)
+	}
+	u.Params.MaxSteps = int(steps)
+	u.Params.AIS = diffusion.AISModel(r.U8())
+	u.Params.Static = r.Bool()
+	if err := r.Done(); err != nil {
+		return u, fmt.Errorf("shard: binary upload: %w", err)
+	}
+	return u, nil
+}
+
+// appendSeedGroups encodes seed groups; seeds are small non-negative
+// triples in every valid request, but the codec passes any int through
+// zig-zag varints so the worker-side range validation sees exactly
+// what was sent.
+func appendSeedGroups(b []byte, groups [][]diffusion.Seed) []byte {
+	b = wirebin.AppendUvarint(b, uint64(len(groups)))
+	for _, g := range groups {
+		b = wirebin.AppendUvarint(b, uint64(len(g)))
+		for _, s := range g {
+			b = wirebin.AppendVarint(b, int64(s.User))
+			b = wirebin.AppendVarint(b, int64(s.Item))
+			b = wirebin.AppendVarint(b, int64(s.T))
+		}
+	}
+	return b
+}
+
+func decodeSeedGroups(r *wirebin.Reader) ([][]diffusion.Seed, error) {
+	k := r.Count(1)
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	groups := make([][]diffusion.Seed, k)
+	for g := range groups {
+		n := r.Count(3)
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		seeds := make([]diffusion.Seed, n)
+		for i := range seeds {
+			seeds[i].User = int(r.Varint())
+			seeds[i].Item = int(r.Varint())
+			seeds[i].T = int(r.Varint())
+		}
+		groups[g] = seeds
+	}
+	return groups, r.Err()
+}
+
+// appendOptInt32s encodes a possibly-nil id list: absence and an empty
+// non-nil list stay distinguishable, matching the JSON contract for
+// masks (nil = all users, empty = all-false).
+func appendOptInt32s(b []byte, vs []int32) []byte {
+	if vs == nil {
+		return wirebin.AppendBool(b, false)
+	}
+	b = wirebin.AppendBool(b, true)
+	return wirebin.AppendAscInt32s(b, vs)
+}
+
+func decodeOptInt32s(r *wirebin.Reader) []int32 {
+	if !r.Bool() {
+		return nil
+	}
+	vs := r.AscInt32s()
+	if vs == nil && r.Err() == nil {
+		vs = []int32{} // present-but-empty survives the round trip
+	}
+	return vs
+}
+
+// AppendBinary appends the estimate request's binary frame to b.
+func (req *EstimateRequest) AppendBinary(b []byte) ([]byte, error) {
+	key, err := service.ParseKey(req.Problem)
+	if err != nil {
+		return nil, fmt.Errorf("shard: encode estimate request: %w", err)
+	}
+	start := len(b)
+	b = beginFrame(b, frameEstimateReq)
+	b = wirebin.AppendU64(b, key.Hi)
+	b = wirebin.AppendU64(b, key.Lo)
+	b = wirebin.AppendU64(b, req.Seed)
+	b = wirebin.AppendVarint(b, int64(req.Lo))
+	b = wirebin.AppendVarint(b, int64(req.Hi))
+	b = wirebin.AppendBool(b, req.WithPi)
+	b = appendSeedGroups(b, req.Groups)
+	b = appendOptInt32s(b, req.Market)
+	if req.PerGroupMasks == nil {
+		b = wirebin.AppendBool(b, false)
+	} else {
+		b = wirebin.AppendBool(b, true)
+		b = wirebin.AppendUvarint(b, uint64(len(req.PerGroupMasks)))
+		for _, mask := range req.PerGroupMasks {
+			b = appendOptInt32s(b, mask)
+		}
+	}
+	return finishFrame(b, start), nil
+}
+
+// DecodeEstimateRequestBinary reads one binary estimate-request frame.
+func DecodeEstimateRequestBinary(data []byte) (EstimateRequest, error) {
+	var req EstimateRequest
+	payload, err := openFrame(data, frameEstimateReq)
+	if err != nil {
+		return req, err
+	}
+	r := wirebin.NewReader(payload)
+	key := service.Key{Hi: r.U64(), Lo: r.U64()}
+	req.Problem = key.String()
+	req.Seed = r.U64()
+	req.Lo = int(r.Varint())
+	req.Hi = int(r.Varint())
+	req.WithPi = r.Bool()
+	if req.Groups, err = decodeSeedGroups(r); err != nil {
+		return req, fmt.Errorf("shard: binary estimate request: %w", err)
+	}
+	req.Market = decodeOptInt32s(r)
+	if r.Bool() {
+		n := r.Count(1)
+		if r.Err() != nil {
+			return req, fmt.Errorf("shard: binary estimate request: %w", r.Err())
+		}
+		req.PerGroupMasks = make([][]int32, n)
+		for i := range req.PerGroupMasks {
+			req.PerGroupMasks[i] = decodeOptInt32s(r)
+		}
+	}
+	if err := r.Done(); err != nil {
+		return req, fmt.Errorf("shard: binary estimate request: %w", err)
+	}
+	return req, nil
+}
+
+// AppendBinary appends the estimate response's binary frame — the hot
+// path, one frame per computed shard — to b.
+func (resp *EstimateResponse) AppendBinary(b []byte) []byte {
+	start := len(b)
+	b = beginFrame(b, frameEstimateResp)
+	b = diffusion.AppendSampleGrid(b, resp.Samples)
+	return finishFrame(b, start)
+}
+
+// DecodeEstimateResponseBinary reads one binary estimate-response
+// frame. The coordinator's validateSamples still runs on the result,
+// exactly as on the JSON path.
+func DecodeEstimateResponseBinary(data []byte) (EstimateResponse, error) {
+	var resp EstimateResponse
+	payload, err := openFrame(data, frameEstimateResp)
+	if err != nil {
+		return resp, err
+	}
+	r := wirebin.NewReader(payload)
+	if resp.Samples, err = diffusion.DecodeSampleGrid(r); err != nil {
+		return resp, err
+	}
+	if err := r.Done(); err != nil {
+		return resp, fmt.Errorf("shard: binary estimate response: %w", err)
+	}
+	return resp, nil
+}

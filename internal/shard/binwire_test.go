@@ -1,0 +1,229 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"imdpp/internal/diffusion"
+	"imdpp/internal/service"
+)
+
+// TestProblemUploadBinaryRoundTrip pins the tentpole compatibility
+// gate: the binary-decoded problem must land on the same content
+// address — and drive the engine bit-identically — as the JSON one.
+func TestProblemUploadBinaryRoundTrip(t *testing.T) {
+	p := sampleProblem(t, 120, 3)
+	u := EncodeProblem(p)
+
+	frame := u.AppendBinary(nil)
+	decodedU, err := DecodeProblemUploadBinary(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := DecodeProblem(decodedU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonBytes, err := json.Marshal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonU ProblemUpload
+	if err := json.Unmarshal(jsonBytes, &jsonU); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := DecodeProblem(jsonU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, hb, hj := service.HashProblem(p), service.HashProblem(fromBin), service.HashProblem(fromJSON)
+	if h0 != hb || h0 != hj {
+		t.Fatalf("content address drift: original %s binary %s json %s", h0, hb, hj)
+	}
+	groups := groupsFor(p)
+	requireSameEstimates(t, "binary-decoded problem",
+		diffusion.NewEstimator(p, 8, 5).RunBatchPi(groups, nil),
+		diffusion.NewEstimator(fromBin, 8, 5).RunBatchPi(groups, nil))
+}
+
+// TestProblemUploadBinarySmaller quantifies the wire win on a real
+// problem: the binary frame must be well under half the JSON bytes
+// (the smoke asserts the full-RPC ≥3× bound end to end).
+func TestProblemUploadBinarySmaller(t *testing.T) {
+	u := EncodeProblem(sampleProblem(t, 120, 3))
+	jsonBytes, err := json.Marshal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := u.AppendBinary(nil)
+	if len(bin)*2 >= len(jsonBytes) {
+		t.Fatalf("binary upload %d bytes not < half of JSON %d", len(bin), len(jsonBytes))
+	}
+	t.Logf("problem upload: json=%d binary=%d (%.1fx)", len(jsonBytes), len(bin), float64(len(jsonBytes))/float64(len(bin)))
+}
+
+func TestEstimateRequestBinaryRoundTrip(t *testing.T) {
+	key := service.Key{Hi: 0xdeadbeefcafef00d, Lo: 0x0123456789abcdef}
+	cases := []EstimateRequest{
+		{Problem: key.String(), Seed: 42, Lo: 3, Hi: 17, WithPi: true,
+			Groups: [][]diffusion.Seed{{{User: 1, Item: 2, T: 3}}, {}},
+			Market: []int32{0, 4, 9}},
+		{Problem: key.String(), Groups: [][]diffusion.Seed{{}},
+			Market: []int32{}, // empty non-nil: the all-false mask
+			Lo:     0, Hi: 1},
+		{Problem: key.String(), Groups: [][]diffusion.Seed{{}, {{User: 0, Item: 0, T: 1}}},
+			PerGroupMasks: [][]int32{nil, {2, 5}},
+			Lo:            0, Hi: 4},
+	}
+	for ci, req := range cases {
+		frame, err := req.AppendBinary(nil)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		got, err := DecodeEstimateRequestBinary(frame)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		// the JSON round trip is the reference semantics: both codecs
+		// must preserve nil-vs-empty on every mask field
+		jb, _ := json.Marshal(req)
+		var viaJSON EstimateRequest
+		_ = json.Unmarshal(jb, &viaJSON)
+		gb, _ := json.Marshal(got)
+		if !bytes.Equal(jb, gb) {
+			t.Fatalf("case %d: binary round trip drifted:\n json: %s\n  got: %s", ci, jb, gb)
+		}
+		if (req.Market == nil) != (got.Market == nil) {
+			t.Fatalf("case %d: market nil-ness lost", ci)
+		}
+		if (req.PerGroupMasks == nil) != (got.PerGroupMasks == nil) {
+			t.Fatalf("case %d: masks nil-ness lost", ci)
+		}
+		for g := range req.PerGroupMasks {
+			if (req.PerGroupMasks[g] == nil) != (got.PerGroupMasks[g] == nil) {
+				t.Fatalf("case %d: mask %d nil-ness lost", ci, g)
+			}
+		}
+	}
+}
+
+func TestEstimateResponseBinaryRoundTrip(t *testing.T) {
+	p := sampleProblem(t, 120, 3)
+	est := diffusion.NewEstimator(p, 6, 13)
+	resp := EstimateResponse{Samples: est.RunBatchSamples(groupsFor(p), nil, nil, true, 0, 6)}
+	frame := resp.AppendBinary(nil)
+	got, err := DecodeEstimateResponseBinary(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := diffusion.ReduceSampleGrid(resp.Samples, p.NumItems())
+	have := diffusion.ReduceSampleGrid(got.Samples, p.NumItems())
+	requireSameEstimates(t, "binary response", want, have)
+}
+
+// TestFrameCompression forces a payload over the DEFLATE threshold and
+// checks the round trip plus the size win.
+func TestFrameCompression(t *testing.T) {
+	grid := make([][]diffusion.SampleResult, 4)
+	for g := range grid {
+		grid[g] = make([]diffusion.SampleResult, 512)
+		for i := range grid[g] {
+			grid[g][i] = diffusion.SampleResult{
+				Sigma: float64(i) * 1.000000001, Adoptions: float64(i % 7),
+				Items: []int32{1, 5, 9}, Counts: []float64{1, 2, 1},
+			}
+		}
+	}
+	resp := EstimateResponse{Samples: grid}
+	frame := resp.AppendBinary(nil)
+	if frame[5]&flagDeflate == 0 {
+		t.Fatalf("large frame (%d bytes) was not compressed", len(frame))
+	}
+	got, err := DecodeEstimateResponseBinary(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != 4 || len(got.Samples[0]) != 512 {
+		t.Fatalf("compressed round trip lost shape: %dx%d", len(got.Samples), len(got.Samples[0]))
+	}
+	for g := range grid {
+		for i := range grid[g] {
+			if math.Float64bits(grid[g][i].Sigma) != math.Float64bits(got.Samples[g][i].Sigma) {
+				t.Fatalf("sample (%d,%d) sigma drifted through compression", g, i)
+			}
+		}
+	}
+}
+
+// TestFrameRejectsDrift pins the typed failures: wrong magic, wrong
+// version, wrong kind, truncation, and length-field lies all error
+// before any payload decoding.
+func TestFrameRejectsDrift(t *testing.T) {
+	good := (&EstimateResponse{Samples: [][]diffusion.SampleResult{{}}}).AppendBinary(nil)
+	mutations := map[string]func([]byte) []byte{
+		"magic":     func(b []byte) []byte { b[0] = 'X'; return b },
+		"version":   func(b []byte) []byte { b[3] = 99; return b },
+		"kind":      func(b []byte) []byte { b[4] = frameProblem; return b },
+		"truncated": func(b []byte) []byte { return b[:len(b)-1] },
+		"length":    func(b []byte) []byte { b[6]++; return b },
+		"short":     func(b []byte) []byte { return b[:4] },
+	}
+	for name, mutate := range mutations {
+		b := mutate(append([]byte(nil), good...))
+		if _, err := DecodeEstimateResponseBinary(b); err == nil {
+			t.Fatalf("%s mutation decoded without error", name)
+		}
+	}
+}
+
+func FuzzDecodeProblemUploadBinary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("IMB\x01\x01\x00\x00\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := DecodeProblemUploadBinary(data)
+		if err != nil {
+			return
+		}
+		// a decodable frame must re-encode decodably (not necessarily
+		// byte-identically: DEFLATE and varint widths may differ)
+		if _, err := DecodeProblemUploadBinary(u.AppendBinary(nil)); err != nil {
+			t.Fatalf("re-encode of decoded upload failed: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeEstimateRequestBinary(f *testing.F) {
+	f.Add([]byte{})
+	seed, _ := (&EstimateRequest{Problem: service.Key{}.String(), Hi: 1,
+		Groups: [][]diffusion.Seed{{}}}).AppendBinary(nil)
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeEstimateRequestBinary(data)
+		if err != nil {
+			return
+		}
+		again, err := req.AppendBinary(nil)
+		if err != nil {
+			t.Fatalf("re-encode of decoded request failed: %v", err)
+		}
+		if _, err := DecodeEstimateRequestBinary(again); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeEstimateResponseBinary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&EstimateResponse{Samples: [][]diffusion.SampleResult{{{Sigma: 1.5, Items: []int32{2}, Counts: []float64{1}}}}}).AppendBinary(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := DecodeEstimateResponseBinary(data)
+		if err != nil {
+			return
+		}
+		if _, err := DecodeEstimateResponseBinary(resp.AppendBinary(nil)); err != nil {
+			t.Fatalf("re-encode of decoded response failed: %v", err)
+		}
+	})
+}

@@ -2,8 +2,10 @@ package shard
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"imdpp/internal/core"
 	"imdpp/internal/diffusion"
@@ -146,6 +148,70 @@ func (e *Estimator) MeanWeights(seeds []diffusion.Seed, users []int) []float64 {
 	return e.local.MeanWeights(seeds, users)
 }
 
+// shardAssign pairs a planned sample range with the remote preferred
+// to compute it.
+type shardAssign struct {
+	rg        Range
+	preferred int
+}
+
+// assignments plans the batch's sample ranges over the healthy
+// remotes. With weighted planning enabled and at least one measured
+// throughput EWMA, ranges are sized proportionally to each remote's
+// samples/sec (remotes without data yet get the mean of the measured
+// ones); otherwise the plan is the even static split. Either way the
+// ranges are contiguous in index order, so the §7 merge is untouched —
+// the plan moves work, never results.
+func (e *Estimator) assignments(remotes []*Remote) []shardAssign {
+	if e.pool.weighted.Load() && len(remotes) > 1 {
+		weights := make([]float64, len(remotes))
+		measured, sum := 0, 0.0
+		for i, r := range remotes {
+			w := r.EWMASamplesPerSec()
+			if w > 0 {
+				measured++
+				sum += w
+			}
+			weights[i] = w
+		}
+		if measured > 0 {
+			mean := sum / float64(measured)
+			for i, w := range weights {
+				if w <= 0 {
+					weights[i] = mean
+				}
+			}
+			ranges := PlanWeighted(e.m, weights)
+			out := make([]shardAssign, 0, len(ranges))
+			for i, rg := range ranges {
+				if rg.Span() > 0 {
+					out = append(out, shardAssign{rg: rg, preferred: i})
+				}
+			}
+			return out
+		}
+	}
+	ranges := Plan(e.m, len(remotes))
+	out := make([]shardAssign, len(ranges))
+	for i, rg := range ranges {
+		out[i] = shardAssign{rg: rg, preferred: i % len(remotes)}
+	}
+	return out
+}
+
+// shardState tracks one in-flight range: the first finisher (primary
+// dispatch, speculative duplicate, or local fallback) wins the CAS and
+// writes the grid; everyone else discards. cancel aborts the losers'
+// outstanding RPCs so stragglers stop burning worker time once their
+// range is settled.
+type shardState struct {
+	shardAssign
+	done       atomic.Bool
+	speculated atomic.Bool
+	ctx        context.Context
+	cancel     context.CancelFunc
+}
+
 // runBatch is the sharded engine body.
 func (e *Estimator) runBatch(groups [][]diffusion.Seed, market []bool, masks [][]bool, withPi bool) []diffusion.Estimate {
 	k := len(groups)
@@ -167,7 +233,6 @@ func (e *Estimator) runBatch(groups [][]diffusion.Seed, market []bool, masks [][
 		return e.localBatch(groups, market, masks, withPi)
 	}
 
-	ranges := Plan(e.m, len(remotes))
 	tmpl := EstimateRequest{
 		Problem: blob.Key.String(),
 		Seed:    e.seed,
@@ -186,30 +251,144 @@ func (e *Estimator) runBatch(groups [][]diffusion.Seed, market []bool, masks [][
 	for g := range grid {
 		grid[g] = make([]diffusion.SampleResult, e.m)
 	}
+
+	assigns := e.assignments(remotes)
+	states := make([]*shardState, len(assigns))
+	for i, a := range assigns {
+		sctx, cancel := context.WithCancel(e.ctx)
+		states[i] = &shardState{shardAssign: a, ctx: sctx, cancel: cancel}
+	}
+	defer func() {
+		for _, st := range states {
+			st.cancel()
+		}
+	}()
+
+	batchStart := time.Now()
+	var (
+		latMu     sync.Mutex
+		latencies []time.Duration
+	)
+	var doneCount atomic.Int32
+	allDone := make(chan struct{})
+	// finish settles one range exactly once (CAS on done): copy the
+	// rows into the grid, count the win under the right counter, record
+	// the latency for straggler detection, and abort any duplicate
+	// still in flight. Idempotence makes the race benign — a primary
+	// and its speculative duplicate compute bit-identical rows, so
+	// which one wins is invisible downstream; counters are bumped only
+	// by the winner so local_fallbacks/speculative_hits record what
+	// actually produced the result, not what was merely attempted.
+	finish := func(st *shardState, rows [][]diffusion.SampleResult, remote, speculative bool) {
+		if !st.done.CompareAndSwap(false, true) {
+			return
+		}
+		for g := range rows {
+			copy(grid[g][st.rg.Lo:st.rg.Hi], rows[g])
+		}
+		if remote {
+			e.remoteSamples.Add(uint64(k * st.rg.Span()))
+		} else {
+			e.pool.localFallbacks.Add(1)
+		}
+		if speculative {
+			e.pool.speculativeHits.Add(1)
+		}
+		latMu.Lock()
+		latencies = append(latencies, time.Since(batchStart))
+		latMu.Unlock()
+		st.cancel()
+		if int(doneCount.Add(1)) == len(states) {
+			close(allDone)
+		}
+	}
+
 	var wg sync.WaitGroup
-	for ri, rg := range ranges {
+	for _, st := range states {
 		wg.Add(1)
-		go func(ri int, rg Range) {
+		go func(st *shardState) {
 			defer wg.Done()
 			req := tmpl
-			req.Lo, req.Hi = rg.Lo, rg.Hi
-			rows := e.pool.runShard(e.ctx, remotes, ri%len(remotes), blob, &req, e.p.NumItems())
+			req.Lo, req.Hi = st.rg.Lo, st.rg.Hi
+			rows := e.pool.runShard(st.ctx, remotes, st.preferred, blob, &req, e.p.NumItems())
+			remote := rows != nil
 			if rows == nil {
-				if e.ctx.Err() != nil {
-					return // cancelled: the whole batch result is garbage
+				if e.ctx.Err() != nil || st.done.Load() {
+					return // cancelled, or a speculative duplicate won
 				}
 				// every worker failed for this range: compute it locally
 				// — identical outcomes, since sample streams depend only
-				// on the global index
-				e.pool.localFallbacks.Add(1)
-				rows = e.local.RunBatchSamples(groups, market, masks, withPi, rg.Lo, rg.Hi)
-			} else {
-				e.remoteSamples.Add(uint64(k * rg.Span()))
+				// on the global index (finish counts the fallback iff
+				// these rows win; a speculative duplicate may still beat
+				// them with a remote result)
+				rows = e.local.RunBatchSamples(groups, market, masks, withPi, st.rg.Lo, st.rg.Hi)
+				if e.ctx.Err() != nil {
+					return
+				}
 			}
-			for g := range rows {
-				copy(grid[g][rg.Lo:rg.Hi], rows[g])
+			finish(st, rows, remote, false)
+		}(st)
+	}
+	// Speculative straggler re-dispatch: once more than half the
+	// ranges have completed, any range still running past
+	// specFactor × the median completed latency gets one duplicate
+	// dispatch on an idle healthy worker. Safe by idempotence — the
+	// duplicate computes the same bytes, finish()'s CAS picks a winner
+	// by range identity, and the loser's RPC is cancelled. The monitor
+	// parks on allDone, so fast batches pay one channel-select, not a
+	// ticker tick.
+	if e.pool.speculate.Load() && len(remotes) > 1 && len(states) > 1 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(e.pool.specTick)
+			defer tick.Stop()
+			for {
+				select {
+				case <-allDone:
+					return
+				case <-e.ctx.Done():
+					return
+				case <-tick.C:
+				}
+				latMu.Lock()
+				completed := append([]time.Duration(nil), latencies...)
+				latMu.Unlock()
+				// wait for at least half the ranges before trusting the
+				// median (with two shards, one completion is the half)
+				if len(completed) == 0 || 2*len(completed) < len(states) {
+					continue
+				}
+				sort.Slice(completed, func(a, b int) bool { return completed[a] < completed[b] })
+				threshold := time.Duration(e.pool.specFactor * float64(completed[len(completed)/2]))
+				if threshold < e.pool.specMin {
+					threshold = e.pool.specMin
+				}
+				if time.Since(batchStart) <= threshold {
+					continue
+				}
+				for _, st := range states {
+					if st.done.Load() || st.speculated.Load() {
+						continue
+					}
+					spare := pickIdleRemote(remotes, st.preferred)
+					if spare < 0 {
+						continue
+					}
+					st.speculated.Store(true)
+					wg.Add(1)
+					go func(st *shardState, r *Remote) {
+						defer wg.Done()
+						req := tmpl
+						req.Lo, req.Hi = st.rg.Lo, st.rg.Hi
+						rows := e.pool.tryShardOn(st.ctx, r, blob, &req, e.p.NumItems())
+						if rows != nil && e.ctx.Err() == nil {
+							finish(st, rows, true, true)
+						}
+					}(st, remotes[spare])
+				}
 			}
-		}(ri, rg)
+		}()
 	}
 	wg.Wait()
 	if e.ctx.Err() != nil {
@@ -224,6 +403,22 @@ func (e *Estimator) runBatch(groups [][]diffusion.Seed, market []bool, masks [][
 		return out
 	}
 	return diffusion.ReduceSampleGrid(grid, e.p.NumItems())
+}
+
+// pickIdleRemote returns the index of a healthy remote with no shard
+// RPC in flight, skipping the straggler's own preferred worker, or -1
+// when the fleet is saturated — speculation must never queue behind
+// busy workers, only soak up genuinely idle capacity.
+func pickIdleRemote(remotes []*Remote, avoid int) int {
+	for i, r := range remotes {
+		if i == avoid {
+			continue
+		}
+		if r.Healthy() && r.inflight.Load() == 0 {
+			return i
+		}
+	}
+	return -1
 }
 
 // localBatch runs the whole batch on the embedded engine — the

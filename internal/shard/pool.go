@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strings"
 	"sync"
@@ -18,14 +19,16 @@ import (
 )
 
 // Pool is the coordinator-side worker registry: the set of remote
-// estimator workers, their health, which problems each has been sent,
-// and the dispatch/retry/failover logic. All methods are safe for
+// estimator workers, their health and measured throughput, which
+// problems each has been sent, the wire-codec negotiation state, and
+// the dispatch/retry/failover logic. All methods are safe for
 // concurrent use.
 //
 // Failure handling leans entirely on determinism: a shard is a pure
 // function of (problem hash, seed, range, groups), so re-dispatching
-// it to any other worker — or computing it locally — after a failure
-// is idempotent by construction. No shard needs fencing, draining or
+// it to any other worker — or computing it locally, or racing a
+// speculative duplicate against a straggler — after a failure is
+// idempotent by construction. No shard needs fencing, draining or
 // exactly-once delivery.
 type Pool struct {
 	client *http.Client
@@ -38,9 +41,39 @@ type Pool struct {
 	stopOnce sync.Once
 	stop     chan struct{}
 
-	redispatches   atomic.Uint64
-	localFallbacks atomic.Uint64
+	// binary selects the DESIGN.md §8 wire codec (default true; JSON
+	// when false). weighted enables throughput-proportional planning,
+	// speculate the straggler re-dispatch; both default true and are
+	// result-invariant (§7), so flipping them is an ops decision, not
+	// a correctness one.
+	binary    atomic.Bool
+	weighted  atomic.Bool
+	speculate atomic.Bool
+
+	// Straggler detection knobs (fixed after NewPool except in tests):
+	// a shard is a straggler once its elapsed time exceeds
+	// specFactor × the median latency of completed shards (floored at
+	// specMin), checked every specTick.
+	specFactor float64
+	specMin    time.Duration
+	specTick   time.Duration
+
+	redispatches    atomic.Uint64
+	localFallbacks  atomic.Uint64
+	speculativeHits atomic.Uint64
+	bytesTx         atomic.Uint64
+	bytesRx         atomic.Uint64
 }
+
+// Remote codec-negotiation states: a remote starts codecUnknown, is
+// confirmed binary-capable by its first successful binary RPC, and is
+// pinned to JSON (until re-registration) when a binary request comes
+// back undecodable — the mixed-version fleet fallback.
+const (
+	codecUnknown int32 = iota
+	codecBinaryOK
+	codecJSONOnly
+)
 
 // Remote is one registered worker.
 type Remote struct {
@@ -53,6 +86,9 @@ type Remote struct {
 
 	shards   atomic.Uint64
 	failures atomic.Uint64
+	binMode  atomic.Int32  // codecUnknown | codecBinaryOK | codecJSONOnly
+	inflight atomic.Int32  // shard RPCs currently outstanding
+	ewmaBits atomic.Uint64 // float64 bits of the samples/sec EWMA (0 = no data)
 }
 
 // URL returns the worker's base URL.
@@ -101,12 +137,50 @@ func (r *Remote) setProblem(key service.Key, known bool) {
 	r.mu.Unlock()
 }
 
+// ewmaAlpha weights the newest shard's observed rate; ~0.3 reacts to
+// real speed changes within a few shards without thrashing the plan on
+// one noisy measurement.
+const ewmaAlpha = 0.3
+
+// observeRate folds one completed shard's throughput into the remote's
+// samples/sec EWMA.
+func (r *Remote) observeRate(samples int, elapsed time.Duration) {
+	if samples <= 0 || elapsed <= 0 {
+		return
+	}
+	rate := float64(samples) / elapsed.Seconds()
+	if math.IsInf(rate, 0) || math.IsNaN(rate) {
+		return
+	}
+	for {
+		oldBits := r.ewmaBits.Load()
+		next := rate
+		if oldBits != 0 {
+			next = ewmaAlpha*rate + (1-ewmaAlpha)*math.Float64frombits(oldBits)
+		}
+		if r.ewmaBits.CompareAndSwap(oldBits, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// EWMASamplesPerSec returns the remote's measured throughput EWMA, or
+// 0 when no shard has completed on it yet.
+func (r *Remote) EWMASamplesPerSec() float64 {
+	return math.Float64frombits(r.ewmaBits.Load())
+}
+
 // NewPool registers the workers at the given base URLs (e.g.
 // "http://10.0.0.7:8081"). Workers start optimistically healthy; the
 // first failed dispatch or health probe takes a dead one out of
 // rotation, and later probes bring recovered workers back. Call Check
 // once at startup to verify the fleet, and StartHealthLoop for
 // continuous probing.
+//
+// The pool defaults to the binary wire codec, throughput-weighted
+// planning and speculative straggler re-dispatch — all three are
+// result-invariant (DESIGN.md §7/§8); SetCodec, SetWeighted and
+// SetSpeculation opt out.
 //
 // client nil selects a default with a 10-minute per-request ceiling —
 // a liveness guard so a worker that accepts a shard and then hangs
@@ -121,10 +195,16 @@ func NewPool(urls []string, client *http.Client) *Pool {
 		client = &http.Client{Timeout: 10 * time.Minute}
 	}
 	p := &Pool{
-		client: client,
-		blobs:  make(map[*diffusion.Problem]*ProblemBlob),
-		stop:   make(chan struct{}),
+		client:     client,
+		blobs:      make(map[*diffusion.Problem]*ProblemBlob),
+		stop:       make(chan struct{}),
+		specFactor: 2.0,
+		specMin:    25 * time.Millisecond,
+		specTick:   5 * time.Millisecond,
 	}
+	p.binary.Store(true)
+	p.weighted.Store(true)
+	p.speculate.Store(true)
 	for _, u := range urls {
 		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
 		if u == "" {
@@ -138,6 +218,33 @@ func NewPool(urls []string, client *http.Client) *Pool {
 	}
 	return p
 }
+
+// SetCodec selects the shard wire codec: "binary" (default) or "json".
+func (p *Pool) SetCodec(name string) error {
+	switch name {
+	case "binary":
+		p.binary.Store(true)
+	case "json":
+		p.binary.Store(false)
+	default:
+		return fmt.Errorf("shard: unknown codec %q (want binary|json)", name)
+	}
+	return nil
+}
+
+// Codec reports the configured wire codec name.
+func (p *Pool) Codec() string {
+	if p.binary.Load() {
+		return "binary"
+	}
+	return "json"
+}
+
+// SetWeighted toggles throughput-proportional shard planning.
+func (p *Pool) SetWeighted(on bool) { p.weighted.Store(on) }
+
+// SetSpeculation toggles speculative straggler re-dispatch.
+func (p *Pool) SetSpeculation(on bool) { p.speculate.Store(on) }
 
 // Size returns the number of registered workers.
 func (p *Pool) Size() int {
@@ -237,23 +344,35 @@ func (p *Pool) Close() {
 
 // RemoteStats is one worker's registry entry in PoolStats.
 type RemoteStats struct {
-	URL      string `json:"url"`
-	Healthy  bool   `json:"healthy"`
-	LastErr  string `json:"last_err,omitempty"`
-	Shards   uint64 `json:"shards"`
-	Failures uint64 `json:"failures"`
-	Problems int    `json:"problems"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	LastErr string `json:"last_err,omitempty"`
+	Shards  uint64 `json:"shards"`
+	// EWMASamplesPerSec is the measured per-worker throughput the
+	// weighted planner sizes ranges by; 0 until a shard completes.
+	EWMASamplesPerSec float64 `json:"ewma_samples_per_sec"`
+	Failures          uint64  `json:"failures"`
+	Problems          int     `json:"problems"`
 }
 
 // PoolStats is the registry snapshot the coordinator daemon reports
 // under /metrics ("worker-pool depth": Workers registered, Healthy in
 // rotation).
 type PoolStats struct {
-	Workers        int           `json:"workers"`
-	Healthy        int           `json:"healthy"`
-	Redispatches   uint64        `json:"redispatches"`
-	LocalFallbacks uint64        `json:"local_fallbacks"`
-	Remotes        []RemoteStats `json:"remotes"`
+	Workers int `json:"workers"`
+	Healthy int `json:"healthy"`
+	// Codec/Weighted/Speculation echo the pool's configuration so a
+	// metrics scrape (and the bench trajectory built from it) records
+	// which wire and planning mode produced the numbers.
+	Codec           string        `json:"codec"`
+	Weighted        bool          `json:"weighted"`
+	Speculation     bool          `json:"speculation"`
+	Redispatches    uint64        `json:"redispatches"`
+	LocalFallbacks  uint64        `json:"local_fallbacks"`
+	SpeculativeHits uint64        `json:"speculative_hits"`
+	BytesTx         uint64        `json:"bytes_tx"`
+	BytesRx         uint64        `json:"bytes_rx"`
+	Remotes         []RemoteStats `json:"remotes"`
 }
 
 // Snapshot reports the pool's registry state and dispatch counters.
@@ -262,9 +381,15 @@ func (p *Pool) Snapshot() PoolStats {
 	remotes := append([]*Remote(nil), p.remotes...)
 	p.mu.Unlock()
 	st := PoolStats{
-		Workers:        len(remotes),
-		Redispatches:   p.redispatches.Load(),
-		LocalFallbacks: p.localFallbacks.Load(),
+		Workers:         len(remotes),
+		Codec:           p.Codec(),
+		Weighted:        p.weighted.Load(),
+		Speculation:     p.speculate.Load(),
+		Redispatches:    p.redispatches.Load(),
+		LocalFallbacks:  p.localFallbacks.Load(),
+		SpeculativeHits: p.speculativeHits.Load(),
+		BytesTx:         p.bytesTx.Load(),
+		BytesRx:         p.bytesRx.Load(),
 	}
 	for _, r := range remotes {
 		r.mu.Lock()
@@ -277,6 +402,7 @@ func (p *Pool) Snapshot() PoolStats {
 		r.mu.Unlock()
 		rs.Shards = r.shards.Load()
 		rs.Failures = r.failures.Load()
+		rs.EWMASamplesPerSec = r.EWMASamplesPerSec()
 		if rs.Healthy {
 			st.Healthy++
 		}
@@ -285,21 +411,39 @@ func (p *Pool) Snapshot() PoolStats {
 	return st
 }
 
-// ProblemBlob is a problem encoded once for the wire, with its content
+// ProblemBlob is a problem encoded once per codec, with its content
 // address. Uploading the same blob to every worker (and re-uploading
-// after worker restarts) reuses the bytes.
+// after worker restarts) reuses the bytes; the JSON and binary images
+// are built lazily so a single-codec fleet never pays for the other.
 type ProblemBlob struct {
-	Key  service.Key
-	body []byte
+	Key    service.Key
+	upload ProblemUpload
+
+	jsonOnce sync.Once
+	jsonBody []byte
+	jsonErr  error
+
+	binOnce sync.Once
+	binBody []byte
 }
 
-// NewProblemBlob encodes a problem and computes its content address.
+// NewProblemBlob captures a problem's wire image and content address.
 func NewProblemBlob(p *diffusion.Problem) (*ProblemBlob, error) {
-	body, err := json.Marshal(EncodeProblem(p))
-	if err != nil {
-		return nil, fmt.Errorf("shard: encode problem: %w", err)
+	return &ProblemBlob{Key: service.HashProblem(p), upload: EncodeProblem(p)}, nil
+}
+
+// body returns the upload bytes in the requested codec plus their
+// content type.
+func (b *ProblemBlob) body(binary bool) ([]byte, string, error) {
+	if binary {
+		b.binOnce.Do(func() { b.binBody = b.upload.AppendBinary(nil) })
+		return b.binBody, ContentTypeBinary, nil
 	}
-	return &ProblemBlob{Key: service.HashProblem(p), body: body}, nil
+	b.jsonOnce.Do(func() { b.jsonBody, b.jsonErr = json.Marshal(b.upload) })
+	if b.jsonErr != nil {
+		return nil, "", fmt.Errorf("shard: encode problem: %w", b.jsonErr)
+	}
+	return b.jsonBody, "application/json", nil
 }
 
 // blobFor memoizes NewProblemBlob per problem pointer. A solver run
@@ -342,72 +486,225 @@ func (e *shardError) Error() string {
 	return fmt.Sprintf("shard rpc: status %d code %q: %s", e.status, e.code, e.msg)
 }
 
-// post sends one JSON RPC and decodes the response into out.
-func (p *Pool) post(ctx context.Context, url string, body []byte, out any) error {
+// Pooled scratch for RPC bodies (requests encoded, responses read).
+// Buffers above recycleMax are dropped instead of pooled so one huge
+// grid does not pin its footprint forever.
+const recycleMax = 4 << 20
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getBuf() *bytes.Buffer { return bufPool.Get().(*bytes.Buffer) }
+
+func putBuf(b *bytes.Buffer) {
+	if b == nil || b.Cap() > recycleMax {
+		return
+	}
+	b.Reset()
+	bufPool.Put(b)
+}
+
+var scratchPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+func getScratch() *[]byte { return scratchPool.Get().(*[]byte) }
+
+func putScratch(b *[]byte, used []byte) {
+	// keep a grown backing array for reuse, unless it ballooned
+	if cap(used) > cap(*b) {
+		*b = used[:0]
+	}
+	if cap(*b) > recycleMax {
+		return
+	}
+	scratchPool.Put(b)
+}
+
+// post sends one RPC and returns the full response body (in a pooled
+// buffer the caller must release with putBuf) plus its content type.
+// The body is always drained to EOF — on error paths too — so the
+// transport can reuse the connection instead of tearing it down and
+// re-dialling under retry; tx/rx bytes feed the pool counters.
+func (p *Pool) post(ctx context.Context, url, contentType string, body []byte, acceptBinary bool) (*bytes.Buffer, string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return nil, "", err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
+	if acceptBinary {
+		req.Header.Set("Accept", ContentTypeBinary)
+	}
+	p.bytesTx.Add(uint64(len(body)))
 	resp, err := p.client.Do(req)
 	if err != nil {
-		return err
+		return nil, "", err
 	}
-	defer resp.Body.Close()
+	// the largest legal response is one max-payload frame plus its
+	// header; reading one byte past that distinguishes "right at the
+	// bound" from "too large" without ever buffering more
+	const maxResp = maxFramePayload + frameHeaderLen
+	buf := getBuf()
+	n, readErr := io.Copy(buf, io.LimitReader(resp.Body, maxResp+1))
+	if n <= maxResp {
+		// drain the (empty or tiny) remainder so the transport reuses
+		// the connection; an oversized body skips this — discarding the
+		// connection is cheaper than swallowing gigabytes
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	}
+	resp.Body.Close()
+	p.bytesRx.Add(uint64(n))
+	if readErr != nil {
+		putBuf(buf)
+		return nil, "", readErr
+	}
+	if n > maxResp {
+		putBuf(buf)
+		return nil, "", fmt.Errorf("shard: response exceeds the %d-byte frame bound", maxResp)
+	}
 	if resp.StatusCode != http.StatusOK {
 		var eb ErrorBody
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		data := buf.Bytes()
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
 		_ = json.Unmarshal(data, &eb)
 		if eb.Error == "" {
 			eb.Error = strings.TrimSpace(string(data))
 		}
-		return &shardError{status: resp.StatusCode, code: eb.Code, msg: eb.Error}
+		putBuf(buf)
+		return nil, "", &shardError{status: resp.StatusCode, code: eb.Code, msg: eb.Error}
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return buf, resp.Header.Get("Content-Type"), nil
+}
+
+// isBinaryContentType matches the shard binary media type, ignoring
+// parameters.
+func isBinaryContentType(ct string) bool {
+	return strings.HasPrefix(strings.TrimSpace(ct), ContentTypeBinary)
+}
+
+// codecFallback reports whether err from a binary-encoded RPC to r
+// should demote the remote to JSON and retry: the remote never
+// confirmed binary support and rejected the request as undecodable —
+// the signature of a pre-§8 worker build.
+func codecFallback(r *Remote, err error) bool {
+	if r.binMode.Load() != codecUnknown {
+		return false
+	}
+	var se *shardError
+	if !errors.As(err, &se) {
+		return false
+	}
+	return se.status == http.StatusBadRequest || se.status == http.StatusUnsupportedMediaType
 }
 
 // ensureProblem uploads blob to r unless r already acknowledged it,
 // verifying the worker-computed content address against the local one.
+// The upload codec follows the pool setting with the mixed-version
+// JSON fallback.
 func (p *Pool) ensureProblem(ctx context.Context, r *Remote, blob *ProblemBlob) error {
 	if r.knowsProblem(blob.Key) {
 		return nil
 	}
-	var ack UploadResponse
-	if err := p.post(ctx, r.url+PathProblems, blob.body, &ack); err != nil {
-		return err
+	for {
+		useBin := p.binary.Load() && r.binMode.Load() != codecJSONOnly
+		body, ct, err := blob.body(useBin)
+		if err != nil {
+			return err
+		}
+		buf, _, err := p.post(ctx, r.url+PathProblems, ct, body, false)
+		if err != nil {
+			if useBin && codecFallback(r, err) {
+				r.binMode.Store(codecJSONOnly)
+				continue
+			}
+			return err
+		}
+		var ack UploadResponse
+		err = json.Unmarshal(buf.Bytes(), &ack)
+		putBuf(buf)
+		if err != nil {
+			return fmt.Errorf("shard: decode upload ack: %w", err)
+		}
+		if ack.Hash != blob.Key.String() {
+			// the worker decoded different content than we encoded — a
+			// build-skew bug, not a transient fault; surface it loudly
+			return &shardError{status: http.StatusConflict, code: CodeHashMismatch,
+				msg: fmt.Sprintf("worker hashed %s, coordinator %s", ack.Hash, blob.Key)}
+		}
+		if useBin {
+			r.binMode.Store(codecBinaryOK)
+		}
+		r.setProblem(blob.Key, true)
+		return nil
 	}
-	if ack.Hash != blob.Key.String() {
-		// the worker decoded different content than we encoded — a
-		// build-skew bug, not a transient fault; surface it loudly
-		return &shardError{status: http.StatusConflict, code: CodeHashMismatch,
-			msg: fmt.Sprintf("worker hashed %s, coordinator %s", ack.Hash, blob.Key)}
-	}
-	r.setProblem(blob.Key, true)
-	return nil
 }
 
 // estimateOn runs one shard request on one worker, handling the
-// lazy-upload and evicted/restarted-worker (unknown_problem) paths.
+// lazy-upload, evicted/restarted-worker (unknown_problem) and
+// mixed-version codec-fallback paths, and folds the observed
+// throughput into the remote's EWMA.
 func (p *Pool) estimateOn(ctx context.Context, r *Remote, blob *ProblemBlob, req *EstimateRequest) (*EstimateResponse, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, err
-	}
-	for attempt := 0; ; attempt++ {
+	r.inflight.Add(1)
+	defer r.inflight.Add(-1)
+	reuploaded, demoted := false, false
+	for {
 		if err := p.ensureProblem(ctx, r, blob); err != nil {
 			return nil, err
 		}
-		var resp EstimateResponse
-		err = p.post(ctx, r.url+PathEstimate, body, &resp)
+		useBin := p.binary.Load() && r.binMode.Load() != codecJSONOnly
+		var body []byte
+		var ct string
+		var scratch *[]byte
+		if useBin {
+			scratch = getScratch()
+			var err error
+			body, err = req.AppendBinary((*scratch)[:0])
+			if err != nil {
+				putScratch(scratch, body)
+				return nil, err
+			}
+			ct = ContentTypeBinary
+		} else {
+			var err error
+			if body, err = json.Marshal(req); err != nil {
+				return nil, err
+			}
+			ct = "application/json"
+		}
+		start := time.Now()
+		buf, respCT, err := p.post(ctx, r.url+PathEstimate, ct, body, useBin)
+		if scratch != nil {
+			putScratch(scratch, body)
+		}
 		if err == nil {
+			var resp EstimateResponse
+			if isBinaryContentType(respCT) {
+				resp, err = DecodeEstimateResponseBinary(buf.Bytes())
+			} else {
+				err = json.Unmarshal(buf.Bytes(), &resp)
+			}
+			putBuf(buf)
+			if err != nil {
+				return nil, fmt.Errorf("shard: decode estimate response: %w", err)
+			}
+			if useBin {
+				r.binMode.Store(codecBinaryOK)
+			}
 			r.shards.Add(1)
+			r.observeRate(len(req.Groups)*(req.Hi-req.Lo), time.Since(start))
 			return &resp, nil
 		}
 		var se *shardError
-		if attempt == 0 && errors.As(err, &se) && se.code == CodeUnknownProblem {
+		switch {
+		case !reuploaded && errors.As(err, &se) && se.code == CodeUnknownProblem:
 			// the worker evicted or lost the problem (e.g. restart):
 			// forget the acknowledgement and re-upload once
+			reuploaded = true
 			r.setProblem(blob.Key, false)
+			continue
+		case useBin && !demoted && codecFallback(r, err):
+			// pre-binary worker build: pin it to JSON and retry once
+			demoted = true
+			r.binMode.Store(codecJSONOnly)
 			continue
 		}
 		return nil, err
@@ -430,21 +727,37 @@ func (p *Pool) runShard(ctx context.Context, remotes []*Remote, preferred int, b
 		if !r.Healthy() {
 			continue
 		}
-		resp, err := p.estimateOn(ctx, r, blob, req)
-		if err == nil {
-			err = validateSamples(resp.Samples, req, items)
-			if err == nil {
-				return resp.Samples
-			}
+		rows := p.tryShardOn(ctx, r, blob, req, items)
+		if rows != nil {
+			return rows
 		}
 		if ctx.Err() != nil {
-			return nil // cancelled mid-request: not the worker's fault
+			return nil
 		}
-		r.markFailed(err)
 		if i < n-1 {
 			p.redispatches.Add(1)
 		}
 	}
+	return nil
+}
+
+// tryShardOn runs one shard request against one specific worker,
+// marking it failed (and returning nil) on any non-cancellation error.
+// The speculative re-dispatch path uses it directly: a duplicate is a
+// single extra attempt on a chosen idle worker, never a failover chain
+// of its own — the primary dispatch remains the range's guarantor.
+func (p *Pool) tryShardOn(ctx context.Context, r *Remote, blob *ProblemBlob, req *EstimateRequest, items int) [][]diffusion.SampleResult {
+	resp, err := p.estimateOn(ctx, r, blob, req)
+	if err == nil {
+		err = validateSamples(resp.Samples, req, items)
+		if err == nil {
+			return resp.Samples
+		}
+	}
+	if ctx.Err() != nil {
+		return nil // cancelled mid-request: not the worker's fault
+	}
+	r.markFailed(err)
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -144,7 +145,10 @@ func TestProblemCodecRoundTrip(t *testing.T) {
 }
 
 // TestShardedBitIdenticalGolden is the acceptance pin: sharded σ/π
-// over 1, 2 and 7 workers is bit-for-bit the single-process result.
+// over 1, 2 and 7 workers is bit-for-bit the single-process result in
+// every codec (JSON, binary) × planning (static, weighted) mode. The
+// weighted passes run a warm-up batch first so the remotes hold real
+// throughput EWMAs and the proportional planner actually engages.
 func TestShardedBitIdenticalGolden(t *testing.T) {
 	p := sampleProblem(t, 120, 3)
 	groups := groupsFor(p)
@@ -158,20 +162,249 @@ func TestShardedBitIdenticalGolden(t *testing.T) {
 	withPi := localEst.RunBatchPi(groups, mask)
 	masked := localEst.RunBatchMasked(groups, [][]bool{mask, nil, mask, nil}, true)
 
-	for _, shards := range []int{1, 2, 7} {
-		pool, _, _ := newFleet(t, shards)
-		est := NewEstimator(pool, p, m, seed, 2)
-		requireSameEstimates(t, "RunBatch", plain, est.RunBatch(groups, nil))
-		requireSameEstimates(t, "RunBatchPi", withPi, est.RunBatchPi(groups, mask))
-		requireSameEstimates(t, "RunBatchMasked", masked, est.RunBatchMasked(groups, [][]bool{mask, nil, mask, nil}, true))
-		if st := pool.Snapshot(); st.Healthy != shards || st.LocalFallbacks != 0 {
-			t.Fatalf("%d shards: pool snapshot %+v expected all-healthy, no fallback", shards, st)
+	for _, codec := range []string{"json", "binary"} {
+		for _, weighted := range []bool{false, true} {
+			for _, shards := range []int{1, 2, 7} {
+				pool, _, _ := newFleet(t, shards)
+				if err := pool.SetCodec(codec); err != nil {
+					t.Fatal(err)
+				}
+				pool.SetWeighted(weighted)
+				est := NewEstimator(pool, p, m, seed, 2)
+				label := fmt.Sprintf("codec=%s weighted=%v shards=%d", codec, weighted, shards)
+				if weighted {
+					// warm the throughput EWMAs so the weighted plan departs
+					// from the static split
+					est.RunBatch(groups, nil)
+				}
+				requireSameEstimates(t, label+" RunBatch", plain, est.RunBatch(groups, nil))
+				requireSameEstimates(t, label+" RunBatchPi", withPi, est.RunBatchPi(groups, mask))
+				requireSameEstimates(t, label+" RunBatchMasked", masked, est.RunBatchMasked(groups, [][]bool{mask, nil, mask, nil}, true))
+				st := pool.Snapshot()
+				if st.Healthy != shards || st.LocalFallbacks != 0 {
+					t.Fatalf("%s: pool snapshot %+v expected all-healthy, no fallback", label, st)
+				}
+				if st.Codec != codec || st.Weighted != weighted {
+					t.Fatalf("%s: snapshot reports codec=%s weighted=%v", label, st.Codec, st.Weighted)
+				}
+				if st.BytesTx == 0 || st.BytesRx == 0 {
+					t.Fatalf("%s: wire byte counters empty: %+v", label, st)
+				}
+				for _, rs := range st.Remotes {
+					if rs.Shards > 0 && rs.EWMASamplesPerSec <= 0 {
+						t.Fatalf("%s: remote %s served %d shards but reports no throughput EWMA", label, rs.URL, rs.Shards)
+					}
+				}
+			}
 		}
 	}
 }
 
-// TestShardedSolveGolden runs the full Dysim pipeline over a sharded
-// backend and pins the Solution against the plain in-process solve.
+// TestBinaryCodecCutsBytes runs a solve-shaped workload — one problem
+// upload amortized over several many-group estimate batches, the CELF
+// traffic pattern — over a JSON pool and a binary pool against
+// identical fleets, and asserts the ≥3× wire-byte win the smoke then
+// re-checks end to end.
+func TestBinaryCodecCutsBytes(t *testing.T) {
+	p := sampleProblem(t, 120, 3)
+	var groups [][]diffusion.Seed
+	for i := 0; i < 16; i++ {
+		groups = append(groups, []diffusion.Seed{
+			{User: i % p.NumUsers(), Item: i % p.NumItems(), T: 1},
+			{User: (i * 3) % p.NumUsers(), Item: (i + 1) % p.NumItems(), T: 1 + i%p.T},
+		})
+	}
+	const m, seed, batches = 24, 7, 4
+
+	run := func(codec string) uint64 {
+		pool, _, _ := newFleet(t, 2)
+		if err := pool.SetCodec(codec); err != nil {
+			t.Fatal(err)
+		}
+		est := NewEstimator(pool, p, m, seed, 2)
+		for i := 0; i < batches; i++ {
+			est.RunBatchPi(groups, nil)
+		}
+		st := pool.Snapshot()
+		if st.LocalFallbacks != 0 {
+			t.Fatalf("%s run fell back locally: %+v", codec, st)
+		}
+		return st.BytesTx + st.BytesRx
+	}
+	jsonBytes, binBytes := run("json"), run("binary")
+	if binBytes == 0 || jsonBytes == 0 {
+		t.Fatalf("byte counters empty: json=%d binary=%d", jsonBytes, binBytes)
+	}
+	if float64(jsonBytes) < 3*float64(binBytes) {
+		t.Fatalf("binary codec saves too little: json=%d binary=%d (%.2fx < 3x)",
+			jsonBytes, binBytes, float64(jsonBytes)/float64(binBytes))
+	}
+	t.Logf("wire bytes: json=%d binary=%d (%.1fx)", jsonBytes, binBytes, float64(jsonBytes)/float64(binBytes))
+}
+
+// TestMixedVersionFallback fronts a worker with a proxy that mimics a
+// pre-binary build (it treats every body as JSON and never offers the
+// binary response type): a binary-default pool must demote that remote
+// to JSON after one rejected request and still produce bit-identical
+// estimates.
+func TestMixedVersionFallback(t *testing.T) {
+	p := sampleProblem(t, 120, 3)
+	groups := groupsFor(p)
+	const m, seed = 9, 21
+	want := diffusion.NewEstimator(p, m, seed).RunBatch(groups, nil)
+
+	w := NewWorker(WorkerConfig{Workers: 2})
+	mux := http.NewServeMux()
+	w.Mount(mux)
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		writeShardJSON(rw, http.StatusOK, map[string]bool{"ok": true})
+	})
+	legacy := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		// a legacy worker knows nothing of the binary media type: it
+		// parses every body as JSON and answers JSON
+		r.Header.Set("Content-Type", "application/json")
+		r.Header.Del("Accept")
+		mux.ServeHTTP(rw, r)
+	}))
+	t.Cleanup(legacy.Close)
+
+	pool := NewPool([]string{legacy.URL}, nil)
+	t.Cleanup(pool.Close)
+	if pool.Codec() != "binary" {
+		t.Fatalf("pool default codec %q, want binary", pool.Codec())
+	}
+	est := NewEstimator(pool, p, m, seed, 2)
+	requireSameEstimates(t, "legacy worker", want, est.RunBatch(groups, nil))
+
+	st := pool.Snapshot()
+	if st.Healthy != 1 || st.LocalFallbacks != 0 {
+		t.Fatalf("legacy fallback degraded the fleet: %+v", st)
+	}
+	if got := pool.healthyRemotes()[0].binMode.Load(); got != codecJSONOnly {
+		t.Fatalf("remote codec mode %d, want pinned to JSON (%d)", got, codecJSONOnly)
+	}
+	// and it stays on JSON: a second batch must not re-attempt binary
+	requireSameEstimates(t, "legacy worker again", want, est.RunBatch(groups, nil))
+}
+
+// TestSpeculativeRedispatch pairs a deliberately slow worker with a
+// fast one: the fast worker finishes its range, the slow one's range
+// crosses the 2×-median straggler threshold, and the coordinator's
+// speculative duplicate on the idle fast worker must win — results
+// bit-identical, speculative_hits incremented, nobody marked failed.
+func TestSpeculativeRedispatch(t *testing.T) {
+	p := sampleProblem(t, 120, 3)
+	groups := groupsFor(p)
+	const m, seed = 8, 17
+	want := diffusion.NewEstimator(p, m, seed).RunBatch(groups, nil)
+
+	newWorkerServer := func(delay time.Duration) *httptest.Server {
+		w := NewWorker(WorkerConfig{Workers: 2})
+		mux := http.NewServeMux()
+		w.Mount(mux)
+		mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+			writeShardJSON(rw, http.StatusOK, map[string]bool{"ok": true})
+		})
+		handler := http.Handler(mux)
+		if delay > 0 {
+			handler = http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+				if r.Method == http.MethodPost && r.URL.Path == PathEstimate {
+					select {
+					case <-time.After(delay):
+					case <-r.Context().Done():
+						return
+					}
+				}
+				mux.ServeHTTP(rw, r)
+			})
+		}
+		srv := httptest.NewServer(handler)
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	fast := newWorkerServer(0)
+	slow := newWorkerServer(800 * time.Millisecond)
+
+	pool := NewPool([]string{fast.URL, slow.URL}, nil)
+	t.Cleanup(pool.Close)
+	pool.SetWeighted(false) // keep both ranges non-empty regardless of EWMAs
+	pool.specMin = 5 * time.Millisecond
+	pool.specTick = 2 * time.Millisecond
+
+	est := NewEstimator(pool, p, m, seed, 2)
+	start := time.Now()
+	requireSameEstimates(t, "speculated batch", want, est.RunBatch(groups, nil))
+	elapsed := time.Since(start)
+
+	st := pool.Snapshot()
+	if st.SpeculativeHits == 0 {
+		t.Fatalf("straggler never speculated: %+v (batch took %v)", st, elapsed)
+	}
+	if st.Healthy != 2 {
+		t.Fatalf("speculation blamed a worker: %+v", st)
+	}
+	if st.LocalFallbacks != 0 {
+		t.Fatalf("speculation fell back locally: %+v", st)
+	}
+	if elapsed >= 800*time.Millisecond {
+		t.Fatalf("batch waited out the straggler (%v) — speculation bought nothing", elapsed)
+	}
+}
+
+func TestPlanWeighted(t *testing.T) {
+	cases := []struct {
+		m       int
+		weights []float64
+	}{
+		{10, []float64{1, 1}},
+		{10, []float64{3, 1}},
+		{7, []float64{1, 2, 4}},
+		{3, []float64{5, 1, 1, 1, 1}},
+		{1, []float64{0.5, 0.5}},
+		{100, []float64{1000, 1}},
+		{5, []float64{0, 0, 0}},                    // all-unknown → even
+		{5, []float64{math.NaN(), math.Inf(1), 2}}, // garbage weights ignored
+		{64, []float64{1.5, 2.5, 3.5, 0.5}},
+	}
+	for _, c := range cases {
+		ranges := PlanWeighted(c.m, c.weights)
+		if len(ranges) != len(c.weights) {
+			t.Fatalf("PlanWeighted(%d,%v): %d ranges, want %d", c.m, c.weights, len(ranges), len(c.weights))
+		}
+		next, total := 0, 0
+		for _, r := range ranges {
+			if r.Lo != next || r.Hi < r.Lo {
+				t.Fatalf("PlanWeighted(%d,%v): range %+v breaks contiguity at %d", c.m, c.weights, r, next)
+			}
+			next = r.Hi
+			total += r.Span()
+		}
+		if total != c.m || next != c.m {
+			t.Fatalf("PlanWeighted(%d,%v) covers %d samples, want %d", c.m, c.weights, total, c.m)
+		}
+		// determinism: the same inputs replan identically
+		again := PlanWeighted(c.m, c.weights)
+		for i := range ranges {
+			if ranges[i] != again[i] {
+				t.Fatalf("PlanWeighted(%d,%v) not deterministic: %+v vs %+v", c.m, c.weights, ranges[i], again[i])
+			}
+		}
+	}
+	// proportionality: a 3:1 split of 100 samples lands on 75/25
+	r := PlanWeighted(100, []float64{3, 1})
+	if r[0].Span() != 75 || r[1].Span() != 25 {
+		t.Fatalf("PlanWeighted(100,[3 1]) spans %d/%d, want 75/25", r[0].Span(), r[1].Span())
+	}
+	// a starved weight may get zero samples — and callers skip it
+	r = PlanWeighted(2, []float64{1000, 1000, 1})
+	if r[2].Span() != 0 {
+		t.Fatalf("PlanWeighted(2,[1000 1000 1]) gave the starved worker %d samples", r[2].Span())
+	}
+}
+
+// TestShardedSolveGolden runs the full Dysim pipeline over sharded
+// backends in every codec × planning combination and across 1/2/7
+// workers, pinning each Solution against the plain in-process solve.
 func TestShardedSolveGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full solve; skipped under -short")
@@ -183,26 +416,40 @@ func TestShardedSolveGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	pool, workers, _ := newFleet(t, 2)
-	opt.Backend = Backend(pool)
-	got, err := core.Solve(p, opt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if math.Float64bits(want.Sigma) != math.Float64bits(got.Sigma) {
-		t.Fatalf("sharded solve σ %v != local %v", got.Sigma, want.Sigma)
-	}
-	if len(want.Seeds) != len(got.Seeds) {
-		t.Fatalf("seed counts differ: %d vs %d", len(got.Seeds), len(want.Seeds))
-	}
-	for i := range want.Seeds {
-		if want.Seeds[i] != got.Seeds[i] {
-			t.Fatalf("seed %d differs: %+v vs %+v", i, got.Seeds[i], want.Seeds[i])
+	for _, codec := range []string{"json", "binary"} {
+		for _, weighted := range []bool{false, true} {
+			for _, shards := range []int{1, 2, 7} {
+				label := fmt.Sprintf("codec=%s weighted=%v shards=%d", codec, weighted, shards)
+				pool, workers, _ := newFleet(t, shards)
+				if err := pool.SetCodec(codec); err != nil {
+					t.Fatal(err)
+				}
+				pool.SetWeighted(weighted)
+				opt.Backend = Backend(pool)
+				got, err := core.Solve(p, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Float64bits(want.Sigma) != math.Float64bits(got.Sigma) {
+					t.Fatalf("%s: sharded solve σ %v != local %v", label, got.Sigma, want.Sigma)
+				}
+				if len(want.Seeds) != len(got.Seeds) {
+					t.Fatalf("%s: seed counts differ: %d vs %d", label, len(got.Seeds), len(want.Seeds))
+				}
+				for i := range want.Seeds {
+					if want.Seeds[i] != got.Seeds[i] {
+						t.Fatalf("%s: seed %d differs: %+v vs %+v", label, i, got.Seeds[i], want.Seeds[i])
+					}
+				}
+				var served uint64
+				for _, w := range workers {
+					served += w.Stats().ShardsServed
+				}
+				if served == 0 {
+					t.Fatalf("%s: no shards reached the workers — the solve ran locally", label)
+				}
+			}
 		}
-	}
-	served := workers[0].Stats().ShardsServed + workers[1].Stats().ShardsServed
-	if served == 0 {
-		t.Fatal("no shards reached the workers — the solve ran locally")
 	}
 }
 

@@ -1,9 +1,12 @@
 package shard
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -99,11 +102,53 @@ func (w *Worker) DropProblems() {
 	w.mu.Unlock()
 }
 
-// handleUpload decodes a problem image, verifies its content address
-// by recomputation, and stores it under that key.
+// readRequestBody drains a request body into a pooled buffer,
+// rejecting bodies past the frame bound explicitly (rather than
+// truncating them into confusing decode errors). The caller owns the
+// returned buffer and must release it with putBuf.
+func readRequestBody(r *http.Request) (*bytes.Buffer, error) {
+	const maxBody = maxFramePayload + frameHeaderLen
+	buf := getBuf()
+	n, err := io.Copy(buf, io.LimitReader(r.Body, maxBody+1))
+	if err == nil && n > maxBody {
+		err = fmt.Errorf("request body exceeds the %d-byte frame bound", maxBody)
+	}
+	if err != nil {
+		putBuf(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
+// wantsBinary reports whether the request negotiated the binary codec
+// for its body (Content-Type) or its response (Accept).
+func wantsBinary(header string) bool {
+	for _, part := range strings.Split(header, ",") {
+		if isBinaryContentType(part) {
+			return true
+		}
+	}
+	return false
+}
+
+// handleUpload decodes a problem image (binary frame or JSON, by
+// Content-Type), verifies its content address by recomputation, and
+// stores it under that key. The ack is always JSON — it is a few
+// dozen bytes either way.
 func (w *Worker) handleUpload(rw http.ResponseWriter, r *http.Request) {
+	body, err := readRequestBody(r)
+	if err != nil {
+		writeShardError(rw, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad problem upload: %w", err))
+		return
+	}
 	var u ProblemUpload
-	if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
+	if wantsBinary(r.Header.Get("Content-Type")) {
+		u, err = DecodeProblemUploadBinary(body.Bytes())
+	} else {
+		err = json.Unmarshal(body.Bytes(), &u)
+	}
+	putBuf(body)
+	if err != nil {
 		writeShardError(rw, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad problem upload: %w", err))
 		return
 	}
@@ -130,12 +175,24 @@ func (w *Worker) handleUpload(rw http.ResponseWriter, r *http.Request) {
 }
 
 // handleEstimate simulates samples [Lo,Hi) of every group and returns
-// their raw outcomes. The estimator is bound to the request context,
+// their raw outcomes — binary-framed when the Accept header asks for
+// it, JSON otherwise. The estimator is bound to the request context,
 // so a coordinator abandoning the request (cancellation, failover
 // timeout) preempts the simulation within about one campaign.
 func (w *Worker) handleEstimate(rw http.ResponseWriter, r *http.Request) {
+	body, err := readRequestBody(r)
+	if err != nil {
+		writeShardError(rw, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad estimate request: %w", err))
+		return
+	}
 	var req EstimateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if wantsBinary(r.Header.Get("Content-Type")) {
+		req, err = DecodeEstimateRequestBinary(body.Bytes())
+	} else {
+		err = json.Unmarshal(body.Bytes(), &req)
+	}
+	putBuf(body)
+	if err != nil {
 		writeShardError(rw, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad estimate request: %w", err))
 		return
 	}
@@ -210,7 +267,17 @@ func (w *Worker) handleEstimate(rw http.ResponseWriter, r *http.Request) {
 	}
 	w.shardsServed.Add(1)
 	w.samplesDone.Add(uint64(len(req.Groups) * (req.Hi - req.Lo)))
-	writeShardJSON(rw, http.StatusOK, EstimateResponse{Samples: samples})
+	resp := EstimateResponse{Samples: samples}
+	if wantsBinary(r.Header.Get("Accept")) {
+		scratch := getScratch()
+		out := resp.AppendBinary((*scratch)[:0])
+		rw.Header().Set("Content-Type", ContentTypeBinary)
+		rw.WriteHeader(http.StatusOK)
+		_, _ = rw.Write(out)
+		putScratch(scratch, out)
+		return
+	}
+	writeShardJSON(rw, http.StatusOK, resp)
 }
 
 func writeShardJSON(rw http.ResponseWriter, status int, v any) {

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Perf-trajectory guard: compares the freshest samples_per_sec in each
+# given bench JSON against the previous record and annotates (fail-soft
+# — CI runners are noisy, so a drop is a warning, never a red build) on
+# regressions past the threshold.
+#
+#   usage: bench_diff.sh FILE...
+#   env:   BENCH_DIFF_THRESHOLD  fractional drop that triggers the
+#                                warning (default 0.10)
+#          BENCH_PREV_DIR        directory holding the previous run's
+#                                artifacts (CI downloads the last
+#                                successful run's bench-* artifact
+#                                here; fail-soft when absent)
+#
+# "Previous" is resolved in order: the same-named file under
+# BENCH_PREV_DIR (the previous CI artifact), then the file as committed
+# at HEAD, then the second-to-last record of the working file (bench
+# trajectories are JSON-lines, so one smoke run appending to a
+# pre-existing file carries its own history). Works for both shapes in
+# the repo: single-object reports (BENCH_solve.json) and JSON-lines
+# trajectories (BENCH_serve.json, BENCH_shard.json).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+THRESHOLD=${BENCH_DIFF_THRESHOLD:-0.10}
+
+for f in "$@"; do
+    if [ ! -s "$f" ]; then
+        echo "bench-diff: $f missing or empty, skipping"
+        continue
+    fi
+    cur=$(jq -s 'last | .samples_per_sec // empty' "$f" 2>/dev/null || true)
+    prev=""
+    if [ -n "${BENCH_PREV_DIR:-}" ] && [ -s "${BENCH_PREV_DIR}/$f" ]; then
+        prev=$(jq -s 'last | .samples_per_sec // empty' "${BENCH_PREV_DIR}/$f" 2>/dev/null || true)
+    fi
+    if [ -z "$prev" ]; then
+        prev=$(git show "HEAD:$f" 2>/dev/null | jq -s 'last | .samples_per_sec // empty' 2>/dev/null || true)
+    fi
+    if [ -z "$prev" ]; then
+        prev=$(jq -s 'if length > 1 then .[-2].samples_per_sec // empty else empty end' "$f" 2>/dev/null || true)
+    fi
+    if [ -z "$cur" ] || [ -z "$prev" ]; then
+        echo "bench-diff: $f has no comparable samples_per_sec pair (cur='$cur' prev='$prev'), skipping"
+        continue
+    fi
+    verdict=$(jq -n --argjson cur "$cur" --argjson prev "$prev" --argjson thr "$THRESHOLD" '
+        if $prev <= 0 then "skip"
+        elif $cur < $prev * (1 - $thr) then "drop"
+        else "ok" end')
+    pct=$(jq -n --argjson cur "$cur" --argjson prev "$prev" \
+        'if $prev > 0 then (100 * ($cur - $prev) / $prev | floor) else 0 end')
+    case $(echo "$verdict" | tr -d '"') in
+        drop)
+            # GitHub Actions annotation; plain stderr everywhere else
+            echo "::warning file=$f::samples_per_sec dropped ${pct}% ($prev -> $cur), past the ${THRESHOLD} threshold"
+            echo "bench-diff: $f REGRESSED ${pct}% ($prev -> $cur)" >&2
+            ;;
+        ok)
+            echo "bench-diff: $f ok (${pct}% change, $prev -> $cur)"
+            ;;
+        *)
+            echo "bench-diff: $f previous record unusable, skipping"
+            ;;
+    esac
+done
+exit 0

@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# Shard smoke: boots one coordinator + two estimator workers on random
-# ports, drives a sharded σ evaluation and a full sharded solve over
-# HTTP, and asserts both are bit-identical to a plain single-process
-# daemon — the DESIGN.md §7 contract made observable end to end. Worker
-# health, shard dispatch counters and the coordinator's worker-pool
-# depth are checked along the way; the shard throughput record is
-# appended to BENCH_shard.json (one JSON object per line).
+# Shard smoke: boots estimator workers plus two coordinators — one on
+# the binary wire codec with weighted planning (the defaults), one
+# pinned to JSON with static planning — and drives a sharded σ
+# evaluation and a full sharded solve over HTTP through both. Every
+# result must be bit-identical to a plain single-process daemon (the
+# DESIGN.md §7 contract made observable end to end), the binary
+# coordinator must spend ≥3× fewer wire bytes than the JSON one on the
+# identical workload (§8), and the new wire/planning metrics
+# (bytes_tx/bytes_rx, per-remote ewma_samples_per_sec,
+# speculative_hits) must be present and sane. The shard throughput
+# records — one from each coordinator's metrics, plus imdppbench's
+# codec-tagged wire bench — are appended to BENCH_shard.json (one JSON
+# object per line).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -49,19 +55,27 @@ W1=$(boot "$WORKDIR/worker1.log" -worker)
 W2=$(boot "$WORKDIR/worker2.log" -worker)
 LOCAL=$(boot "$WORKDIR/local.log" -workers 1)
 COORD=$(boot "$WORKDIR/coord.log" -workers 1 -shard-workers "$W1,$W2")
-echo "workers at $W1 $W2; coordinator at $COORD; local reference at $LOCAL"
+COORDJ=$(boot "$WORKDIR/coordj.log" -workers 1 -shard-workers "$W1,$W2" -shard-codec json -shard-weighted=false -shard-speculate=false)
+echo "workers at $W1 $W2; binary coordinator at $COORD; json coordinator at $COORDJ; local reference at $LOCAL"
 
 curl -sf "$W1/healthz" | jq -e '.ok and .worker' >/dev/null
 curl -sf "$COORD/metrics" | jq -e '.shard.workers == 2 and .shard.healthy == 2' >/dev/null ||
-    { echo "coordinator does not see 2 healthy workers" >&2; curl -s "$COORD/metrics" >&2; exit 1; }
+    { echo "binary coordinator does not see 2 healthy workers" >&2; curl -s "$COORD/metrics" >&2; exit 1; }
+curl -sf "$COORD/metrics" | jq -e '.shard.codec == "binary" and .shard.weighted == true' >/dev/null ||
+    { echo "binary coordinator misreports its codec/planner" >&2; curl -s "$COORD/metrics" >&2; exit 1; }
+curl -sf "$COORDJ/metrics" | jq -e '.shard.codec == "json" and .shard.weighted == false' >/dev/null ||
+    { echo "json coordinator misreports its codec/planner" >&2; curl -s "$COORDJ/metrics" >&2; exit 1; }
 
-# --- sharded σ vs local σ: bit-identical -----------------------------
+# --- sharded σ vs local σ: bit-identical in both codecs --------------
 SIGMA_REQ='{"dataset":"amazon","scale":0.05,"budget":1000,"t":4,"mc":256,"seed":7,"seeds":[{"user":1,"item":0,"t":1},{"user":5,"item":2,"t":2}]}'
 S_SHARD=$(curl -sf -X POST "$COORD/v1/sigma" -d "$SIGMA_REQ" | jq -r .sigma)
+S_SHARDJ=$(curl -sf -X POST "$COORDJ/v1/sigma" -d "$SIGMA_REQ" | jq -r .sigma)
 S_LOCAL=$(curl -sf -X POST "$LOCAL/v1/sigma" -d "$SIGMA_REQ" | jq -r .sigma)
 [ "$S_SHARD" = "$S_LOCAL" ] ||
-    { echo "sharded σ $S_SHARD != local σ $S_LOCAL" >&2; exit 1; }
-echo "sigma OK: sharded == local == $S_SHARD"
+    { echo "binary sharded σ $S_SHARD != local σ $S_LOCAL" >&2; exit 1; }
+[ "$S_SHARDJ" = "$S_LOCAL" ] ||
+    { echo "json sharded σ $S_SHARDJ != local σ $S_LOCAL" >&2; exit 1; }
+echo "sigma OK: binary == json == local == $S_SHARD"
 
 # --- full sharded solve vs local solve: bit-identical ----------------
 SOLVE_REQ='{"dataset":"amazon","scale":0.05,"budget":100,"t":4,"mc":8,"mcsi":4,"candidate_cap":64,"seed":1}'
@@ -82,24 +96,53 @@ solve_sigma() {
     return 1
 }
 SOLVE_SHARD=$(solve_sigma "$COORD")
+SOLVE_SHARDJ=$(solve_sigma "$COORDJ")
 SOLVE_LOCAL=$(solve_sigma "$LOCAL")
 [ "$SOLVE_SHARD" = "$SOLVE_LOCAL" ] ||
-    { echo "sharded solve σ $SOLVE_SHARD != local $SOLVE_LOCAL" >&2; exit 1; }
-echo "solve OK: sharded == local == $SOLVE_SHARD"
+    { echo "binary sharded solve σ $SOLVE_SHARD != local $SOLVE_LOCAL" >&2; exit 1; }
+[ "$SOLVE_SHARDJ" = "$SOLVE_LOCAL" ] ||
+    { echo "json sharded solve σ $SOLVE_SHARDJ != local $SOLVE_LOCAL" >&2; exit 1; }
+echo "solve OK: binary == json == local == $SOLVE_SHARD"
 
 # --- the fleet actually did the work ---------------------------------
 SERVED1=$(curl -sf "$W1/metrics" | jq -r .shards_served)
 SERVED2=$(curl -sf "$W2/metrics" | jq -r .shards_served)
 TOTAL_SERVED=$((SERVED1 + SERVED2))
 [ "$TOTAL_SERVED" -gt 0 ] || { echo "no shards reached the workers" >&2; exit 1; }
-curl -sf "$COORD/metrics" | jq -e '.shard.local_fallbacks == 0' >/dev/null ||
-    { echo "coordinator fell back to local compute" >&2; curl -s "$COORD/metrics" >&2; exit 1; }
+for c in "$COORD" "$COORDJ"; do
+    curl -sf "$c/metrics" | jq -e '.shard.local_fallbacks == 0' >/dev/null ||
+        { echo "coordinator $c fell back to local compute" >&2; curl -s "$c/metrics" >&2; exit 1; }
+done
 echo "fleet OK: $TOTAL_SERVED shards served ($SERVED1 + $SERVED2)"
 
+# --- wire/planning metrics present and sane --------------------------
 METRICS=$(curl -sf "$COORD/metrics")
-echo "$METRICS" | jq -c "{ts: (now | floor), sigma: $SOLVE_SHARD, workers: .shard.workers,
-    healthy: .shard.healthy, shards_served: $TOTAL_SERVED,
-    redispatches: .shard.redispatches, samples_per_sec, samples_simulated,
-    solve_seconds}" >>BENCH_shard.json
+METRICSJ=$(curl -sf "$COORDJ/metrics")
+echo "$METRICS" | jq -e '.shard.bytes_tx > 0 and .shard.bytes_rx > 0 and .shard.speculative_hits >= 0' >/dev/null ||
+    { echo "binary coordinator wire counters missing" >&2; echo "$METRICS" >&2; exit 1; }
+echo "$METRICS" | jq -e '[.shard.remotes[] | select(.shards > 0 and .ewma_samples_per_sec > 0)] | length >= 1' >/dev/null ||
+    { echo "no remote reports a throughput EWMA" >&2; echo "$METRICS" >&2; exit 1; }
+
+# --- binary codec cuts wire bytes ≥3× on the identical workload ------
+BYTES_BIN=$(echo "$METRICS" | jq -r '.shard.bytes_tx + .shard.bytes_rx')
+BYTES_JSON=$(echo "$METRICSJ" | jq -r '.shard.bytes_tx + .shard.bytes_rx')
+[ "$BYTES_JSON" -ge $((3 * BYTES_BIN)) ] ||
+    { echo "binary codec saves too little: json=$BYTES_JSON binary=$BYTES_BIN (< 3x)" >&2; exit 1; }
+echo "wire OK: json=$BYTES_JSON bytes, binary=$BYTES_BIN bytes ($((BYTES_JSON / BYTES_BIN))x)"
+
+# --- trajectory records ----------------------------------------------
+record() {
+    local metrics=$1 sigma=$2
+    echo "$metrics" | jq -c "{ts: (now | floor), sigma: $sigma, codec: .shard.codec,
+        weighted: .shard.weighted, workers: .shard.workers, healthy: .shard.healthy,
+        shards_served: $TOTAL_SERVED, redispatches: .shard.redispatches,
+        speculative_hits: .shard.speculative_hits,
+        bytes_tx: .shard.bytes_tx, bytes_rx: .shard.bytes_rx,
+        samples_per_sec, samples_simulated, solve_seconds}" >>BENCH_shard.json
+}
+record "$METRICS" "$SOLVE_SHARD"
+record "$METRICSJ" "$SOLVE_SHARDJ"
+# and the imdppbench wire bench, one record per codec
+go run ./cmd/imdppbench -fig shard -preset Amazon -scale 0.05 -mc 8 -shardout BENCH_shard.json
 echo "shard smoke OK; appended to BENCH_shard.json:"
-tail -1 BENCH_shard.json
+tail -4 BENCH_shard.json
