@@ -3,7 +3,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race bench fmt fmt-check vet lint smoke serve-smoke shard-smoke bench-diff fuzz
+.PHONY: all build test race bench fmt fmt-check vet lint smoke serve-smoke shard-smoke sketch-smoke docs-check bench-diff fuzz
 
 all: build test
 
@@ -62,11 +62,26 @@ serve-smoke:
 shard-smoke:
 	./scripts/shard_smoke.sh
 
+# RR-sketch accuracy/throughput harness (DESIGN.md §9): per synthetic
+# preset, asserts sketch σ within the additive ε·n·W contract of the
+# MC ground truth and ≥5× σ-query throughput on the largest preset,
+# appending the error/throughput records to BENCH_sketch.json.
+sketch-smoke:
+	$(GO) run ./cmd/imdppbench -fig sketch -scale 0.5 -evalmc 48 -sketchout BENCH_sketch.json
+	@test -s BENCH_sketch.json && echo "BENCH_sketch.json written"
+
+# Docs lint: internal/* doc.go package comments present, DESIGN.md §
+# anchors referenced from code exist, README documents every imdppd
+# route. --self-test proves the gate can fail.
+docs-check:
+	./scripts/docs_check.sh
+	./scripts/docs_check.sh --self-test
+
 # Perf-trajectory diff: warn (fail-soft) when the freshest
 # samples_per_sec in a bench record dropped >10% against the previous
 # one (CI artifact via BENCH_PREV_DIR, else HEAD, else in-file).
 bench-diff:
-	./scripts/bench_diff.sh BENCH_solve.json BENCH_serve.json BENCH_shard.json
+	./scripts/bench_diff.sh BENCH_solve.json BENCH_serve.json BENCH_shard.json BENCH_sketch.json
 
 # Short fuzz pass over every wire-codec decoder (the seed corpora are
 # committed under */testdata/fuzz).

@@ -9,25 +9,32 @@
 //	imdppbench -fig tables,case        # Table II/III + case studies
 //	imdppbench -fig solve              # solver bench → BENCH_solve.json
 //	imdppbench -fig shard -codec both  # shard wire/plan bench → BENCH_shard.json
+//	imdppbench -fig sketch             # RR-sketch (ε, δ) harness → BENCH_sketch.json
 //
 // Figure ids: tables, 8a, 8b, 9, 9h, 10, 11, 12, 13, 14, case, solve,
-// shard.
+// shard, sketch.
 //
-// The solve and shard ids are not part of 'all': solve runs one Dysim
-// Solve on a preset (-preset/-budget/-T) and writes machine-readable
-// phase timings, estimator throughput (samples/sec) and σ to
-// -benchout; shard boots an in-process worker fleet and drives a
-// CELF-shaped batched-estimation workload through the shard RPC,
-// appending one record per codec (-codec json|binary|both) with the
-// -weighted planning mode, wire bytes and throughput to -shardout —
-// so CI can track the perf trajectory of both the solver and the wire
-// across commits.
+// The solve, shard and sketch ids are not part of 'all': solve runs
+// one Dysim Solve on a preset (-preset/-budget/-T) and writes
+// machine-readable phase timings, estimator throughput (samples/sec)
+// and σ to -benchout; shard boots an in-process worker fleet and
+// drives a CELF-shaped batched-estimation workload through the shard
+// RPC, appending one record per codec (-codec json|binary|both) with
+// the -weighted planning mode, wire bytes and throughput to
+// -shardout; sketch is the statistical harness of the approximate
+// backend (DESIGN.md §9) — per synthetic preset it builds an RR index
+// at (-epsilon, -delta), asserts every sketch σ lands within the
+// ε·n·W additive contract of the MC ground truth, asserts ≥5×
+// σ-query throughput on the largest preset, and appends the
+// error/throughput records to -sketchout — so CI tracks the perf
+// trajectory of the solver, the wire and the approximation together.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -39,10 +46,11 @@ import (
 	"imdpp/internal/diffusion"
 	"imdpp/internal/exp"
 	"imdpp/internal/shard"
+	"imdpp/internal/sketch"
 )
 
 func main() {
-	figs := flag.String("fig", "all", "comma-separated figure ids (tables,8a,8b,9,9h,10,11,12,13,14,case,solve) or 'all'")
+	figs := flag.String("fig", "all", "comma-separated figure ids (tables,8a,8b,9,9h,10,11,12,13,14,case,solve,shard,sketch) or 'all'")
 	scale := flag.Float64("scale", 1.0, "dataset scale multiplier")
 	evalMC := flag.Int("evalmc", 64, "Monte-Carlo samples for final evaluation")
 	solverMC := flag.Int("mc", 24, "Monte-Carlo samples inside solvers")
@@ -55,6 +63,9 @@ func main() {
 	codec := flag.String("codec", "both", "-fig shard wire codec: json, binary or both (one record each)")
 	weighted := flag.Bool("weighted", true, "-fig shard: throughput-proportional shard planning")
 	shardN := flag.Int("shards", 2, "-fig shard: in-process worker count")
+	epsilon := flag.Float64("epsilon", 0.05, "-fig sketch: additive accuracy ε of the (ε, δ) contract")
+	delta := flag.Float64("delta", 0.05, "-fig sketch: failure probability δ of the (ε, δ) contract")
+	sketchout := flag.String("sketchout", "BENCH_sketch.json", "append path of the -fig sketch JSON records")
 	flag.Parse()
 
 	cfg := exp.Config{
@@ -160,6 +171,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("[shard done in %v]\n", time.Since(start).Round(time.Millisecond))
+	}
+	if want["sketch"] {
+		start := time.Now()
+		if err := sketchBench(*scale, *budget, *promos, *evalMC, *seed, *epsilon, *delta, *sketchout); err != nil {
+			fmt.Fprintf(os.Stderr, "sketch: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[sketch done in %v]\n", time.Since(start).Round(time.Millisecond))
 	}
 }
 
@@ -289,6 +308,157 @@ func shardBench(preset string, scale, budget float64, T, mc int, seed uint64, co
 		}
 		fmt.Printf("shard: codec=%s weighted=%v shards=%d σ₀=%.3f throughput=%.0f samples/sec wire=%d tx + %d rx bytes\n",
 			c, weighted, shards, sigma0, rep.SamplesPerSec, st.BytesTx, st.BytesRx)
+	}
+	return nil
+}
+
+// sketchReport is one appended line of the approximate-backend
+// trajectory (BENCH_sketch.json): the (ε, δ) point and the θ it
+// implied, the worst σ deviation observed against the MC ground truth
+// next to the ε·n·W bound it must stay under, and the sketch-vs-MC
+// σ-query throughput. samples_per_sec carries the sketch query rate
+// so scripts/bench_diff.sh can diff it like the other trajectories.
+type sketchReport struct {
+	TS      int64   `json:"ts"`
+	Bench   string  `json:"bench"`
+	Preset  string  `json:"preset"`
+	Scale   float64 `json:"scale"`
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+	Theta   int     `json:"theta"`
+	Users   int     `json:"users"`
+	Items   int     `json:"items"`
+	Groups  int     `json:"groups"`
+
+	Bound         float64 `json:"bound"`
+	MaxAbsErr     float64 `json:"max_abs_err"`
+	BuildMS       float64 `json:"build_ms"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	MCPerSec      float64 `json:"mc_queries_per_sec"`
+	Speedup       float64 `json:"speedup"`
+	Sigma0        float64 `json:"sigma"`
+}
+
+// sketchBench is the statistical harness behind the DESIGN.md §9
+// accuracy contract. For each synthetic preset (smallest first,
+// Douban — the largest — last, so trajectory diffs read the hardest
+// record) it runs the same σ-query workload through the exact MC
+// estimator and through an RR sketch built at (ε, δ), then asserts
+// the two promises the contract makes: every sketch σ within the
+// additive ε·n·W bound of the MC ground truth, and ≥5× σ-query
+// throughput over MC on the largest preset. One record per preset is
+// appended to out.
+func sketchBench(scale, budget float64, T, evalMC int, seed uint64, eps, delta float64, out string) error {
+	theta := sketch.Theta(eps, delta)
+	if theta <= 0 {
+		return fmt.Errorf("invalid (ε, δ) = (%g, %g)", eps, delta)
+	}
+	builders := map[string]func(dataset.Scale) (*dataset.Dataset, error){
+		"Amazon": dataset.Amazon, "Yelp": dataset.Yelp,
+		"Douban": dataset.Douban, "Gowalla": dataset.Gowalla,
+	}
+	presets := []string{"Yelp", "Gowalla", "Amazon", "Douban"}
+
+	f, err := os.OpenFile(out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+
+	for _, preset := range presets {
+		d, err := builders[preset](dataset.Scale(scale))
+		if err != nil {
+			return err
+		}
+		p := d.Clone(budget, T)
+		// The (ε, δ) contract is stated for the static diffusion regime,
+		// where RR coverage is an unbiased σ estimator (DESIGN.md §9);
+		// under dynamic re-weighting the sketch is a heuristic with no
+		// bound to assert. The harness therefore pins Static — the same
+		// regime the theorem (and the sketch backend's intended use:
+		// cheap σ triage before an exact dynamic solve) lives in.
+		p.Params.Static = true
+
+		const nGroups = 24
+		groups := make([][]diffusion.Seed, nGroups)
+		for i := range groups {
+			groups[i] = []diffusion.Seed{
+				{User: i % p.NumUsers(), Item: i % p.NumItems(), T: 1},
+				{User: (i * 7) % p.NumUsers(), Item: (i + 1) % p.NumItems(), T: 1 + i%p.T},
+			}
+		}
+
+		mc := diffusion.NewEstimator(p, evalMC, seed)
+		mcStart := time.Now()
+		truth := mc.SigmaBatch(groups)
+		mcElapsed := time.Since(mcStart)
+
+		buildStart := time.Now()
+		sk, err := sketch.Build(p, sketch.Params{Epsilon: eps, Delta: delta, Seed: seed}, 0, nil)
+		if err != nil {
+			return fmt.Errorf("%s: build: %w", preset, err)
+		}
+		buildElapsed := time.Since(buildStart)
+
+		bound := eps * float64(sk.Users) * sk.WSum
+		var sc sketch.Scratch
+		maxAbs := 0.0
+		for gi, g := range groups {
+			got := sk.Estimate(g, nil, nil, &sc).Sigma
+			if diff := math.Abs(got - truth[gi]); diff > maxAbs {
+				maxAbs = diff
+			}
+		}
+		if maxAbs > bound {
+			return fmt.Errorf("%s: (ε, δ) contract violated: max |σ_sketch − σ_mc| = %.4f > ε·n·W = %.4f (ε=%g δ=%g θ=%d)",
+				preset, maxAbs, bound, eps, delta, sk.Theta)
+		}
+
+		// Query-throughput race on identical workloads: one "query" is
+		// one seed-group σ evaluation. Repetitions double until the
+		// sketch side runs long enough to time reliably.
+		reps := 1
+		var qElapsed time.Duration
+		for {
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				for _, g := range groups {
+					_ = sk.Estimate(g, nil, nil, &sc)
+				}
+			}
+			qElapsed = time.Since(start)
+			if qElapsed >= 50*time.Millisecond || reps >= 1<<20 {
+				break
+			}
+			reps *= 2
+		}
+
+		rep := sketchReport{
+			TS: time.Now().Unix(), Bench: "sketch", Preset: preset, Scale: scale,
+			Epsilon: eps, Delta: delta, Theta: sk.Theta,
+			Users: sk.Users, Items: sk.Items, Groups: nGroups,
+			Bound: bound, MaxAbsErr: maxAbs,
+			BuildMS: float64(buildElapsed.Microseconds()) / 1e3,
+			Sigma0:  truth[0],
+		}
+		if secs := qElapsed.Seconds(); secs > 0 {
+			rep.SamplesPerSec = float64(reps*nGroups) / secs
+		}
+		if secs := mcElapsed.Seconds(); secs > 0 {
+			rep.MCPerSec = float64(nGroups) / secs
+		}
+		if rep.MCPerSec > 0 {
+			rep.Speedup = rep.SamplesPerSec / rep.MCPerSec
+		}
+		if preset == "Douban" && rep.Speedup < 5 {
+			return fmt.Errorf("%s: sketch σ-query throughput only %.1f× MC (want ≥5×)", preset, rep.Speedup)
+		}
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		fmt.Printf("sketch: preset=%s θ=%d max|Δσ|=%.4f of bound %.1f build=%.1fms speedup=%.0f×\n",
+			preset, sk.Theta, maxAbs, bound, rep.BuildMS, rep.Speedup)
 	}
 	return nil
 }

@@ -60,6 +60,7 @@ func main() {
 	shardCodec := flag.String("shard-codec", "binary", "shard RPC wire codec: binary (DESIGN.md §8) or json; binary falls back to json per worker on mixed-version fleets")
 	shardWeighted := flag.Bool("shard-weighted", true, "size shard ranges proportionally to measured worker throughput")
 	shardSpec := flag.Bool("shard-speculate", true, "speculatively re-dispatch straggler shards to idle workers")
+	sketchDir := flag.String("sketch-dir", "", "directory persisting RR sketch indexes across restarts (empty = memory only)")
 	flag.Parse()
 
 	var handler http.Handler
@@ -78,6 +79,7 @@ func main() {
 			QueueDepth:   *queue,
 			CacheSize:    *cacheSize,
 			SolveWorkers: *solveWorkers,
+			SketchDir:    *sketchDir,
 		}
 		var pool *imdpp.ShardPool
 		if *shardWorkers != "" {
@@ -230,6 +232,13 @@ type solveRequest struct {
 	Theta        int    `json:"theta"`
 	CandidateCap int    `json:"candidate_cap"`
 	Order        string `json:"order"` // AE|PF|SZ|RMS|RD
+	// Epsilon, when present, selects the RR-sketch approximate
+	// backend: σ answers within ε·n·W of exact with probability
+	// ≥ 1−delta (DESIGN.md §9). Absent keeps the exact MC path and
+	// its bit-identical responses and cache keys. Pointers so an
+	// explicit 0 is a client error rather than a silent MC fallback.
+	Epsilon *float64 `json:"epsilon"`
+	Delta   *float64 `json:"delta"` // absent with epsilon → 0.05
 }
 
 type solveResponse struct {
@@ -238,6 +247,10 @@ type solveResponse struct {
 	Key       string          `json:"key"`
 	CacheHit  bool            `json:"cache_hit"`
 	Coalesced bool            `json:"coalesced"`
+	// Backend echoes the selected estimation backend ("sketch" for
+	// epsilon requests; omitted on the exact MC path, keeping
+	// pre-epsilon response bytes unchanged).
+	Backend string `json:"backend,omitempty"`
 }
 
 // sigmaRequest is the POST /v1/sigma body.
@@ -246,6 +259,44 @@ type sigmaRequest struct {
 	MC    int          `json:"mc"` // 0 → 100
 	Seed  uint64       `json:"seed"`
 	Seeds []imdpp.Seed `json:"seeds"`
+	// Epsilon/Delta select the RR-sketch approximate backend, exactly
+	// as on /v1/solve; absent keeps the bit-identical MC path.
+	Epsilon *float64 `json:"epsilon"`
+	Delta   *float64 `json:"delta"`
+}
+
+// sigmaResponse wraps the estimate with the backend echo. Estimate is
+// embedded so the σ fields keep their exact historical JSON shape;
+// the extra key only appears for sketch answers.
+type sigmaResponse struct {
+	imdpp.Estimate
+	Backend string `json:"backend,omitempty"`
+}
+
+// sketchParams resolves the optional epsilon/delta request fields
+// shared by /v1/solve and /v1/sigma. Absent epsilon selects the exact
+// MC backend; a present field must be usable — an explicit epsilon
+// ≤ 0 or delta outside (0,1) is a client error, never a silent
+// fallback that would hand back a differently-keyed answer than the
+// caller asked for.
+func sketchParams(eps, delta *float64) (float64, float64, error) {
+	if eps == nil {
+		if delta != nil {
+			return 0, 0, &imdpp.InputError{Field: "Delta", Reason: "delta set without epsilon; the (ε, δ) contract needs both"}
+		}
+		return 0, 0, nil
+	}
+	if !(*eps > 0) { // rejects ≤ 0 and NaN
+		return 0, 0, &imdpp.InputError{Field: "Epsilon", Reason: fmt.Sprintf("sketch accuracy %g must be > 0", *eps)}
+	}
+	d := 0.0
+	if delta != nil {
+		if !(*delta > 0 && *delta < 1) {
+			return 0, 0, &imdpp.InputError{Field: "Delta", Reason: fmt.Sprintf("sketch failure probability %g outside (0,1)", *delta)}
+		}
+		d = *delta
+	}
+	return *eps, d, nil
 }
 
 func (d *daemon) loadProblem(spec problemSpec) (*imdpp.Problem, error) {
@@ -310,6 +361,11 @@ func (d *daemon) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	eps, delta, err := sketchParams(req.Epsilon, req.Delta)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	p, err := d.loadProblem(req.problemSpec)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -324,6 +380,8 @@ func (d *daemon) handleSolve(w http.ResponseWriter, r *http.Request) {
 			Theta:        req.Theta,
 			CandidateCap: req.CandidateCap,
 			Order:        order,
+			Epsilon:      eps,
+			Delta:        delta,
 		},
 		Adaptive: adaptive,
 	})
@@ -338,6 +396,7 @@ func (d *daemon) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Key:       job.Key().String(),
 		CacheHit:  snap.CacheHit,
 		Coalesced: coalesced,
+		Backend:   snap.Backend,
 	})
 }
 
@@ -392,12 +451,18 @@ func (d *daemon) handleSigma(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
+	eps, delta, err := sketchParams(req.Epsilon, req.Delta)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	p, err := d.loadProblem(req.problemSpec)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	est, err := d.svc.Sigma(r.Context(), p, req.Seeds, req.MC, req.Seed)
+	est, backend, err := d.svc.Sigma(r.Context(), p, req.Seeds,
+		imdpp.SigmaOptions{MC: req.MC, Seed: req.Seed, Epsilon: eps, Delta: delta})
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, context.Canceled) {
@@ -406,7 +471,11 @@ func (d *daemon) handleSigma(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, est)
+	resp := sigmaResponse{Estimate: est}
+	if backend == imdpp.BackendSketch {
+		resp.Backend = backend
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (d *daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {

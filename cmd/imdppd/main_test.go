@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -333,5 +334,100 @@ func TestDaemonQueueFull(t *testing.T) {
 	}
 	if code := postJSON(t, srv.URL+"/v1/solve", slow(3), nil); code != http.StatusTooManyRequests {
 		t.Fatalf("third: status %d want 429", code)
+	}
+}
+
+// TestDaemonSketchBackend covers the optional epsilon/delta fields of
+// POST /v1/solve and POST /v1/sigma: unusable (ε, δ) pairs are typed
+// 400s; an absent epsilon keeps the exact pre-sketch wire — no
+// "backend" key in the response and σ bit-identical to a direct
+// in-process evaluation of the same request; a present epsilon is
+// echoed with backend "sketch" end to end.
+func TestDaemonSketchBackend(t *testing.T) {
+	_, srv := newTestDaemon(t)
+
+	bad := []struct{ name, path, body string }{
+		{"solve epsilon 0", "/v1/solve", `{"dataset":"sample","budget":80,"t":3,"mc":4,"epsilon":0}`},
+		{"solve negative epsilon", "/v1/solve", `{"dataset":"sample","budget":80,"t":3,"mc":4,"epsilon":-0.1}`},
+		{"solve delta without epsilon", "/v1/solve", `{"dataset":"sample","budget":80,"t":3,"mc":4,"delta":0.05}`},
+		{"solve delta at one", "/v1/solve", `{"dataset":"sample","budget":80,"t":3,"mc":4,"epsilon":0.05,"delta":1}`},
+		{"sigma epsilon 0", "/v1/sigma", `{"dataset":"sample","budget":80,"t":3,"mc":4,"epsilon":0,"seeds":[{"user":0,"item":0,"t":1}]}`},
+		{"sigma delta 2", "/v1/sigma", `{"dataset":"sample","budget":80,"t":3,"mc":4,"epsilon":0.05,"delta":2,"seeds":[{"user":0,"item":0,"t":1}]}`},
+	}
+	for _, tc := range bad {
+		var errBody map[string]string
+		if code := postJSON(t, srv.URL+tc.path, tc.body, &errBody); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d want 400 (%v)", tc.name, code, errBody)
+		}
+	}
+
+	// Absent epsilon: the PR-5 wire, byte for byte. The response must
+	// not grow a "backend" key, and σ must bit-match the same request
+	// evaluated directly in process.
+	legacy := `{"dataset":"sample","budget":80,"t":3,"mc":32,"seed":5,"seeds":[{"user":0,"item":0,"t":1}]}`
+	resp, err := http.Post(srv.URL+"/v1/sigma", "application/json", bytes.NewBufferString(legacy))
+	if err != nil {
+		t.Fatalf("sigma: %v", err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("sigma: status %d, read err %v", resp.StatusCode, err)
+	}
+	if bytes.Contains(raw, []byte(`"backend"`)) {
+		t.Fatalf("epsilon-absent sigma response grew a backend key: %s", raw)
+	}
+	var got imdpp.Estimate
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("decode sigma: %v", err)
+	}
+	ds, err := imdpp.LoadDataset("sample", 1.0)
+	if err != nil {
+		t.Fatalf("LoadDataset: %v", err)
+	}
+	p := ds.Clone(80, 3)
+	want := imdpp.NewEstimator(p, 32, 5).Run([]imdpp.Seed{{User: 0, Item: 0, T: 1}}, nil, false)
+	if got.Sigma != want.Sigma {
+		t.Fatalf("epsilon-absent daemon σ %v != direct MC σ %v", got.Sigma, want.Sigma)
+	}
+
+	// Present epsilon: sketch answer, labelled as such.
+	skSigma := `{"dataset":"sample","budget":80,"t":3,"mc":32,"seed":5,"epsilon":0.05,"delta":0.1,"seeds":[{"user":0,"item":0,"t":1}]}`
+	var sig sigmaResponse
+	if code := postJSON(t, srv.URL+"/v1/sigma", skSigma, &sig); code != http.StatusOK {
+		t.Fatalf("sketch sigma: status %d", code)
+	}
+	if sig.Backend != "sketch" {
+		t.Fatalf("sketch sigma backend %q, want \"sketch\"", sig.Backend)
+	}
+
+	skSolve := `{"dataset":"sample","budget":80,"t":3,"mc":4,"mcsi":2,"candidate_cap":16,"seed":1,"epsilon":0.05,"delta":0.1}`
+	var sub solveResponse
+	if code := postJSON(t, srv.URL+"/v1/solve", skSolve, &sub); code != http.StatusAccepted {
+		t.Fatalf("sketch solve: status %d", code)
+	}
+	if sub.Backend != "sketch" {
+		t.Fatalf("solve accept backend %q, want \"sketch\"", sub.Backend)
+	}
+	view := pollUntil(t, srv.URL+"/v1/jobs/"+sub.JobID, func(v imdpp.JobView) bool {
+		return v.Status == imdpp.JobDone || v.Status == imdpp.JobFailed
+	})
+	if view.Status != imdpp.JobDone {
+		t.Fatalf("sketch solve failed: %+v", view)
+	}
+	if view.Backend != "sketch" {
+		t.Fatalf("job view backend %q, want \"sketch\"", view.Backend)
+	}
+
+	var m struct {
+		SketchRequests  uint64 `json:"sketch_requests"`
+		SketchBuilds    uint64 `json:"sketch_builds"`
+		SketchCacheHits uint64 `json:"sketch_cache_hits"`
+	}
+	if code := getJSON(t, srv.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if m.SketchRequests < 2 || m.SketchBuilds < 1 {
+		t.Fatalf("sketch counters not moving: %+v", m)
 	}
 }

@@ -1,0 +1,82 @@
+// Sketch: evaluates the same σ-query workload with the exact
+// Monte-Carlo estimator and the (ε, δ)-approximate reverse-reachable
+// sketch backend side by side (DESIGN.md §9), printing the observed σ
+// error against the additive ε·n·W bound and the query speedup. The
+// sketch exists for exactly this shape of work — triaging many
+// candidate seed groups cheaply before an exact solve; over HTTP the
+// same switch is the optional "epsilon"/"delta" fields of POST
+// /v1/solve and POST /v1/sigma.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"imdpp"
+)
+
+func main() {
+	d, err := imdpp.YelpDataset(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := d.Clone(150, 4)
+	// The (ε, δ) contract is stated for the static diffusion regime,
+	// where RR coverage is an unbiased σ estimator (DESIGN.md §9).
+	p.Params.Static = true
+
+	sol, err := imdpp.Solve(p, imdpp.Options{Seed: 5, CandidateCap: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The triage workload: the solver's pick plus user-rotated variants.
+	groups := [][]imdpp.Seed{sol.Seeds}
+	for r := 1; r <= 15; r++ {
+		g := make([]imdpp.Seed, len(sol.Seeds))
+		for i, s := range sol.Seeds {
+			g[i] = imdpp.Seed{User: (s.User + r) % p.NumUsers(), Item: s.Item, T: s.T}
+		}
+		groups = append(groups, g)
+	}
+
+	const evalMC = 200
+	mc := imdpp.NewEstimator(p, evalMC, 123)
+	t0 := time.Now()
+	exact := mc.SigmaBatch(groups)
+	mcDur := time.Since(t0)
+
+	const eps, delta = 0.05, 0.05
+	sk := imdpp.NewSketchEstimator(p, imdpp.SketchConfig{Epsilon: eps, Delta: delta}, evalMC, 123, 0)
+	t0 = time.Now()
+	if err := sk.Warm(); err != nil {
+		log.Fatal(err)
+	}
+	buildDur := time.Since(t0)
+	t0 = time.Now()
+	approx := sk.SigmaBatch(groups)
+	queryDur := time.Since(t0)
+
+	var wsum float64
+	for _, w := range p.Importance {
+		wsum += w
+	}
+	bound := eps * float64(p.NumUsers()) * wsum
+	var worst float64
+	for i := range groups {
+		if diff := math.Abs(approx[i] - exact[i]); diff > worst {
+			worst = diff
+		}
+	}
+
+	fmt.Printf("θ = %d RR samples for (ε, δ) = (%.2f, %.2f)\n", imdpp.SketchTheta(eps, delta), eps, delta)
+	fmt.Printf("MC   : %2d groups × %d samples in %v  (σ₀ = %.1f)\n", len(groups), evalMC, mcDur.Round(time.Millisecond), exact[0])
+	fmt.Printf("sketch: build %v, %2d σ queries in %v  (σ₀ = %.1f)\n", buildDur.Round(time.Millisecond), len(groups), queryDur.Round(time.Microsecond), approx[0])
+	fmt.Printf("worst |σ_sketch − σ_mc| = %.1f, within the additive bound ε·n·W = %.1f\n", worst, bound)
+	if secs := queryDur.Seconds(); secs > 0 {
+		fmt.Printf("query speedup ≈ %.0f× (the build costs %.1f MC queries' worth of time)\n",
+			mcDur.Seconds()/secs, buildDur.Seconds()/(mcDur.Seconds()/float64(len(groups))))
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"imdpp/internal/exp"
 	"imdpp/internal/service"
 	"imdpp/internal/shard"
+	"imdpp/internal/sketch"
 )
 
 // Core problem and diffusion types.
@@ -308,4 +309,44 @@ var (
 	NewShardWorker = shard.NewWorker
 	// NewShardEstimator creates one sharded estimator directly.
 	NewShardEstimator = shard.NewEstimator
+)
+
+// Approximate estimation (package sketch, DESIGN.md §9): a reverse-
+// reachable-sketch backend answering σ queries by coverage counting
+// within an (ε, δ) contract — selected per request via
+// Options.Epsilon, or explicitly via SketchBackend.
+type (
+	// SketchConfig configures the sketch estimator backend.
+	SketchConfig = sketch.Config
+	// SketchParams identify one sketch build (ε, δ, seed).
+	SketchParams = sketch.Params
+	// Sketch is one immutable RR-sample index.
+	Sketch = sketch.Sketch
+	// SketchCache shares built sketch indexes (ServiceConfig wires one
+	// automatically; library callers may pass their own).
+	SketchCache = sketch.Cache
+	// SigmaOptions configure a synchronous Service.Sigma evaluation.
+	SigmaOptions = service.SigmaOptions
+)
+
+// Backend labels reported by Service.Sigma and job snapshots.
+const (
+	BackendMC     = service.BackendMC
+	BackendSketch = service.BackendSketch
+)
+
+// Sketch constructors.
+var (
+	// SketchBackend returns the EstimatorFactory over the RR-sketch
+	// hybrid estimator.
+	SketchBackend = core.SketchBackend
+	// NewSketchEstimator creates one sketch-backed estimator directly.
+	NewSketchEstimator = sketch.New
+	// BuildSketch builds one RR index eagerly.
+	BuildSketch = sketch.Build
+	// NewSketchCache creates a sketch index cache (optionally
+	// disk-persistent).
+	NewSketchCache = sketch.NewCache
+	// SketchTheta returns the RR sample count for an (ε, δ) contract.
+	SketchTheta = sketch.Theta
 )

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"math"
 	"runtime"
 	"testing"
 	"time"
@@ -133,6 +134,14 @@ func TestValidateRequestTypedErrors(t *testing.T) {
 		{"negative MCSI", p, Options{MCSI: -2}, "MCSI"},
 		{"negative workers", p, Options{Workers: -1}, "Workers"},
 		{"bad MIOA threshold", p, Options{MIOAThreshold: 1.5}, "MIOAThreshold"},
+		// (ε, δ) gate for the sketch backend: ε must be > 0 when set,
+		// δ must lie in (0,1), and δ alone is meaningless.
+		{"negative epsilon", p, Options{Epsilon: -0.1}, "Epsilon"},
+		{"NaN epsilon", p, Options{Epsilon: math.NaN()}, "Epsilon"},
+		{"negative delta", p, Options{Epsilon: 0.1, Delta: -0.5}, "Delta"},
+		{"delta at one", p, Options{Epsilon: 0.1, Delta: 1}, "Delta"},
+		{"NaN delta", p, Options{Epsilon: 0.1, Delta: math.NaN()}, "Delta"},
+		{"delta without epsilon", p, Options{Delta: 0.05}, "Delta"},
 	}
 	for _, tc := range cases {
 		err := ValidateRequest(tc.p, tc.opt)
@@ -144,6 +153,14 @@ func TestValidateRequestTypedErrors(t *testing.T) {
 
 	if err := ValidateRequest(p, Options{}); err != nil {
 		t.Errorf("zero options rejected: %v", err)
+	}
+	// Valid sketch parameterisations pass the gate: δ defaults when
+	// only ε is given (applied later in withDefaults).
+	if err := ValidateRequest(p, Options{Epsilon: 0.05, Delta: 0.05}); err != nil {
+		t.Errorf("valid (ε, δ) rejected: %v", err)
+	}
+	if err := ValidateRequest(p, Options{Epsilon: 0.05}); err != nil {
+		t.Errorf("epsilon with defaulted delta rejected: %v", err)
 	}
 
 	bad := sampleProblem(t, 80, 3)

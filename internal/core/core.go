@@ -6,6 +6,7 @@ import (
 
 	"imdpp/internal/cluster"
 	"imdpp/internal/diffusion"
+	"imdpp/internal/sketch"
 )
 
 // OrderMetric selects how target markets within an overlap group G are
@@ -69,6 +70,20 @@ type Options struct {
 	DisableItemPriority bool
 	// Workers bounds estimator parallelism (0 → GOMAXPROCS).
 	Workers int
+	// Epsilon, when > 0, selects the reverse-reachable sketch backend
+	// (internal/sketch) for σ-only evaluations: answers are within
+	// ε·n·W of the exact value with probability ≥ 1−Delta, where W is
+	// the summed item importance. Unlike Backend, Epsilon IS
+	// result-relevant — approximate answers are keyed separately by
+	// the serving layer's content-address hash and never alias exact
+	// MC results (DESIGN.md §9). 0 (the default) keeps the exact
+	// Monte-Carlo engine and today's bit-identical behaviour. An
+	// explicit Backend takes precedence over Epsilon.
+	Epsilon float64
+	// Delta is the failure probability of the (ε, δ) contract,
+	// in (0, 1); 0 with Epsilon set selects the default 0.05. Only
+	// meaningful alongside Epsilon.
+	Delta float64
 	// Backend, when non-nil, constructs the σ/π estimation backend the
 	// solver runs over — e.g. a sharded remote-worker estimator
 	// (internal/shard) instead of the in-process batch engine. Every
@@ -125,6 +140,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Cluster.MaxHops == 0 {
 		o.Cluster = cluster.DefaultOptions()
+	}
+	if o.Epsilon > 0 && o.Delta == 0 {
+		o.Delta = sketch.DefaultDelta
 	}
 	return o
 }

@@ -19,9 +19,18 @@
 // sensitivity of Sec. VI-G, and the adaptive mode of Sec. V-D.
 //
 // All σ/π evaluation flows through the Estimator backend interface
-// (estimator.go): the in-process batch engine by default, or — via
-// Options.Backend — the sharded remote-worker estimator of
-// internal/shard, with bit-identical results either way (DESIGN.md
-// §3, §7). SolveCtx/SolveAdaptiveCtx thread cancellation through
-// every selection loop and the backend.
+// (estimator.go). Two result classes exist behind it. The exact class
+// — the in-process batch engine by default, or the sharded
+// remote-worker estimator of internal/shard via Options.Backend — is
+// bit-identical whichever member serves it (DESIGN.md §3, §7), which
+// is why Backend-as-constructor stays out of the request hash. The
+// approximate class is the reverse-reachable sketch estimator of
+// internal/sketch, selected by Options.Epsilon > 0 (or explicitly via
+// SketchBackend): it answers σ within ε·n·W with probability 1 − δ
+// from a precomputed coverage index (DESIGN.md §9). Epsilon and Delta
+// change the answer itself, so — unlike Backend — they ARE
+// result-relevant and hash into their own cache lane; Validate
+// rejects ε ≤ 0, δ ∉ (0,1) and δ without ε, so an absent epsilon
+// always means exact. SolveCtx/SolveAdaptiveCtx thread cancellation
+// through every selection loop and the backend.
 package core

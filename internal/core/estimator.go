@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"imdpp/internal/diffusion"
+	"imdpp/internal/sketch"
 )
 
 // Estimator is the σ/π estimation surface the Dysim solver consumes —
@@ -51,8 +52,12 @@ type Estimator interface {
 	StateBytes() uint64
 }
 
-// The in-process batch engine is the reference Estimator.
-var _ Estimator = (*diffusion.Estimator)(nil)
+// The in-process batch engine is the reference Estimator; the
+// RR-sketch hybrid is the approximate second implementation.
+var (
+	_ Estimator = (*diffusion.Estimator)(nil)
+	_ Estimator = (*sketch.Estimator)(nil)
+)
 
 // EstimatorFactory constructs the estimation backend for one solver
 // run: the problem, the per-estimate sample count, the master seed and
@@ -69,11 +74,25 @@ func LocalEstimator(p *diffusion.Problem, samples int, seed uint64, workers int)
 	return e
 }
 
-// backend resolves the configured factory, defaulting to the local
-// engine.
+// SketchBackend returns an EstimatorFactory over the RR-sketch hybrid
+// estimator (internal/sketch): σ-only evaluations answered by coverage
+// counting under cfg's (ε, δ) contract, π/MeanWeights delegated to an
+// embedded MC engine. The serving layer passes a shared sketch cache
+// through cfg; library callers may leave it nil.
+func SketchBackend(cfg sketch.Config) EstimatorFactory {
+	return func(p *diffusion.Problem, samples int, seed uint64, workers int) Estimator {
+		return sketch.New(p, cfg, samples, seed, workers)
+	}
+}
+
+// backend resolves the configured factory: an explicit Backend wins,
+// then Epsilon > 0 selects the sketch hybrid, then the local engine.
 func (o Options) backend() EstimatorFactory {
 	if o.Backend != nil {
 		return o.Backend
+	}
+	if o.Epsilon > 0 {
+		return SketchBackend(sketch.Config{Epsilon: o.Epsilon, Delta: o.Delta})
 	}
 	return LocalEstimator
 }

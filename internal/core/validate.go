@@ -43,6 +43,12 @@ func (o Options) Validate() error {
 		return &InputError{Field: "Theta", Reason: fmt.Sprintf("common-user threshold %d is negative", o.Theta)}
 	case o.MIOAThreshold < 0 || o.MIOAThreshold > 1:
 		return &InputError{Field: "MIOAThreshold", Reason: fmt.Sprintf("path-probability cutoff %g outside [0,1]", o.MIOAThreshold)}
+	case o.Epsilon < 0 || (o.Epsilon != o.Epsilon):
+		return &InputError{Field: "Epsilon", Reason: fmt.Sprintf("sketch accuracy %g must be > 0 (0 selects the exact MC backend)", o.Epsilon)}
+	case o.Delta < 0 || o.Delta >= 1 || (o.Delta != o.Delta):
+		return &InputError{Field: "Delta", Reason: fmt.Sprintf("sketch failure probability %g outside (0,1)", o.Delta)}
+	case o.Delta > 0 && o.Epsilon == 0:
+		return &InputError{Field: "Delta", Reason: "delta set without epsilon; the (ε, δ) contract needs both"}
 	}
 	return nil
 }

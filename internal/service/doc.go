@@ -15,4 +15,18 @@
 // solves share cache entries, and HashProblem — the problem-only
 // restriction of the digest — doubles as the content address problems
 // are uploaded to estimator workers under.
+//
+// The hash-exclusion rule is therefore about results, not about
+// backends per se: anything that cannot change the returned floats
+// (Workers, Progress, Backend-as-constructor) stays out of the
+// digest, while the (ε, δ) parameters of the approximate
+// reverse-reachable sketch backend (internal/sketch, DESIGN.md §9) —
+// which change the answer from exact simulation to coverage counting
+// — hash into their own lane, gated on Epsilon > 0 so every
+// pre-sketch request keeps its exact historical key and sketch
+// answers never alias MC results. Requests carrying epsilon are
+// echoed with backend "sketch" in job snapshots, and the service
+// keeps a second content-addressed cache (sketch.Cache, keyed by
+// HashProblem + ε + δ + seed, optionally disk-backed) for the built
+// indices themselves.
 package service

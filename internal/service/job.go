@@ -32,6 +32,11 @@ type Job struct {
 	cancelHook func() // set by the Service: ctx cancel + queue bookkeeping
 	done       chan struct{}
 
+	// backend labels the estimation backend the request selected:
+	// BackendSketch for epsilon requests, empty for the default MC
+	// path (so pre-epsilon job snapshots keep byte-identical JSON).
+	backend string
+
 	mu       sync.Mutex
 	status   Status
 	cacheHit bool
@@ -51,6 +56,10 @@ type JobView struct {
 	Key      string `json:"key"` // content address of the request
 	Status   Status `json:"status"`
 	CacheHit bool   `json:"cache_hit"`
+	// Backend echoes the estimation backend the request selected
+	// ("sketch" for epsilon requests); omitted on the exact MC path so
+	// existing clients see unchanged bytes.
+	Backend string `json:"backend,omitempty"`
 	// Progress is the latest solver event; ProgressEvents counts how
 	// many were emitted, so pollers can detect movement between
 	// identical-looking snapshots.
@@ -102,6 +111,7 @@ func (j *Job) Snapshot() JobView {
 		Key:            j.key.String(),
 		Status:         j.status,
 		CacheHit:       j.cacheHit,
+		Backend:        j.backend,
 		Progress:       j.progress,
 		ProgressEvents: j.events,
 		Solution:       j.sol,

@@ -10,6 +10,7 @@ import (
 
 	"imdpp/internal/core"
 	"imdpp/internal/diffusion"
+	"imdpp/internal/sketch"
 )
 
 // Typed submission failures.
@@ -47,8 +48,20 @@ type Config struct {
 	// contract makes any conforming backend result-invariant, so the
 	// content-addressed cache and coalescing sit above it unchanged: a
 	// request solved by the fleet and one solved in-process share one
-	// cache entry with bit-identical bytes.
+	// cache entry with bit-identical bytes. Requests that set Epsilon
+	// override Backend with the RR-sketch estimator: an approximate
+	// answer is what they asked for, and sketch indexes are built
+	// where the coverage queries run rather than shipped per-sample
+	// like MC grids (DESIGN.md §9).
 	Backend core.EstimatorFactory
+	// SketchCacheSize bounds the in-memory sketch index cache in
+	// entries (default 4). Sketches are keyed by problem content
+	// address plus (ε, δ, seed) — a separate lane from the result
+	// cache, so approximate artefacts never alias exact results.
+	SketchCacheSize int
+	// SketchDir, when non-empty, persists built sketch indexes to disk
+	// in the canonical wire form and reloads them across restarts.
+	SketchDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +106,12 @@ type Metrics struct {
 	// SamplesPerSec is SamplesSimulated over cumulative solve time —
 	// the service-level estimator throughput.
 	SamplesPerSec float64 `json:"samples_per_sec"`
+	// Sketch-backend counters: requests that selected the approximate
+	// backend (epsilon set), RR indexes actually built, and in-memory
+	// sketch cache hits.
+	SketchRequests  uint64 `json:"sketch_requests"`
+	SketchBuilds    uint64 `json:"sketch_builds"`
+	SketchCacheHits uint64 `json:"sketch_cache_hits"`
 }
 
 // Service runs campaign solves asynchronously. Create with New,
@@ -112,6 +131,11 @@ type Service struct {
 	retired  []string     // finished job ids, oldest first, for eviction
 	inflight map[Key]*Job // queued or running job per content address
 	cache    *lru
+
+	// sketchCache shares RR sketch indexes across epsilon requests,
+	// keyed by HashProblem + (ε, δ, seed).
+	sketchCache *sketch.Cache
+	sketchReqs  atomic.Uint64
 
 	submitted  atomic.Uint64
 	completed  atomic.Uint64
@@ -138,6 +162,8 @@ func New(cfg Config) *Service {
 		inflight:   make(map[Key]*Job),
 		cache:      newLRU(cfg.CacheSize),
 	}
+	s.sketchCache = sketch.NewCache(cfg.SketchCacheSize, cfg.SketchDir,
+		func(p *diffusion.Problem) string { return HashProblem(p).String() })
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -225,6 +251,9 @@ func (s *Service) newJobLocked(key Key, req Request) *Job {
 		done:      make(chan struct{}),
 		status:    StatusQueued,
 		created:   time.Now(),
+	}
+	if req.Options.Epsilon > 0 {
+		j.backend = BackendSketch
 	}
 	j.cancelHook = func() { s.cancelJob(j) }
 	s.jobs[j.id] = j
@@ -319,7 +348,18 @@ func (s *Service) runJob(j *Job) {
 		opt.Workers = s.cfg.SolveWorkers
 	}
 	if opt.Backend == nil {
-		opt.Backend = s.cfg.Backend
+		if opt.Epsilon > 0 {
+			// an epsilon request explicitly asked for the approximate
+			// backend, so it wins over a configured fleet backend —
+			// coverage counting runs where the sketch index lives
+			// (DESIGN.md §9)
+			s.sketchReqs.Add(1)
+			opt.Backend = core.SketchBackend(sketch.Config{
+				Epsilon: opt.Epsilon, Delta: opt.Delta, Cache: s.sketchCache,
+			})
+		} else {
+			opt.Backend = s.cfg.Backend
+		}
 	}
 	start := time.Now()
 	var (
@@ -365,38 +405,76 @@ func (s *Service) runJob(j *Job) {
 	}
 }
 
+// SigmaOptions configure one synchronous σ evaluation. The zero value
+// is valid: 100 Monte-Carlo samples, exact engine.
+type SigmaOptions struct {
+	// MC is the Monte-Carlo sample count (0 → 100). Ignored by the
+	// sketch path, whose sample count θ derives from (ε, δ).
+	MC int
+	// Seed is the master RNG seed.
+	Seed uint64
+	// Epsilon > 0 answers by RR-sketch coverage counting instead of
+	// simulation, within ε·n·W of the exact value with probability
+	// ≥ 1−Delta. 0 keeps the exact engine and its bit-identical
+	// responses.
+	Epsilon float64
+	// Delta is the (ε, δ) failure probability (0 → 0.05 when Epsilon
+	// is set).
+	Delta float64
+}
+
+// Backend labels returned by Sigma.
+const (
+	BackendMC     = "mc"
+	BackendSketch = "sketch"
+)
+
 // Sigma evaluates σ for an explicit seed group synchronously — the
 // daemon's POST /v1/sigma. It validates the seeds, honours ctx
 // cancellation and contributes to the service throughput counters.
-func (s *Service) Sigma(ctx context.Context, p *diffusion.Problem, seeds []diffusion.Seed, mc int, seed uint64) (diffusion.Estimate, error) {
+// The returned backend label reports which estimator answered
+// (BackendMC or BackendSketch).
+func (s *Service) Sigma(ctx context.Context, p *diffusion.Problem, seeds []diffusion.Seed, opt SigmaOptions) (diffusion.Estimate, string, error) {
 	// same request gate as Submit: typed errors for nil problem,
-	// negative budget, T < 1 and a negative sample count
-	if err := core.ValidateRequest(p, core.Options{MC: mc}); err != nil {
-		return diffusion.Estimate{}, err
+	// negative budget, T < 1, a negative sample count and a bad
+	// (ε, δ) pair
+	if err := core.ValidateRequest(p, core.Options{MC: opt.MC, Epsilon: opt.Epsilon, Delta: opt.Delta}); err != nil {
+		return diffusion.Estimate{}, "", err
 	}
 	if err := p.Validate(); err != nil {
-		return diffusion.Estimate{}, err
+		return diffusion.Estimate{}, "", err
 	}
+	mc := opt.MC
 	if mc == 0 {
 		mc = 100
 	}
 	if err := p.ValidateSeeds(seeds); err != nil {
-		return diffusion.Estimate{}, err
+		return diffusion.Estimate{}, "", err
 	}
+	name := BackendMC
 	backend := core.LocalEstimator
-	if s.cfg.Backend != nil {
+	switch {
+	case opt.Epsilon > 0:
+		// epsilon selects the sketch lane, sharing the service's index
+		// cache with epsilon solves over the same problem
+		s.sketchReqs.Add(1)
+		name = BackendSketch
+		backend = core.SketchBackend(sketch.Config{
+			Epsilon: opt.Epsilon, Delta: opt.Delta, Cache: s.sketchCache,
+		})
+	case s.cfg.Backend != nil:
 		backend = s.cfg.Backend
 	}
-	est := backend(p, mc, seed, s.cfg.SolveWorkers)
+	est := backend(p, mc, opt.Seed, s.cfg.SolveWorkers)
 	est.Bind(ctx)
 	start := time.Now()
 	run := est.Run(seeds, nil, false)
 	if err := ctx.Err(); err != nil {
-		return diffusion.Estimate{}, err
+		return diffusion.Estimate{}, "", err
 	}
 	s.samples.Add(est.SamplesDone())
 	s.solveNanos.Add(int64(time.Since(start)))
-	return run, nil
+	return run, name, nil
 }
 
 // Metrics snapshots the service counters.
@@ -422,5 +500,7 @@ func (s *Service) Metrics() Metrics {
 	if m.SolveSeconds > 0 {
 		m.SamplesPerSec = float64(m.SamplesSimulated) / m.SolveSeconds
 	}
+	m.SketchRequests = s.sketchReqs.Load()
+	m.SketchBuilds, m.SketchCacheHits = s.sketchCache.Stats()
 	return m
 }

@@ -10,6 +10,7 @@ import (
 	"imdpp/internal/core"
 	"imdpp/internal/dataset"
 	"imdpp/internal/diffusion"
+	"imdpp/internal/sketch"
 )
 
 func sampleProblem(t *testing.T, budget float64, T int) *diffusion.Problem {
@@ -392,11 +393,11 @@ func TestSigma(t *testing.T) {
 	p := sampleProblem(t, 80, 3)
 
 	seeds := []diffusion.Seed{{User: 0, Item: 0, T: 1}}
-	e1, err := s.Sigma(context.Background(), p, seeds, 32, 42)
+	e1, _, err := s.Sigma(context.Background(), p, seeds, SigmaOptions{MC: 32, Seed: 42})
 	if err != nil {
 		t.Fatalf("sigma: %v", err)
 	}
-	e2, err := s.Sigma(context.Background(), p, seeds, 32, 42)
+	e2, _, err := s.Sigma(context.Background(), p, seeds, SigmaOptions{MC: 32, Seed: 42})
 	if err != nil {
 		t.Fatalf("sigma 2: %v", err)
 	}
@@ -406,11 +407,11 @@ func TestSigma(t *testing.T) {
 
 	cancelled, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := s.Sigma(cancelled, p, seeds, 32, 42); !errors.Is(err, context.Canceled) {
+	if _, _, err := s.Sigma(cancelled, p, seeds, SigmaOptions{MC: 32, Seed: 42}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
 
-	if _, err := s.Sigma(context.Background(), p, []diffusion.Seed{{User: -1, Item: 0, T: 1}}, 4, 1); err == nil {
+	if _, _, err := s.Sigma(context.Background(), p, []diffusion.Seed{{User: -1, Item: 0, T: 1}}, SigmaOptions{MC: 4, Seed: 1}); err == nil {
 		t.Fatal("out-of-range seed accepted")
 	}
 
@@ -418,10 +419,135 @@ func TestSigma(t *testing.T) {
 	var inputErr *core.InputError
 	badT := sampleProblem(t, 80, 3)
 	badT.T = 0
-	if _, err := s.Sigma(context.Background(), badT, nil, 4, 1); !errors.As(err, &inputErr) || inputErr.Field != "T" {
+	if _, _, err := s.Sigma(context.Background(), badT, nil, SigmaOptions{MC: 4, Seed: 1}); !errors.As(err, &inputErr) || inputErr.Field != "T" {
 		t.Fatalf("T<1: want InputError{T}, got %v", err)
 	}
-	if _, err := s.Sigma(context.Background(), p, nil, -1, 1); !errors.As(err, &inputErr) || inputErr.Field != "MC" {
+	if _, _, err := s.Sigma(context.Background(), p, nil, SigmaOptions{MC: -1, Seed: 1}); !errors.As(err, &inputErr) || inputErr.Field != "MC" {
 		t.Fatalf("negative mc: want InputError{MC}, got %v", err)
+	}
+}
+
+// TestHashRequestSketchLane: the (ε, δ) cache lane of DESIGN.md §9.
+// Epsilon-absent requests keep their exact pre-sketch content address
+// — the golden keys below were captured at the PR-5 HEAD, before the
+// sketch backend existed — and sketch answers never alias MC results
+// or each other across (ε, δ).
+func TestHashRequestSketchLane(t *testing.T) {
+	p := sampleProblem(t, 100, 4)
+	base := core.Options{MC: 8}
+
+	if got := HashRequest(p, base, false).String(); got != "498753ed8ae6549f3600d75a566d33c1" {
+		t.Fatalf("epsilon-absent HashRequest drifted from the pre-sketch golden key: %s", got)
+	}
+	if got := HashProblem(p).String(); got != "27dff656949cb46f2ce09e07f4f41a95" {
+		t.Fatalf("HashProblem drifted from the pre-sketch golden key: %s", got)
+	}
+
+	distinct := map[Key]string{HashRequest(p, base, false): "mc"}
+	check := func(name string, o core.Options) {
+		k := HashRequest(p, o, false)
+		if prev, dup := distinct[k]; dup {
+			t.Fatalf("%s shares a cache key with %s: %v", name, prev, k)
+		}
+		distinct[k] = name
+	}
+	eps := base
+	eps.Epsilon = 0.05
+	check("epsilon 0.05", eps)
+	eps2 := base
+	eps2.Epsilon = 0.1
+	check("epsilon 0.1", eps2)
+	epsD := eps
+	epsD.Delta = 0.2
+	check("epsilon 0.05 delta 0.2", epsD)
+
+	// Delta canonicalises to its default before hashing: relying on
+	// the default and spelling it out run the same build, so they
+	// must share one key.
+	spelled := eps
+	spelled.Delta = sketch.DefaultDelta
+	if HashRequest(p, eps, false) != HashRequest(p, spelled, false) {
+		t.Fatalf("defaulted and spelled-out delta hash differently")
+	}
+}
+
+// TestSketchBackendSelection: Submit echoes backend "sketch" on
+// epsilon requests and stays silent on the exact path; Sigma labels
+// which estimator answered; the shared sketch index cache is built
+// once and then hit.
+func TestSketchBackendSelection(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	p := sampleProblem(t, 80, 3)
+	ctx := context.Background()
+
+	plain, _, err := s.Submit(quickReq(p))
+	if err != nil {
+		t.Fatalf("submit mc: %v", err)
+	}
+	if _, err := plain.Wait(ctx); err != nil {
+		t.Fatalf("mc solve: %v", err)
+	}
+	if b := plain.Snapshot().Backend; b != "" {
+		t.Fatalf("MC job echoes backend %q, want empty (unchanged pre-sketch bytes)", b)
+	}
+
+	r := quickReq(p)
+	// ε = 0.05 → θ ≈ 600 RR samples; coarser sketches can
+	// legitimately score every candidate zero on this tiny sample
+	r.Options.Epsilon = 0.05
+	r.Options.Delta = 0.1
+	j, _, err := s.Submit(r)
+	if err != nil {
+		t.Fatalf("submit sketch: %v", err)
+	}
+	sol, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatalf("sketch solve: %v", err)
+	}
+	if sol == nil || len(sol.Seeds) == 0 {
+		t.Fatal("sketch solve returned no seeds")
+	}
+	if b := j.Snapshot().Backend; b != BackendSketch {
+		t.Fatalf("sketch job echoes backend %q, want %q", b, BackendSketch)
+	}
+	if j.Key() == plain.Key() {
+		t.Fatal("sketch and MC solves share a cache key")
+	}
+
+	seeds := []diffusion.Seed{{User: 0, Item: 0, T: 1}}
+	_, name, err := s.Sigma(ctx, p, seeds, SigmaOptions{MC: 8, Seed: 1, Epsilon: 0.05, Delta: 0.1})
+	if err != nil {
+		t.Fatalf("sketch sigma: %v", err)
+	}
+	if name != BackendSketch {
+		t.Fatalf("sigma backend %q, want %q", name, BackendSketch)
+	}
+	_, name, err = s.Sigma(ctx, p, seeds, SigmaOptions{MC: 8, Seed: 1})
+	if err != nil {
+		t.Fatalf("mc sigma: %v", err)
+	}
+	if name != BackendMC {
+		t.Fatalf("sigma backend %q, want %q", name, BackendMC)
+	}
+
+	// Sigma shares the (ε, δ) gate with Submit.
+	var inputErr *core.InputError
+	if _, _, err := s.Sigma(ctx, p, seeds, SigmaOptions{MC: 8, Seed: 1, Epsilon: -1}); !errors.As(err, &inputErr) || inputErr.Field != "Epsilon" {
+		t.Fatalf("negative epsilon: want InputError{Epsilon}, got %v", err)
+	}
+	if _, _, err := s.Sigma(ctx, p, seeds, SigmaOptions{MC: 8, Seed: 1, Delta: 0.5}); !errors.As(err, &inputErr) || inputErr.Field != "Delta" {
+		t.Fatalf("delta without epsilon: want InputError{Delta}, got %v", err)
+	}
+
+	m := s.Metrics()
+	if m.SketchRequests < 2 {
+		t.Fatalf("sketch_requests = %d, want ≥ 2 (solve + sigma)", m.SketchRequests)
+	}
+	if m.SketchBuilds != 1 {
+		t.Fatalf("sketch_builds = %d, want 1 (index shared across solve and sigma)", m.SketchBuilds)
+	}
+	if m.SketchCacheHits < 1 {
+		t.Fatalf("sketch_cache_hits = %d, want ≥ 1", m.SketchCacheHits)
 	}
 }

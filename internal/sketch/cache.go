@@ -1,0 +1,207 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"imdpp/internal/diffusion"
+)
+
+// Cache shares built sketches across estimators and requests. Entries
+// are keyed by the problem's content address plus the sketch
+// parameters (ε, δ, seed) — the same content-addressing discipline as
+// the serving layer's result cache, but a separate lane: a sketch is
+// an approximation artefact and must never alias an exact MC result
+// (DESIGN.md §9). With a directory configured, built sketches are also
+// persisted in the canonical wire form and reloaded on miss, so a
+// daemon restart (or a worker receiving a shipped index) skips the
+// build.
+type Cache struct {
+	max   int
+	dir   string
+	keyFn func(*diffusion.Problem) string
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	order   []string // LRU order, oldest first
+
+	builds   atomic.Uint64
+	hits     atomic.Uint64
+	diskHits atomic.Uint64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	sk   *Sketch
+	err  error
+}
+
+// NewCache creates a cache holding up to max sketches in memory
+// (max ≤ 0 → 4). dir, when non-empty, enables disk persistence (it is
+// created on first write). keyFn maps a problem to its content
+// address; a nil keyFn disables caching entirely (GetOrBuild just
+// builds), because without a content key two distinct problems could
+// alias.
+func NewCache(max int, dir string, keyFn func(*diffusion.Problem) string) *Cache {
+	if max <= 0 {
+		max = 4
+	}
+	return &Cache{max: max, dir: dir, keyFn: keyFn, entries: make(map[string]*cacheEntry)}
+}
+
+// Stats reports cumulative builds and in-memory hits (a disk reload
+// counts as a build avoided but not an in-memory hit).
+func (c *Cache) Stats() (builds, hits uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.builds.Load(), c.hits.Load()
+}
+
+// key renders the cache identity of one (problem, Params) pair. Float
+// parameters are keyed by their exact bit patterns, so "close" ε
+// values are distinct sketches — approximation parameters are
+// result-relevant and must never alias.
+func (c *Cache) key(problemKey string, par Params) string {
+	return fmt.Sprintf("%s-e%016x-d%016x-s%016x",
+		problemKey, math.Float64bits(par.Epsilon), math.Float64bits(par.Delta), par.Seed)
+}
+
+// GetOrBuild returns the sketch for (p, par), building it at most once
+// per key across concurrent callers. A nil cache (or nil keyFn) builds
+// directly. Build failures — including preemption via stop — are not
+// cached: the entry is removed so the next caller retries.
+func (c *Cache) GetOrBuild(p *diffusion.Problem, par Params, workers int, stop <-chan struct{}) (*Sketch, error) {
+	if c == nil || c.keyFn == nil {
+		return Build(p, par, workers, stop)
+	}
+	par = par.withDefaults()
+	problemKey := c.keyFn(p)
+	key := c.key(problemKey, par)
+
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.order = append(c.order, key)
+		c.evictLocked()
+	} else {
+		c.hits.Add(1)
+		c.touchLocked(key)
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		if sk := c.loadDisk(key, problemKey, par); sk != nil {
+			e.sk = sk
+			c.diskHits.Add(1)
+			return
+		}
+		e.sk, e.err = Build(p, par, workers, stop)
+		if e.err != nil {
+			return
+		}
+		c.builds.Add(1)
+		e.sk.ProblemKey = problemKey
+		c.saveDisk(key, e.sk)
+	})
+	if e.err != nil {
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+			for i, k := range c.order {
+				if k == key {
+					c.order = append(c.order[:i], c.order[i+1:]...)
+					break
+				}
+			}
+		}
+		c.mu.Unlock()
+	}
+	return e.sk, e.err
+}
+
+// touchLocked moves key to the most-recently-used end.
+func (c *Cache) touchLocked(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(append(c.order[:i], c.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// evictLocked drops oldest entries past the size bound. In-flight
+// builds (once not yet completed) are skipped — evicting them would
+// strand waiters on a deleted entry.
+func (c *Cache) evictLocked() {
+	for len(c.entries) > c.max {
+		evicted := false
+		for i, k := range c.order {
+			e := c.entries[k]
+			if e == nil {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				evicted = true
+				break
+			}
+			if e.sk != nil || e.err != nil {
+				delete(c.entries, k)
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// path returns the disk image location of one cache key.
+func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".rrsk") }
+
+// loadDisk attempts a disk reload; any failure (missing, corrupt,
+// mismatched identity) degrades to a rebuild.
+func (c *Cache) loadDisk(key, problemKey string, par Params) *Sketch {
+	if c.dir == "" {
+		return nil
+	}
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil
+	}
+	sk, err := Decode(b)
+	if err != nil {
+		return nil
+	}
+	// self-verify: the decoded identity must match what was asked for,
+	// so a renamed or stale file cannot alias another sketch
+	if sk.ProblemKey != problemKey || sk.Seed != par.Seed ||
+		sk.Epsilon != par.Epsilon || sk.Delta != par.Delta {
+		return nil
+	}
+	return sk
+}
+
+// saveDisk persists a built sketch best-effort (write-then-rename so a
+// crashed write never leaves a truncated image behind). Persistence
+// failures are ignored: the cache is an accelerator, not a store of
+// record.
+func (c *Cache) saveDisk(key string, sk *Sketch) {
+	if c.dir == "" {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	tmp := c.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, sk.AppendBinary(nil), 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, c.path(key))
+}

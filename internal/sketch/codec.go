@@ -1,0 +1,144 @@
+package sketch
+
+import (
+	"fmt"
+
+	"imdpp/internal/wirebin"
+)
+
+// Wire format of a sketch index (internal/wirebin primitives, §8
+// conventions: varint ids, delta-coded ascending lists, tagged
+// floats, allocation guards on every count, and an exact-consumption
+// check so trailing garbage is rejected). The encoding is canonical —
+// equal sketches produce equal bytes — because every list is stored
+// in its sorted canonical order; that is what lets the disk cache
+// address files by content key and tests compare builds bytewise.
+//
+//	magic "RRS1"
+//	u32 users · u32 items · u64 seed
+//	float epsilon · float delta · uvarint theta
+//	float wsum · floats itemW[items]
+//	uvarint len(problemKey) · raw bytes
+//	θ × ( varint target ·
+//	      uvarint pairCount · varint first · uvarint deltas... )
+//
+// Pair keys are strictly ascending within a sample (RR sets are
+// de-duplicated), so every delta is ≥ 1; the decoder enforces that,
+// keeping the encoding bijective.
+
+const magic = "RRS1"
+
+// AppendBinary encodes the sketch in the canonical wire form.
+func (sk *Sketch) AppendBinary(b []byte) []byte {
+	b = append(b, magic...)
+	b = wirebin.AppendU32(b, uint32(sk.Users))
+	b = wirebin.AppendU32(b, uint32(sk.Items))
+	b = wirebin.AppendU64(b, sk.Seed)
+	b = wirebin.AppendFloat(b, sk.Epsilon)
+	b = wirebin.AppendFloat(b, sk.Delta)
+	b = wirebin.AppendUvarint(b, uint64(sk.Theta))
+	b = wirebin.AppendFloat(b, sk.WSum)
+	b = wirebin.AppendFloats(b, sk.ItemW)
+	b = wirebin.AppendUvarint(b, uint64(len(sk.ProblemKey)))
+	b = append(b, sk.ProblemKey...)
+	for i := 0; i < sk.Theta; i++ {
+		b = wirebin.AppendVarint(b, sk.Targets[i])
+		pairs := sk.Pairs[sk.Off[i]:sk.Off[i+1]]
+		b = wirebin.AppendUvarint(b, uint64(len(pairs)))
+		prev := int64(0)
+		for j, k := range pairs {
+			if j == 0 {
+				b = wirebin.AppendVarint(b, k)
+			} else {
+				b = wirebin.AppendUvarint(b, uint64(k-prev))
+			}
+			prev = k
+		}
+	}
+	return b
+}
+
+// Decode parses a sketch image, validating structure and ranges, and
+// rebuilds the coverage index. Corrupt or hostile input fails with a
+// typed error; it never panics or over-allocates.
+func Decode(b []byte) (*Sketch, error) {
+	if len(b) < len(magic) || string(b[:len(magic)]) != magic {
+		return nil, fmt.Errorf("sketch: bad magic")
+	}
+	r := wirebin.NewReader(b[len(magic):])
+	sk := &Sketch{
+		Users:   int(r.U32()),
+		Items:   int(r.U32()),
+		Seed:    r.U64(),
+		Epsilon: r.Float(),
+		Delta:   r.Float(),
+		Theta:   int(r.Uvarint()),
+		WSum:    r.Float(),
+		ItemW:   r.Floats(),
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if sk.Users <= 0 || sk.Items <= 0 {
+		return nil, fmt.Errorf("sketch: bad dimensions %d×%d", sk.Users, sk.Items)
+	}
+	if sk.Theta < 1 {
+		return nil, fmt.Errorf("sketch: theta %d < 1", sk.Theta)
+	}
+	if len(sk.ItemW) != sk.Items {
+		return nil, fmt.Errorf("sketch: itemW len %d != %d items", len(sk.ItemW), sk.Items)
+	}
+	keyLen := r.Count(1)
+	key := make([]byte, 0, keyLen)
+	for i := 0; i < keyLen; i++ {
+		key = append(key, r.U8())
+	}
+	sk.ProblemKey = string(key)
+
+	maxKey := int64(sk.Users) * int64(sk.Items)
+	// per sample at least 2 bytes remain (target varint + count byte)
+	if uint64(sk.Theta) > uint64(r.Len()/2) {
+		return nil, fmt.Errorf("sketch: theta %d exceeds remaining %d bytes", sk.Theta, r.Len())
+	}
+	sk.Targets = make([]int64, sk.Theta)
+	sk.Off = make([]int64, sk.Theta+1)
+	for i := 0; i < sk.Theta; i++ {
+		t := r.Varint()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if t < 0 || t >= maxKey {
+			return nil, fmt.Errorf("sketch: sample %d target %d out of range", i, t)
+		}
+		sk.Targets[i] = t
+		n := r.Count(1)
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		prev := int64(0)
+		for j := 0; j < n; j++ {
+			if j == 0 {
+				prev = r.Varint()
+			} else {
+				d := r.Uvarint()
+				if d == 0 && r.Err() == nil {
+					return nil, fmt.Errorf("sketch: sample %d has non-ascending pair delta", i)
+				}
+				prev += int64(d)
+			}
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			if prev < 0 || prev >= maxKey {
+				return nil, fmt.Errorf("sketch: sample %d pair %d out of range", i, prev)
+			}
+			sk.Pairs = append(sk.Pairs, prev)
+		}
+		sk.Off[i+1] = int64(len(sk.Pairs))
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	sk.buildIndex()
+	return sk, nil
+}
