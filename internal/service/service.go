@@ -107,11 +107,13 @@ type Metrics struct {
 	// the service-level estimator throughput.
 	SamplesPerSec float64 `json:"samples_per_sec"`
 	// Sketch-backend counters: requests that selected the approximate
-	// backend (epsilon set), RR indexes actually built, and in-memory
-	// sketch cache hits.
+	// backend (epsilon set), RR indexes actually built, in-memory
+	// sketch cache hits, and indexes reloaded from the disk spill
+	// (-sketch-dir) instead of rebuilt.
 	SketchRequests  uint64 `json:"sketch_requests"`
 	SketchBuilds    uint64 `json:"sketch_builds"`
 	SketchCacheHits uint64 `json:"sketch_cache_hits"`
+	SketchDiskHits  uint64 `json:"sketch_disk_hits"`
 }
 
 // Service runs campaign solves asynchronously. Create with New,
@@ -501,6 +503,6 @@ func (s *Service) Metrics() Metrics {
 		m.SamplesPerSec = float64(m.SamplesSimulated) / m.SolveSeconds
 	}
 	m.SketchRequests = s.sketchReqs.Load()
-	m.SketchBuilds, m.SketchCacheHits = s.sketchCache.Stats()
+	m.SketchBuilds, m.SketchCacheHits, m.SketchDiskHits = s.sketchCache.Stats()
 	return m
 }

@@ -13,7 +13,7 @@ import (
 
 // Cache shares built sketches across estimators and requests. Entries
 // are keyed by the problem's content address plus the sketch
-// parameters (ε, δ, seed) — the same content-addressing discipline as
+// parameters (ε, δ, seed, MaxTheta) — the same content-addressing discipline as
 // the serving layer's result cache, but a separate lane: a sketch is
 // an approximation artefact and must never alias an exact MC result
 // (DESIGN.md §9). With a directory configured, built sketches are also
@@ -53,22 +53,25 @@ func NewCache(max int, dir string, keyFn func(*diffusion.Problem) string) *Cache
 	return &Cache{max: max, dir: dir, keyFn: keyFn, entries: make(map[string]*cacheEntry)}
 }
 
-// Stats reports cumulative builds and in-memory hits (a disk reload
-// counts as a build avoided but not an in-memory hit).
-func (c *Cache) Stats() (builds, hits uint64) {
+// Stats reports cumulative builds, in-memory hits, and disk reloads.
+// A disk reload avoids a build but counts as neither a build nor an
+// in-memory hit — diskHits is the only trace it leaves.
+func (c *Cache) Stats() (builds, hits, diskHits uint64) {
 	if c == nil {
-		return 0, 0
+		return 0, 0, 0
 	}
-	return c.builds.Load(), c.hits.Load()
+	return c.builds.Load(), c.hits.Load(), c.diskHits.Load()
 }
 
 // key renders the cache identity of one (problem, Params) pair. Float
 // parameters are keyed by their exact bit patterns, so "close" ε
 // values are distinct sketches — approximation parameters are
-// result-relevant and must never alias.
+// result-relevant and must never alias. MaxTheta participates too
+// (post-withDefaults): once the cap binds it changes θ, and a sketch
+// built under a lower cap must not satisfy a higher-cap contract.
 func (c *Cache) key(problemKey string, par Params) string {
-	return fmt.Sprintf("%s-e%016x-d%016x-s%016x",
-		problemKey, math.Float64bits(par.Epsilon), math.Float64bits(par.Delta), par.Seed)
+	return fmt.Sprintf("%s-e%016x-d%016x-s%016x-t%x",
+		problemKey, math.Float64bits(par.Epsilon), math.Float64bits(par.Delta), par.Seed, par.MaxTheta)
 }
 
 // GetOrBuild returns the sketch for (p, par), building it at most once
@@ -180,9 +183,12 @@ func (c *Cache) loadDisk(key, problemKey string, par Params) *Sketch {
 		return nil
 	}
 	// self-verify: the decoded identity must match what was asked for,
-	// so a renamed or stale file cannot alias another sketch
+	// so a renamed or stale file cannot alias another sketch. θ is
+	// checked against the capped bound because MaxTheta is not stored
+	// in the image — a file built under a different cap must rebuild.
 	if sk.ProblemKey != problemKey || sk.Seed != par.Seed ||
-		sk.Epsilon != par.Epsilon || sk.Delta != par.Delta {
+		sk.Epsilon != par.Epsilon || sk.Delta != par.Delta ||
+		sk.Theta != par.theta() {
 		return nil
 	}
 	return sk

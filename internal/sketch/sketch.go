@@ -71,7 +71,25 @@ func Theta(epsilon, delta float64) int {
 	if t < 1 {
 		return 1
 	}
+	// float→int conversion is implementation-defined once t exceeds
+	// MaxInt (MinInt on amd64) — a tiny ε would then slip past Build's
+	// MaxTheta cap as a negative θ. Clamp on the float side first; the
+	// comparison bound is exact because float64(MaxInt) is 2⁶³.
+	if t >= float64(math.MaxInt) {
+		return math.MaxInt
+	}
 	return int(t)
+}
+
+// theta returns the capped sample count Build uses for par
+// (withDefaults applied by the caller): Theta(ε, δ) bounded by
+// MaxTheta, with 0 still signalling invalid (ε, δ).
+func (par Params) theta() int {
+	t := Theta(par.Epsilon, par.Delta)
+	if t > par.MaxTheta {
+		t = par.MaxTheta
+	}
+	return t
 }
 
 // Sketch is one immutable RR-sample index for one problem. Exported
@@ -152,12 +170,9 @@ func (sk *Sketch) buildIndex() {
 // preempts the build (ErrPreempted).
 func Build(p *diffusion.Problem, par Params, workers int, stop <-chan struct{}) (*Sketch, error) {
 	par = par.withDefaults()
-	theta := Theta(par.Epsilon, par.Delta)
+	theta := par.theta()
 	if theta == 0 {
 		return nil, errors.New("sketch: need epsilon > 0 and delta in (0,1)")
-	}
-	if theta > par.MaxTheta {
-		theta = par.MaxTheta
 	}
 	n := p.NumUsers()
 	items := p.NumItems()

@@ -3,6 +3,7 @@ package sketch
 import (
 	"bytes"
 	"math"
+	"os"
 	"testing"
 
 	"imdpp/internal/dataset"
@@ -26,6 +27,14 @@ func TestTheta(t *testing.T) {
 	for _, bad := range [][2]float64{{0, 0.05}, {-0.1, 0.05}, {0.1, 0}, {0.1, 1}, {0.1, -0.5}, {math.NaN(), 0.05}, {0.1, math.NaN()}} {
 		if got := Theta(bad[0], bad[1]); got != 0 {
 			t.Fatalf("Theta(%v, %v) = %d, want 0 for invalid input", bad[0], bad[1], got)
+		}
+	}
+	// Tiny (but valid) ε must clamp, not overflow the int conversion:
+	// an unclamped float→int is MinInt on amd64, which skipped Build's
+	// MaxTheta cap and panicked in make.
+	for _, eps := range []float64{1e-12, math.SmallestNonzeroFloat64} {
+		if got := Theta(eps, 0.05); got != math.MaxInt {
+			t.Fatalf("Theta(%v, 0.05) = %d, want MaxInt clamp", eps, got)
 		}
 	}
 }
@@ -72,6 +81,15 @@ func TestBuildValidation(t *testing.T) {
 	}
 	if sk.Theta != 64 {
 		t.Fatalf("MaxTheta cap ignored: θ = %d, want 64", sk.Theta)
+	}
+	// ε small enough to overflow Theta's int conversion must still land
+	// on the cap instead of panicking in make([]int64, θ).
+	sk, err = Build(p, Params{Epsilon: 1e-12, Delta: 0.05, Seed: 1, MaxTheta: 16}, 2, nil)
+	if err != nil {
+		t.Fatalf("overflow-ε build: %v", err)
+	}
+	if sk.Theta != 16 {
+		t.Fatalf("overflow-ε θ = %d, want 16", sk.Theta)
 	}
 }
 
@@ -233,15 +251,17 @@ func TestCacheSingleflightAndDistinctKeys(t *testing.T) {
 	if sk1 != sk2 {
 		t.Fatal("identical parameters did not share one sketch")
 	}
-	if builds, hits := c.Stats(); builds != 1 || hits != 1 {
+	if builds, hits, _ := c.Stats(); builds != 1 || hits != 1 {
 		t.Fatalf("stats = (%d builds, %d hits), want (1, 1)", builds, hits)
 	}
 
-	// Every (ε, δ, seed) perturbation is its own cache identity.
+	// Every (ε, δ, seed, MaxTheta) perturbation is its own cache
+	// identity — including the cap, which changes θ once it binds.
 	for _, par2 := range []Params{
 		{Epsilon: 0.2, Delta: 0.1, Seed: 1},
 		{Epsilon: 0.1, Delta: 0.2, Seed: 1},
 		{Epsilon: 0.1, Delta: 0.1, Seed: 2},
+		{Epsilon: 0.1, Delta: 0.1, Seed: 1, MaxTheta: 32},
 	} {
 		skN, err := c.GetOrBuild(p, par2, 1, nil)
 		if err != nil {
@@ -251,8 +271,8 @@ func TestCacheSingleflightAndDistinctKeys(t *testing.T) {
 			t.Fatalf("%+v aliased the (0.1, 0.1, 1) sketch", par2)
 		}
 	}
-	if builds, _ := c.Stats(); builds != 4 {
-		t.Fatalf("builds = %d, want 4", builds)
+	if builds, _, _ := c.Stats(); builds != 5 {
+		t.Fatalf("builds = %d, want 5", builds)
 	}
 }
 
@@ -274,8 +294,8 @@ func TestCacheDiskRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("disk load: %v", err)
 	}
-	if builds, _ := c2.Stats(); builds != 0 {
-		t.Fatalf("disk reload counted as build (builds = %d)", builds)
+	if builds, _, diskHits := c2.Stats(); builds != 0 || diskHits != 1 {
+		t.Fatalf("disk reload stats = (%d builds, %d diskHits), want (0, 1)", builds, diskHits)
 	}
 	if !bytes.Equal(sk1.AppendBinary(nil), sk2.AppendBinary(nil)) {
 		t.Fatal("disk round-trip changed sketch bytes")
@@ -287,8 +307,30 @@ func TestCacheDiskRoundTrip(t *testing.T) {
 	if _, err := c3.GetOrBuild(p, par, 1, nil); err != nil {
 		t.Fatalf("build under other key: %v", err)
 	}
-	if builds, _ := c3.Stats(); builds != 1 {
+	if builds, _, _ := c3.Stats(); builds != 1 {
 		t.Fatalf("foreign key should rebuild, builds = %d", builds)
+	}
+
+	// A file renamed onto a different-cap key must fail the θ
+	// self-verify and rebuild: its sample count satisfies a different
+	// contract than the one being asked for.
+	capped := Params{Epsilon: 0.1, Delta: 0.1, Seed: 9, MaxTheta: 32}
+	c4 := NewCache(2, dir, keyFn)
+	if err := os.Rename(
+		c4.path(c4.key("pk", par.withDefaults())),
+		c4.path(c4.key("pk", capped.withDefaults())),
+	); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	sk4, err := c4.GetOrBuild(p, capped, 1, nil)
+	if err != nil {
+		t.Fatalf("capped build: %v", err)
+	}
+	if sk4.Theta != 32 {
+		t.Fatalf("capped θ = %d, want 32 (stale uncapped image accepted?)", sk4.Theta)
+	}
+	if builds, _, diskHits := c4.Stats(); builds != 1 || diskHits != 0 {
+		t.Fatalf("mismatched-θ image stats = (%d builds, %d diskHits), want (1, 0)", builds, diskHits)
 	}
 }
 
