@@ -3,7 +3,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race bench fmt fmt-check vet lint smoke serve-smoke shard-smoke sketch-smoke docs-check bench-diff fuzz
+.PHONY: all build test race bench fmt fmt-check vet lint smoke serve-smoke shard-smoke sketch-smoke gridcache-smoke docs-check bench-diff fuzz
 
 all: build test
 
@@ -70,6 +70,14 @@ sketch-smoke:
 	$(GO) run ./cmd/imdppbench -fig sketch -scale 0.5 -evalmc 48 -sketchout BENCH_sketch.json
 	@test -s BENCH_sketch.json && echo "BENCH_sketch.json written"
 
+# Sample-grid memoization smoke (DESIGN.md §10): one CELF-heavy solve
+# cold (empty grid cache) and once warm, asserting bit-identical
+# results and a ≥1.5× warm speedup, appending the speedup/hit-rate
+# record to BENCH_gridcache.json.
+gridcache-smoke:
+	$(GO) run ./cmd/imdppbench -fig gridcache -preset Amazon -scale 0.05 -mc 8 -gridout BENCH_gridcache.json
+	@test -s BENCH_gridcache.json && echo "BENCH_gridcache.json written"
+
 # Docs lint: internal/* doc.go package comments present, DESIGN.md §
 # anchors referenced from code exist, README documents every imdppd
 # route. --self-test proves the gate can fail.
@@ -81,13 +89,14 @@ docs-check:
 # samples_per_sec in a bench record dropped >10% against the previous
 # one (CI artifact via BENCH_PREV_DIR, else HEAD, else in-file).
 bench-diff:
-	./scripts/bench_diff.sh BENCH_solve.json BENCH_serve.json BENCH_shard.json BENCH_sketch.json
+	./scripts/bench_diff.sh BENCH_solve.json BENCH_serve.json BENCH_shard.json BENCH_sketch.json BENCH_gridcache.json
 
 # Short fuzz pass over every wire-codec decoder (the seed corpora are
 # committed under */testdata/fuzz).
 fuzz:
 	$(GO) test ./internal/wirebin -run '^FuzzReader$$' -fuzz '^FuzzReader$$' -fuzztime 10s
 	$(GO) test ./internal/diffusion -run '^FuzzSampleGridCodec$$' -fuzz '^FuzzSampleGridCodec$$' -fuzztime 10s
+	$(GO) test ./internal/gridcache -run '^FuzzGroupKeyCodec$$' -fuzz '^FuzzGroupKeyCodec$$' -fuzztime 10s
 	$(GO) test ./internal/graph -run '^FuzzDecodeBinaryExport$$' -fuzz '^FuzzDecodeBinaryExport$$' -fuzztime 10s
 	$(GO) test ./internal/shard -run '^FuzzDecodeProblemUploadBinary$$' -fuzz '^FuzzDecodeProblemUploadBinary$$' -fuzztime 10s
 	$(GO) test ./internal/shard -run '^FuzzDecodeEstimateResponseBinary$$' -fuzz '^FuzzDecodeEstimateResponseBinary$$' -fuzztime 10s

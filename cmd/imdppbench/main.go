@@ -10,12 +10,17 @@
 //	imdppbench -fig solve              # solver bench → BENCH_solve.json
 //	imdppbench -fig shard -codec both  # shard wire/plan bench → BENCH_shard.json
 //	imdppbench -fig sketch             # RR-sketch (ε, δ) harness → BENCH_sketch.json
+//	imdppbench -fig gridcache          # grid-cache cold/warm bench → BENCH_gridcache.json
 //
 // Figure ids: tables, 8a, 8b, 9, 9h, 10, 11, 12, 13, 14, case, solve,
-// shard, sketch.
+// shard, sketch, gridcache.
 //
-// The solve, shard and sketch ids are not part of 'all': solve runs
-// one Dysim Solve on a preset (-preset/-budget/-T) and writes
+// The solve, shard, sketch and gridcache ids are not part of 'all':
+// gridcache runs one CELF-heavy solve cold (empty sample-grid cache)
+// and once warm (same cache), asserts the two are bit-identical and
+// the warm one ≥1.5× faster, and appends the speedup/hit-rate record
+// to -gridout (DESIGN.md §10); solve runs one Dysim Solve on a preset
+// (-preset/-budget/-T) and writes
 // machine-readable phase timings, estimator throughput (samples/sec)
 // and σ to -benchout; shard boots an in-process worker fleet and
 // drives a CELF-shaped batched-estimation workload through the shard
@@ -45,6 +50,8 @@ import (
 	"imdpp/internal/dataset"
 	"imdpp/internal/diffusion"
 	"imdpp/internal/exp"
+	"imdpp/internal/gridcache"
+	"imdpp/internal/service"
 	"imdpp/internal/shard"
 	"imdpp/internal/sketch"
 )
@@ -66,6 +73,7 @@ func main() {
 	epsilon := flag.Float64("epsilon", 0.05, "-fig sketch: additive accuracy ε of the (ε, δ) contract")
 	delta := flag.Float64("delta", 0.05, "-fig sketch: failure probability δ of the (ε, δ) contract")
 	sketchout := flag.String("sketchout", "BENCH_sketch.json", "append path of the -fig sketch JSON records")
+	gridout := flag.String("gridout", "BENCH_gridcache.json", "append path of the -fig gridcache JSON records")
 	flag.Parse()
 
 	cfg := exp.Config{
@@ -180,6 +188,140 @@ func main() {
 		}
 		fmt.Printf("[sketch done in %v]\n", time.Since(start).Round(time.Millisecond))
 	}
+	if want["gridcache"] {
+		start := time.Now()
+		if err := gridcacheBench(*preset, *scale, *budget, *promos, *solverMC, *seed, *gridout); err != nil {
+			fmt.Fprintf(os.Stderr, "gridcache: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[gridcache done in %v]\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// gridReport is one appended line of the sample-grid memoization
+// trajectory (BENCH_gridcache.json): the cold and warm wall times of
+// one identical CELF-heavy solve, the cache's hit rate over the warm
+// pass and the simulations it saved. samples_per_sec carries the warm
+// pass's effective throughput — (simulated + cache-served) samples per
+// second — so scripts/bench_diff.sh can diff it like the other
+// trajectories; the speedup must clear 1.5× or the bench fails.
+type gridReport struct {
+	TS     int64   `json:"ts"`
+	Bench  string  `json:"bench"`
+	Preset string  `json:"preset"`
+	Scale  float64 `json:"scale"`
+	Budget float64 `json:"budget"`
+	T      int     `json:"t"`
+	MC     int     `json:"mc"`
+	Seed   uint64  `json:"seed"`
+
+	ColdMS        float64 `json:"cold_ms"`
+	WarmMS        float64 `json:"warm_ms"`
+	Speedup       float64 `json:"speedup"`
+	HitRate       float64 `json:"hit_rate"`
+	Hits          uint64  `json:"hits"`
+	Lookups       uint64  `json:"lookups"`
+	SamplesSaved  uint64  `json:"samples_saved"`
+	CacheBytes    int64   `json:"cache_bytes"`
+	CacheEntries  int     `json:"cache_entries"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	Sigma         float64 `json:"sigma"`
+}
+
+// gridcacheBench measures the DESIGN.md §10 win end to end: the same
+// CELF-heavy solve once against an empty shared grid cache (cold —
+// simulating and committing every grid) and once against the warm
+// cache (served from memory). The §3 determinism contract makes the
+// two bit-comparable, so the bench asserts bit-identical σ and seed
+// schedules before trusting the timings, then asserts the warm pass
+// ≥1.5× faster and appends the record to out.
+func gridcacheBench(preset string, scale, budget float64, T, mc int, seed uint64, out string) error {
+	builders := map[string]func(dataset.Scale) (*dataset.Dataset, error){
+		"Amazon": dataset.Amazon, "Yelp": dataset.Yelp,
+		"Douban": dataset.Douban, "Gowalla": dataset.Gowalla,
+	}
+	build, ok := builders[preset]
+	if !ok {
+		return fmt.Errorf("unknown preset %q", preset)
+	}
+	d, err := build(dataset.Scale(scale))
+	if err != nil {
+		return err
+	}
+	p := d.Clone(budget, T)
+
+	cache := gridcache.New(gridcache.Config{
+		KeyFn: func(p *diffusion.Problem) string { return service.HashProblem(p).String() },
+	})
+	opt := core.Options{MC: mc, Seed: seed, GridCache: cache}
+
+	coldStart := time.Now()
+	cold, err := core.Solve(p, opt)
+	if err != nil {
+		return err
+	}
+	coldElapsed := time.Since(coldStart)
+	preWarm := cache.Stats()
+
+	warmStart := time.Now()
+	warm, err := core.Solve(p, opt)
+	if err != nil {
+		return err
+	}
+	warmElapsed := time.Since(warmStart)
+	st := cache.Stats()
+
+	if math.Float64bits(cold.Sigma) != math.Float64bits(warm.Sigma) {
+		return fmt.Errorf("warm solve σ %v != cold %v — the cache changed bits", warm.Sigma, cold.Sigma)
+	}
+	if len(cold.Seeds) != len(warm.Seeds) {
+		return fmt.Errorf("warm solve picked %d seeds, cold %d", len(warm.Seeds), len(cold.Seeds))
+	}
+	for i := range cold.Seeds {
+		if cold.Seeds[i] != warm.Seeds[i] {
+			return fmt.Errorf("warm seed %d %+v != cold %+v", i, warm.Seeds[i], cold.Seeds[i])
+		}
+	}
+
+	warmLookups := st.Lookups - preWarm.Lookups
+	warmHits := st.Hits - preWarm.Hits
+	rep := gridReport{
+		TS: time.Now().Unix(), Bench: "gridcache", Preset: preset, Scale: scale,
+		Budget: budget, T: T, MC: mc, Seed: seed,
+		ColdMS:       float64(coldElapsed.Microseconds()) / 1e3,
+		WarmMS:       float64(warmElapsed.Microseconds()) / 1e3,
+		Hits:         warmHits,
+		Lookups:      warmLookups,
+		SamplesSaved: st.SamplesSaved - preWarm.SamplesSaved,
+		CacheBytes:   st.Bytes,
+		CacheEntries: st.Entries,
+		Sigma:        warm.Sigma,
+	}
+	if warmLookups > 0 {
+		rep.HitRate = float64(warmHits) / float64(warmLookups)
+	}
+	if secs := warmElapsed.Seconds(); secs > 0 {
+		rep.SamplesPerSec = float64(warm.Stats.SamplesSimulated+rep.SamplesSaved) / secs
+	}
+	if rep.WarmMS > 0 {
+		rep.Speedup = rep.ColdMS / rep.WarmMS
+	}
+	if rep.Speedup < 1.5 {
+		return fmt.Errorf("warm solve only %.2f× faster than cold (want ≥1.5×): cold %.0fms warm %.0fms hit rate %.0f%%",
+			rep.Speedup, rep.ColdMS, rep.WarmMS, 100*rep.HitRate)
+	}
+
+	f, err := os.OpenFile(out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := json.NewEncoder(f).Encode(rep); err != nil {
+		return err
+	}
+	fmt.Printf("gridcache: preset=%s scale=%g cold=%.0fms warm=%.0fms speedup=%.1f× hit-rate=%.0f%% saved=%d samples → %s\n",
+		preset, scale, rep.ColdMS, rep.WarmMS, rep.Speedup, 100*rep.HitRate, rep.SamplesSaved, out)
+	return nil
 }
 
 // shardReport is one appended line of the shard wire/planning

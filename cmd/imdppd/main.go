@@ -61,6 +61,8 @@ func main() {
 	shardWeighted := flag.Bool("shard-weighted", true, "size shard ranges proportionally to measured worker throughput")
 	shardSpec := flag.Bool("shard-speculate", true, "speculatively re-dispatch straggler shards to idle workers")
 	sketchDir := flag.String("sketch-dir", "", "directory persisting RR sketch indexes across restarts (empty = memory only)")
+	gridMB := flag.Int("grid-cache-mb", 64, "in-memory sample-grid memoization cache bound in MiB (0 disables); shared across jobs, and by each -worker across estimate requests")
+	gridDir := flag.String("grid-cache-dir", "", "directory spilling committed sample grids to disk (empty = memory only)")
 	flag.Parse()
 
 	var handler http.Handler
@@ -70,7 +72,7 @@ func main() {
 		if *shardWorkers != "" {
 			log.Fatal("imdppd: -worker and -shard-workers are mutually exclusive")
 		}
-		w := newWorkerDaemon(*solveWorkers)
+		w := newWorkerDaemon(*solveWorkers, *gridMB, *gridDir)
 		handler = w.handler()
 		cleanup = func() {}
 	default:
@@ -80,6 +82,11 @@ func main() {
 			CacheSize:    *cacheSize,
 			SolveWorkers: *solveWorkers,
 			SketchDir:    *sketchDir,
+			GridCacheMB:  *gridMB,
+			GridCacheDir: *gridDir,
+		}
+		if *gridMB <= 0 {
+			cfg.GridCacheMB = -1 // flag 0 means off; Config 0 means default
 		}
 		var pool *imdpp.ShardPool
 		if *shardWorkers != "" {
@@ -172,9 +179,13 @@ type workerDaemon struct {
 	start time.Time
 }
 
-func newWorkerDaemon(solveWorkers int) *workerDaemon {
+func newWorkerDaemon(solveWorkers, gridMB int, gridDir string) *workerDaemon {
+	cfg := imdpp.ShardWorkerConfig{Workers: solveWorkers}
+	if gridMB > 0 {
+		cfg.Grid = imdpp.NewGridCache(gridMB, gridDir)
+	}
 	return &workerDaemon{
-		w:     imdpp.NewShardWorker(imdpp.ShardWorkerConfig{Workers: solveWorkers}),
+		w:     imdpp.NewShardWorker(cfg),
 		start: time.Now(),
 	}
 }

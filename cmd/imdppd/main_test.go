@@ -267,8 +267,8 @@ func TestDaemonCancelFinishedJobConflict(t *testing.T) {
 // is bit-identical to a plain local daemon's — the shard-smoke contract
 // in-process.
 func TestDaemonShardedCoordinator(t *testing.T) {
-	w1 := httptest.NewServer(newWorkerDaemon(2).handler())
-	w2 := httptest.NewServer(newWorkerDaemon(2).handler())
+	w1 := httptest.NewServer(newWorkerDaemon(2, 16, "").handler())
+	w2 := httptest.NewServer(newWorkerDaemon(2, 16, "").handler())
 	t.Cleanup(w1.Close)
 	t.Cleanup(w2.Close)
 
@@ -420,14 +420,91 @@ func TestDaemonSketchBackend(t *testing.T) {
 	}
 
 	var m struct {
-		SketchRequests  uint64 `json:"sketch_requests"`
-		SketchBuilds    uint64 `json:"sketch_builds"`
-		SketchCacheHits uint64 `json:"sketch_cache_hits"`
+		Sketch struct {
+			Requests uint64 `json:"requests"`
+			Builds   uint64 `json:"builds"`
+		} `json:"sketch"`
 	}
 	if code := getJSON(t, srv.URL+"/metrics", &m); code != http.StatusOK {
 		t.Fatalf("metrics: status %d", code)
 	}
-	if m.SketchRequests < 2 || m.SketchBuilds < 1 {
+	if m.Sketch.Requests < 2 || m.Sketch.Builds < 1 {
 		t.Fatalf("sketch counters not moving: %+v", m)
 	}
+}
+
+// TestDaemonMetricsSchema pins the full /metrics document shape once:
+// the exact top-level key set and the nested sketch/grid counter
+// objects (satellite of the §10 PR — sketch and grid counters nest
+// like the "shard" object instead of spreading flat keys).
+func TestDaemonMetricsSchema(t *testing.T) {
+	_, srv := newTestDaemon(t)
+
+	// run one solve and two identical sigma evaluations so every
+	// counter family has a chance to move (grid hits included)
+	sigma := `{"dataset":"sample","budget":80,"t":3,"mc":32,"seed":5,"seeds":[{"user":0,"item":0,"t":1}]}`
+	for i := 0; i < 2; i++ {
+		if code := postJSON(t, srv.URL+"/v1/sigma", sigma, nil); code != http.StatusOK {
+			t.Fatalf("sigma %d: status %d", i, code)
+		}
+	}
+
+	var doc map[string]json.RawMessage
+	if code := getJSON(t, srv.URL+"/metrics", &doc); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	want := []string{
+		"jobs_submitted", "jobs_completed", "jobs_failed", "jobs_cancelled",
+		"cache_hits", "cache_misses", "coalesced", "cache_entries",
+		"queue_depth", "running", "samples_simulated", "solve_seconds",
+		"samples_per_sec", "sketch", "grid",
+		"solve_workers", "datasets_cached", "uptime_seconds",
+	}
+	for _, k := range want {
+		if _, ok := doc[k]; !ok {
+			t.Errorf("metrics missing key %q", k)
+		}
+	}
+	for got := range doc {
+		found := false
+		for _, k := range append(want, "shard") {
+			if got == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("metrics has unexpected key %q", got)
+		}
+	}
+
+	var nested struct {
+		Sketch map[string]uint64 `json:"sketch"`
+		Grid   map[string]any    `json:"grid"`
+	}
+	if err := json.Unmarshal(mustMarshal(t, doc), &nested); err != nil {
+		t.Fatalf("decode nested: %v", err)
+	}
+	for _, k := range []string{"requests", "builds", "cache_hits", "disk_hits"} {
+		if _, ok := nested.Sketch[k]; !ok {
+			t.Errorf("sketch object missing %q", k)
+		}
+	}
+	for _, k := range []string{"lookups", "hits", "disk_hits", "singleflights", "evictions", "bytes", "entries", "samples_saved"} {
+		if _, ok := nested.Grid[k]; !ok {
+			t.Errorf("grid object missing %q", k)
+		}
+	}
+	if hits, ok := nested.Grid["hits"].(float64); !ok || hits < 1 {
+		t.Errorf("identical sigma evaluations produced no grid hits: %v", nested.Grid["hits"])
+	}
+}
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }

@@ -37,6 +37,7 @@ import (
 	"imdpp/internal/dataset"
 	"imdpp/internal/diffusion"
 	"imdpp/internal/exp"
+	"imdpp/internal/gridcache"
 	"imdpp/internal/service"
 	"imdpp/internal/shard"
 	"imdpp/internal/sketch"
@@ -310,6 +311,36 @@ var (
 	// NewShardEstimator creates one sharded estimator directly.
 	NewShardEstimator = shard.NewEstimator
 )
+
+// Sample-grid memoization (package gridcache, DESIGN.md §10): a
+// bounded, byte-accounted cache of raw per-sample outcome grids keyed
+// by (problem, seed, sample range, canonical seed group). Because a
+// sample grid is a pure function of those coordinates (§3), a cached
+// grid is a bit-exact substitute for re-simulation — CELF waves,
+// repeated jobs and shard re-dispatch reuse each other's work.
+type (
+	// GridCache memoizes raw sample grids across solves.
+	GridCache = gridcache.Cache
+	// GridCacheConfig sizes a GridCache.
+	GridCacheConfig = gridcache.Config
+	// GridCacheStats is the cache counter snapshot (/metrics "grid").
+	GridCacheStats = gridcache.Stats
+)
+
+// NewGridCache creates a sample-grid cache bounded at maxMB MiB
+// (0 → 64), spilling committed grids under dir when non-empty. Plug it
+// into Options.GridCache, ServiceConfig (via GridCacheMB/GridCacheDir)
+// or ShardWorkerConfig.Grid.
+func NewGridCache(maxMB int, dir string) *GridCache {
+	if maxMB <= 0 {
+		maxMB = 64
+	}
+	return gridcache.New(gridcache.Config{
+		MaxBytes: int64(maxMB) << 20,
+		Dir:      dir,
+		KeyFn:    func(p *diffusion.Problem) string { return service.HashProblem(p).String() },
+	})
+}
 
 // Approximate estimation (package sketch, DESIGN.md §9): a reverse-
 // reachable-sketch backend answering σ queries by coverage counting

@@ -131,6 +131,7 @@ func SolveAdaptiveCtx(ctx context.Context, p *diffusion.Problem, opt Options) (S
 		return Solution{}, err
 	}
 	s.stats.SamplesSimulated = s.est.SamplesDone() + s.estSI.SamplesDone()
+	s.collectGridStats()
 	s.stats.StateBytesPerWorker = max(s.est.StateBytes(), s.estSI.StateBytes())
 	sol := Solution{Seeds: all, Cost: p.SeedCost(all), Sigma: sigma, Stats: s.stats}
 	return sol, nil

@@ -6,6 +6,7 @@ import (
 
 	"imdpp/internal/cluster"
 	"imdpp/internal/diffusion"
+	"imdpp/internal/gridcache"
 	"imdpp/internal/sketch"
 )
 
@@ -84,6 +85,17 @@ type Options struct {
 	// in (0, 1); 0 with Epsilon set selects the default 0.05. Only
 	// meaningful alongside Epsilon.
 	Delta float64
+	// GridCache, when non-nil, memoizes raw per-sample outcome grids
+	// across CELF waves and solver runs (internal/gridcache,
+	// DESIGN.md §10): repeated (problem, seed, sample-range, group)
+	// evaluations are served from the cache instead of re-simulated.
+	// Memoization is exact under the §3 determinism contract —
+	// cache-on and cache-off solves are bit-identical — so, like
+	// Workers and Backend, GridCache is result-invariant and excluded
+	// from the serving layer's content-address hash. The serving layer
+	// wires one shared cache per daemon; library callers may pass
+	// their own or leave it nil.
+	GridCache *gridcache.Cache
 	// Backend, when non-nil, constructs the σ/π estimation backend the
 	// solver runs over — e.g. a sharded remote-worker estimator
 	// (internal/shard) instead of the in-process batch engine. Every
@@ -183,6 +195,14 @@ type Stats struct {
 	// footprint observed across the solver's estimators (sparse State
 	// layout: scales with cascade size, not |V|·|I|).
 	StateBytesPerWorker uint64 `json:"state_bytes_per_worker"`
+	// GridHits counts group evaluations served from the sample-grid
+	// memoization cache (Options.GridCache) instead of simulated;
+	// SamplesSaved is the campaign simulations those hits avoided.
+	// Both are zero without a cache. They describe effort, not the
+	// answer: cache-on and cache-off solves are bit-identical apart
+	// from these counters and the timings.
+	GridHits     uint64 `json:"grid_hits,omitempty"`
+	SamplesSaved uint64 `json:"samples_saved,omitempty"`
 }
 
 // Solution is the output of a solver run. JSON field names are a
@@ -216,7 +236,45 @@ func newSolver(ctx context.Context, p *diffusion.Problem, opt Options) *solver {
 	s.est.Bind(ctx)
 	s.estSI = backend(p, opt.MCSI, opt.Seed+0x9e37, opt.Workers)
 	s.estSI.Bind(ctx)
+	AttachGridCache(s.est, p, opt.GridCache)
+	AttachGridCache(s.estSI, p, opt.GridCache)
 	return s
+}
+
+// gridStatser is the optional estimator face reporting cache-served
+// work, implemented by every backend that can host a grid view.
+type gridStatser interface {
+	GridStats() (hits, samplesSaved uint64)
+}
+
+// AttachGridCache wires a sample-grid memoization view for p into an
+// estimator: directly for the in-process engine, via the optional
+// AttachGrid face for wrapping backends (sharded, sketch) that host
+// an embedded engine. A nil cache, a cache without a key function, or
+// a backend with no attachment surface all leave est untouched.
+func AttachGridCache(est Estimator, p *diffusion.Problem, c *gridcache.Cache) {
+	v := c.View(p)
+	if v == nil {
+		return
+	}
+	switch t := est.(type) {
+	case *diffusion.Estimator:
+		t.Grid = v
+	case interface{ AttachGrid(diffusion.GridCache) }:
+		t.AttachGrid(v)
+	}
+}
+
+// collectGridStats folds the estimators' cache-served counters into
+// the run's Stats, tolerating backends without the optional face.
+func (s *solver) collectGridStats() {
+	for _, est := range []Estimator{s.est, s.estSI} {
+		if gs, ok := est.(gridStatser); ok {
+			h, sv := gs.GridStats()
+			s.stats.GridHits += h
+			s.stats.SamplesSaved += sv
+		}
+	}
 }
 
 // err reports the solver's cancellation state. Every selection /

@@ -95,6 +95,7 @@ func SolveCtx(ctx context.Context, p *diffusion.Problem, opt Options) (Solution,
 
 	s.stats.TotalTime = time.Since(start)
 	s.stats.SamplesSimulated = s.est.SamplesDone() + s.estSI.SamplesDone()
+	s.collectGridStats()
 	s.stats.StateBytesPerWorker = max(s.est.StateBytes(), s.estSI.StateBytes())
 	sol := Solution{
 		Seeds: all,

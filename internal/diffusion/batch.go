@@ -50,7 +50,22 @@ func (e *Estimator) getSlots() []sampleSlot {
 	return make([]sampleSlot, e.M)
 }
 
+// maxRetainedSlotCap bounds the sparse-row capacity a pooled slot may
+// keep between batches. Slot backing arrays grow to the largest
+// cascade they ever recorded, and the pool lives as long as the
+// estimator — without a bound, one pathological batch would pin
+// (workers × M × largest-cascade) memory for the estimator's lifetime.
+// 1024 entries (~12 KiB per slot) covers typical cascades; rarer giant
+// ones just reallocate.
+const maxRetainedSlotCap = 1024
+
 func (e *Estimator) putSlots(s []sampleSlot) {
+	for i := range s {
+		if cap(s[i].items) > maxRetainedSlotCap || cap(s[i].counts) > maxRetainedSlotCap {
+			s[i].items = nil
+			s[i].counts = nil
+		}
+	}
 	e.mu.Lock()
 	e.slotFree = append(e.slotFree, s)
 	e.mu.Unlock()
@@ -98,6 +113,19 @@ func (e *Estimator) runBatch(groups [][]Seed, maskOf func(int) []bool, withPi bo
 	out := make([]Estimate, k)
 	if k == 0 {
 		return out
+	}
+	if e.Grid != nil {
+		// memoized path (DESIGN.md §10): resolve the full sample range
+		// through the grid cache and reduce with the same canonical
+		// sample-order fold the slot path uses — ReduceSampleGrid over
+		// RunBatchSamples is golden-pinned bit-identical to the direct
+		// engine, so cache-on results equal cache-off results exactly.
+		masks := make([][]bool, k)
+		for g := range masks {
+			masks[g] = maskOf(g)
+		}
+		grid := e.cachedSamples(groups, nil, masks, withPi, 0, e.M)
+		return ReduceSampleGrid(grid, e.P.NumItems())
 	}
 	m := e.M
 	units := k * m

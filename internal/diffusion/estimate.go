@@ -36,11 +36,21 @@ type Estimator struct {
 	Seed    uint64
 	Workers int // 0 → GOMAXPROCS
 
+	// Grid, when non-nil, memoizes raw per-sample outcome grids per
+	// evaluation group (DESIGN.md §10): runBatch and RunBatchSamples
+	// serve repeated (seed, sample-range, group) units from the cache
+	// instead of re-simulating, bit-identically — the reduction of a
+	// cached grid is the same canonical sample-order fold. Attach via
+	// gridcache.Cache.View; must not change mid-evaluation.
+	Grid GridCache
+
 	mu       sync.Mutex
 	states   []*State
 	slotFree [][]sampleSlot
 
-	samples atomic.Uint64 // campaigns simulated, for throughput stats
+	samples   atomic.Uint64 // campaigns simulated, for throughput stats
+	gridHits  atomic.Uint64 // groups served by Grid instead of simulated
+	gridSaved atomic.Uint64 // campaign simulations those hits avoided
 
 	// done, when non-nil, preempts the batch engine: workers stop
 	// claiming (group × sample) units once the channel is closed. Set

@@ -1,0 +1,133 @@
+package diffusion
+
+// This file is the estimator's sample-grid memoization hook
+// (DESIGN.md §10). The §3 determinism contract makes every (group ×
+// sample-range) grid a pure function of (problem, master seed, sample
+// indices, seed group, market mask, withPi) — so a cache keyed by
+// exactly those coordinates can substitute stored raw outcomes for
+// re-simulation with zero accuracy loss. The estimator stays agnostic
+// of the cache's policy (bounds, eviction, disk spill, key encoding):
+// it only speaks the Begin/Commit/Abort/Wait protocol below.
+// internal/gridcache provides the implementation; the interface lives
+// here because gridcache imports diffusion and not vice versa.
+
+// GridCache memoizes raw per-sample outcome grids for evaluation
+// groups. Begin resolves one (seed, [lo,hi), group, market, withPi)
+// unit: a hit returns the stored rows and a nil ticket; a miss returns
+// a ticket that is either owned (this caller must simulate the rows
+// and Commit them — or Abort on cancellation) or joined (another
+// caller is already simulating the same unit; Wait for its rows).
+// (nil, nil) means the cache declined the unit — simulate without
+// obligations. Returned rows are shared and must never be mutated.
+type GridCache interface {
+	Begin(seed uint64, lo, hi int, seeds []Seed, market []bool, withPi bool) ([]SampleResult, GridTicket)
+}
+
+// GridTicket is one in-flight cache reservation. Exactly one caller
+// per key owns the flight; owners must settle it with Commit or Abort
+// (never both), joiners hold no obligations and just Wait.
+type GridTicket interface {
+	// Owned reports whether this caller must produce the rows.
+	Owned() bool
+	// Commit publishes the simulated rows (owner only). The rows are
+	// retained by the cache and must not be mutated afterwards.
+	Commit(rows []SampleResult)
+	// Abort cancels an owned flight without publishing (preemption);
+	// waiters are released empty-handed and the next Begin retries.
+	Abort()
+	// Wait blocks until the owning flight settles or stop fires,
+	// returning the committed rows, or ok=false when the flight
+	// aborted or stop fired first.
+	Wait(stop <-chan struct{}) ([]SampleResult, bool)
+}
+
+// GridStats reports how many group evaluations this estimator served
+// from the attached grid cache and how many campaign simulations that
+// avoided — the per-solve view behind core.Stats.GridHits /
+// SamplesSaved (the cache's own Stats aggregate across estimators).
+func (e *Estimator) GridStats() (hits, samplesSaved uint64) {
+	return e.gridHits.Load(), e.gridSaved.Load()
+}
+
+// gridServed counts one cache-served group spanning the sample range.
+func (e *Estimator) gridServed(span int) {
+	e.gridHits.Add(1)
+	e.gridSaved.Add(uint64(span))
+}
+
+// cachedSamples is the memoizing front of RunBatchSamples. The
+// protocol is deadlock-free by construction: phase 1 reserves every
+// group non-blocking, phase 2 simulates all owned misses as one raw
+// sub-batch and commits them, and only phase 3 waits on flights owned
+// by other callers — an owner never blocks on a foreign flight before
+// settling its own, so two batches with interleaved ownership cannot
+// wait on each other. A joined flight that aborts (its owner was
+// preempted) degrades to a local single-group simulation.
+func (e *Estimator) cachedSamples(groups [][]Seed, market []bool, masks [][]bool, withPi bool, lo, hi int) [][]SampleResult {
+	k := len(groups)
+	out := make([][]SampleResult, k)
+	if k == 0 || hi <= lo {
+		return out
+	}
+	if e.preempted() {
+		// Match the raw path's cancellation latency: without this, a
+		// cancelled solve that keeps hitting the cache keeps *making
+		// progress* — hits return instantly and never reach the
+		// per-unit preemption checks inside the simulation body.
+		return out
+	}
+	maskFor := func(g int) []bool {
+		if masks != nil {
+			return masks[g]
+		}
+		return market
+	}
+	span := hi - lo
+	tickets := make([]GridTicket, k)
+	var owned, joined []int
+	for g := 0; g < k; g++ {
+		rows, t := e.Grid.Begin(e.Seed, lo, hi, groups[g], maskFor(g), withPi)
+		if rows != nil {
+			out[g] = rows
+			e.gridServed(span)
+			continue
+		}
+		tickets[g] = t
+		if t == nil || t.Owned() {
+			owned = append(owned, g)
+		} else {
+			joined = append(joined, g)
+		}
+	}
+	if len(owned) > 0 {
+		sub := make([][]Seed, len(owned))
+		subMasks := make([][]bool, len(owned))
+		for i, g := range owned {
+			sub[i] = groups[g]
+			subMasks[i] = maskFor(g)
+		}
+		rows := e.runBatchSamplesRaw(sub, nil, subMasks, withPi, lo, hi)
+		cancelled := e.preempted()
+		for i, g := range owned {
+			out[g] = rows[i]
+			if t := tickets[g]; t != nil {
+				if cancelled {
+					// never publish garbage: a preempted batch's rows are
+					// partial and must not enter the cache
+					t.Abort()
+				} else {
+					t.Commit(rows[i])
+				}
+			}
+		}
+	}
+	for _, g := range joined {
+		if rows, ok := tickets[g].Wait(e.done); ok {
+			out[g] = rows
+			e.gridServed(span)
+			continue
+		}
+		out[g] = e.runBatchSamplesRaw([][]Seed{groups[g]}, nil, [][]bool{maskFor(g)}, withPi, lo, hi)[0]
+	}
+	return out
+}

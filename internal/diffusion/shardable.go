@@ -51,7 +51,23 @@ type SampleResult struct {
 // A bound, cancelled context (Bind) makes workers stop claiming units;
 // as with the batch engine, the partial result is garbage and callers
 // must check their context before trusting it.
+//
+// With a Grid cache attached, repeated (seed, [lo,hi), group) units
+// are served from the cache and only the misses are simulated — the
+// returned rows are then shared with the cache and must be treated as
+// immutable.
 func (e *Estimator) RunBatchSamples(groups [][]Seed, market []bool, masks [][]bool, withPi bool, lo, hi int) [][]SampleResult {
+	if e.Grid != nil {
+		return e.cachedSamples(groups, market, masks, withPi, lo, hi)
+	}
+	return e.runBatchSamplesRaw(groups, market, masks, withPi, lo, hi)
+}
+
+// runBatchSamplesRaw is the uncached simulation body of
+// RunBatchSamples — the single entry point that actually runs
+// campaigns for a sample grid, which is what keeps the cached path
+// from ever consulting the cache recursively.
+func (e *Estimator) runBatchSamplesRaw(groups [][]Seed, market []bool, masks [][]bool, withPi bool, lo, hi int) [][]SampleResult {
 	k := len(groups)
 	out := make([][]SampleResult, k)
 	if k == 0 || hi <= lo {
@@ -62,9 +78,6 @@ func (e *Estimator) RunBatchSamples(groups [][]Seed, market []bool, masks [][]bo
 		maskOf = func(g int) []bool { return masks[g] }
 	}
 	span := hi - lo
-	for g := range out {
-		out[g] = make([]SampleResult, span)
-	}
 	master := rng.New(e.Seed)
 	units := k * span
 
@@ -72,12 +85,32 @@ func (e *Estimator) RunBatchSamples(groups [][]Seed, market []bool, masks [][]bo
 	if w > units {
 		w = units
 	}
-	var next int64
+	var (
+		next  int64
+		rowMu sync.Mutex
+	)
+	// Rows materialize on first claim, not up front: at large k × span
+	// the eager grid is gigabytes of allocation with no preemption
+	// point, which is exactly the window a cancelled solve gets stuck
+	// in. A preempted batch leaves unclaimed groups nil — the result is
+	// declared garbage then anyway (callers must check their context).
+	claim := func(g int) []SampleResult {
+		rowMu.Lock()
+		defer rowMu.Unlock()
+		if out[g] == nil {
+			out[g] = make([]SampleResult, span)
+		}
+		return out[g]
+	}
 	body := func() {
 		st := e.getState()
 		defer e.putState(st)
 		var res Result
 		res.PerItem = make([]float64, e.P.NumItems())
+		// units are claimed group-major, so consecutive units usually
+		// belong to one group; caching the last claim keeps the mutex
+		// off the per-sample path
+		lastG, lastRows := -1, []SampleResult(nil)
 		for {
 			if e.preempted() {
 				return // cancelled: abandon between units
@@ -88,9 +121,12 @@ func (e *Estimator) RunBatchSamples(groups [][]Seed, market []bool, masks [][]bo
 			}
 			g := int(u) / span
 			i := lo + int(u)%span
+			if g != lastG {
+				lastG, lastRows = g, claim(g)
+			}
 			market := maskOf(g)
 			e.runSample(st, &res, groups[g], market, i, master)
-			slot := &out[g][i-lo]
+			slot := &lastRows[i-lo]
 			slot.Sigma = res.Sigma
 			slot.MarketSigma = res.MarketSigma
 			slot.Adoptions = float64(res.Adoptions)

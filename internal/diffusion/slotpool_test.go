@@ -1,0 +1,83 @@
+package diffusion
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSlotPoolBoundsRetention pins the slot-pool memory fix: a batch
+// whose cascades ballooned the sparse per-item rows must not pin those
+// backing arrays in the pool forever. putSlots trims any slot past
+// maxRetainedSlotCap, so the retained footprint per slot is bounded no
+// matter what the largest-ever cascade was.
+func TestSlotPoolBoundsRetention(t *testing.T) {
+	e := &Estimator{M: 4}
+
+	s := e.getSlots()
+	if len(s) != 4 {
+		t.Fatalf("got %d slots, want M=4", len(s))
+	}
+	// a typical cascade stays pooled…
+	s[0].items = make([]int32, 0, maxRetainedSlotCap)
+	s[0].counts = make([]float64, 0, maxRetainedSlotCap)
+	// …a pathological one is trimmed
+	s[1].items = make([]int32, 0, maxRetainedSlotCap+1)
+	s[1].counts = make([]float64, 0, 4*maxRetainedSlotCap)
+	// oversizing either array drops both (they are parallel)
+	s[2].counts = make([]float64, 0, 2*maxRetainedSlotCap)
+	e.putSlots(s)
+
+	r := e.getSlots()
+	if &r[0] != &s[0] {
+		t.Fatal("pool did not return the released slot array")
+	}
+	if cap(r[0].items) != maxRetainedSlotCap || cap(r[0].counts) != maxRetainedSlotCap {
+		t.Fatalf("within-bound rows were trimmed: caps %d/%d", cap(r[0].items), cap(r[0].counts))
+	}
+	for i := 1; i <= 2; i++ {
+		if r[i].items != nil || r[i].counts != nil {
+			t.Fatalf("slot %d retained oversized rows: caps %d/%d",
+				i, cap(r[i].items), cap(r[i].counts))
+		}
+	}
+	for i := range r {
+		if cap(r[i].items) > maxRetainedSlotCap || cap(r[i].counts) > maxRetainedSlotCap {
+			t.Fatalf("slot %d retains cap beyond the %d bound", i, maxRetainedSlotCap)
+		}
+	}
+}
+
+// TestRunBatchSamplesPreemptedLazyAlloc pins the raw grid path's
+// cancellation latency: rows materialize on first claim, so a batch
+// preempted before it starts must return near-instantly with every
+// unclaimed row still nil — not after eagerly allocating the full
+// k × span grid (gigabytes at production MC counts, with no
+// preemption point inside the allocation loop).
+func TestRunBatchSamplesPreemptedLazyAlloc(t *testing.T) {
+	p := batchProblem(t)
+	e := &Estimator{P: p, M: 1 << 16, Seed: 42, Workers: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.Bind(ctx)
+	groups := make([][]Seed, 256)
+	for g := range groups {
+		groups[g] = []Seed{{User: g % p.NumUsers(), Item: g % p.NumItems(), T: 1}}
+	}
+	start := time.Now()
+	out := e.runBatchSamplesRaw(groups, nil, nil, false, 0, e.M)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("preempted raw batch took %v, want near-instant return", elapsed)
+	}
+	allocated := 0
+	for _, rows := range out {
+		if rows != nil {
+			allocated++
+		}
+	}
+	// pre-cancelled: workers bail before claiming any unit, so no row
+	// should have materialized (tolerate a race-window claim or two)
+	if allocated > 4 {
+		t.Fatalf("preempted batch allocated %d/256 group rows, want ~0 (eager allocation regressed)", allocated)
+	}
+}

@@ -1,0 +1,44 @@
+package gridcache
+
+import (
+	"bytes"
+	"testing"
+
+	"imdpp/internal/diffusion"
+)
+
+// FuzzGroupKeyCodec feeds arbitrary bytes to the group-key decoder (no
+// panic, no unbounded allocation) and pins the canonical-encoding
+// invariant: any accepted key re-encodes, via GroupKey.Append, to
+// exactly the input bytes. That bijection is what makes raw key bytes
+// safe as the cache's map key — two byte strings are equal iff they
+// name the same evaluation unit.
+func FuzzGroupKeyCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendGroupKey(nil, 42, 0, 8, nil, nil, false))
+	f.Add(AppendGroupKey(nil, 7, 3, 16, []diffusion.Seed{
+		{User: 1, Item: 0, T: 1}, {User: 4, Item: 2, T: 1}, {User: 2, Item: 1, T: 3},
+	}, nil, true))
+	mask := make([]bool, 12)
+	mask[0], mask[5], mask[11] = true, true, true
+	f.Add(AppendGroupKey(nil, 99, 5, 6, []diffusion.Seed{{User: 3, Item: 1, T: 2}}, mask, false))
+	f.Add(AppendGroupKey(nil, 1, 0, 1, nil, make([]bool, 4), true))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, err := DecodeGroupKey(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(k.Append(nil), data) {
+			t.Fatalf("accepted key does not re-encode to itself:\n in %x\nout %x", data, k.Append(nil))
+		}
+		again, err := DecodeGroupKey(k.Append(nil))
+		if err != nil {
+			t.Fatalf("re-decode of accepted key failed: %v", err)
+		}
+		if again.Seed != k.Seed || again.Lo != k.Lo || again.Hi != k.Hi ||
+			again.WithPi != k.WithPi || again.HasMarket != k.HasMarket ||
+			len(again.Seeds) != len(k.Seeds) || len(again.Market) != len(k.Market) {
+			t.Fatalf("decode/re-decode disagree: %+v vs %+v", k, again)
+		}
+	})
+}

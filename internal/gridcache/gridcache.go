@@ -1,0 +1,375 @@
+package gridcache
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"imdpp/internal/diffusion"
+	"imdpp/internal/wirebin"
+)
+
+// defaultMaxBytes is the in-memory bound when Config leaves it unset.
+const defaultMaxBytes = 64 << 20
+
+// Config sizes a Cache. The zero value is NOT usable on its own: a
+// nil KeyFn disables caching entirely (View returns nil), because
+// without a content address two distinct problems could alias.
+type Config struct {
+	// MaxBytes bounds retained grid bytes in memory (≤0 → 64 MiB).
+	// Committed entries beyond it are evicted oldest-first; in-flight
+	// reservations are never evicted.
+	MaxBytes int64
+	// Dir, when non-empty, spills every committed grid to disk in the
+	// canonical AppendSampleGrid wire form and reloads it on a later
+	// miss — so eviction (or a daemon restart) downgrades a repeat from
+	// a memory hit to a disk hit instead of a re-simulation.
+	Dir string
+	// KeyFn maps a problem to its content address (the serving layer
+	// passes HashProblem). nil disables the cache.
+	KeyFn func(*diffusion.Problem) string
+}
+
+// Cache is a bounded, byte-accounted, singleflight LRU of raw
+// per-sample outcome grids, keyed by (problem content address, master
+// seed, sample range, canonical group key) — DESIGN.md §10. One Cache
+// is safe for concurrent use by any number of estimators across jobs;
+// per-problem views (View) implement diffusion.GridCache.
+type Cache struct {
+	maxBytes int64
+	dir      string
+	keyFn    func(*diffusion.Problem) string
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // committed entries, oldest at Front
+	bytes   int64
+
+	pmu      sync.Mutex
+	problems map[*diffusion.Problem]string // memoized content addresses
+
+	lookups       atomic.Uint64
+	hits          atomic.Uint64
+	diskHits      atomic.Uint64
+	singleflights atomic.Uint64
+	evictions     atomic.Uint64
+	samplesSaved  atomic.Uint64
+}
+
+// entry is one cache slot. Until committed it represents an in-flight
+// singleflight reservation (rows nil, done open); Commit publishes the
+// rows and enrols the entry in the LRU, Abort removes it so the next
+// Begin retries. done is closed exactly once, by whichever settles it.
+type entry struct {
+	key       string
+	rows      []diffusion.SampleResult
+	bytes     int64
+	done      chan struct{}
+	committed bool
+	elem      *list.Element
+}
+
+// New creates a cache. A nil KeyFn yields a cache whose views are nil
+// — every caller simulates directly, which keeps "cache disabled" a
+// configuration state rather than a code path.
+func New(cfg Config) *Cache {
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = defaultMaxBytes
+	}
+	return &Cache{
+		maxBytes: cfg.MaxBytes,
+		dir:      cfg.Dir,
+		keyFn:    cfg.KeyFn,
+		entries:  make(map[string]*entry),
+		lru:      list.New(),
+		problems: make(map[*diffusion.Problem]string),
+	}
+}
+
+// Stats is a point-in-time snapshot of the cache counters — the
+// "grid" object of the daemon's /metrics document.
+type Stats struct {
+	// Lookups counts Begin calls; Hits the ones answered from memory.
+	Lookups uint64 `json:"lookups"`
+	Hits    uint64 `json:"hits"`
+	// DiskHits counts grids reloaded from the spill directory instead
+	// of re-simulated (neither a memory hit nor a miss-simulate).
+	DiskHits uint64 `json:"disk_hits"`
+	// Singleflights counts callers that joined an in-flight
+	// simulation of the same key instead of duplicating it.
+	Singleflights uint64 `json:"singleflights"`
+	// Evictions counts committed entries dropped past MaxBytes.
+	Evictions uint64 `json:"evictions"`
+	// Bytes/Entries describe current residency.
+	Bytes   int64 `json:"bytes"`
+	Entries int   `json:"entries"`
+	// SamplesSaved totals the campaign simulations that hits (memory,
+	// disk and joined flights) avoided.
+	SamplesSaved uint64 `json:"samples_saved"`
+}
+
+// Stats snapshots the counters; a nil cache reports zeros.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	bytes, entries := c.bytes, len(c.entries)
+	c.mu.Unlock()
+	return Stats{
+		Lookups:       c.lookups.Load(),
+		Hits:          c.hits.Load(),
+		DiskHits:      c.diskHits.Load(),
+		Singleflights: c.singleflights.Load(),
+		Evictions:     c.evictions.Load(),
+		Bytes:         bytes,
+		Entries:       entries,
+		SamplesSaved:  c.samplesSaved.Load(),
+	}
+}
+
+// View returns the diffusion.GridCache for one problem — the cache
+// scoped to that problem's content address, the thing an estimator's
+// Grid field holds. It returns nil (caching disabled) on a nil cache
+// or nil KeyFn. The content address is memoized per problem pointer,
+// so attaching views to the per-solve estimator pair hashes the
+// problem once, not once per estimator.
+func (c *Cache) View(p *diffusion.Problem) diffusion.GridCache {
+	if c == nil || c.keyFn == nil || p == nil {
+		return nil
+	}
+	c.pmu.Lock()
+	pk, ok := c.problems[p]
+	c.pmu.Unlock()
+	if !ok {
+		pk = c.keyFn(p)
+		c.pmu.Lock()
+		if len(c.problems) >= 128 {
+			// bounded memo: problem pointers are not weakly referenced,
+			// so reset rather than grow without bound
+			c.problems = make(map[*diffusion.Problem]string)
+		}
+		c.problems[p] = pk
+		c.pmu.Unlock()
+	}
+	return &view{c: c, problemKey: pk}
+}
+
+// view is the per-problem face of the cache.
+type view struct {
+	c          *Cache
+	problemKey string
+}
+
+// Begin implements diffusion.GridCache: resolve one (seed, [lo,hi),
+// group, market, withPi) unit to stored rows (hit), an owned ticket
+// (first miss — caller simulates and settles), or a joined ticket
+// (the same unit is in flight elsewhere — caller Waits).
+func (v *view) Begin(seed uint64, lo, hi int, seeds []diffusion.Seed, market []bool, withPi bool) ([]diffusion.SampleResult, diffusion.GridTicket) {
+	c := v.c
+	c.lookups.Add(1)
+	key := v.problemKey + string(AppendGroupKey(nil, seed, lo, hi, seeds, market, withPi))
+
+	c.mu.Lock()
+	if e := c.entries[key]; e != nil {
+		if e.committed {
+			c.lru.MoveToBack(e.elem)
+			rows := e.rows
+			c.mu.Unlock()
+			c.hits.Add(1)
+			c.samplesSaved.Add(uint64(hi - lo))
+			return rows, nil
+		}
+		c.mu.Unlock()
+		c.singleflights.Add(1)
+		return nil, &ticket{c: c, e: e}
+	}
+	e := &entry{key: key, done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	if rows := c.loadDisk(key, hi-lo); rows != nil {
+		c.commit(e, rows, false)
+		c.diskHits.Add(1)
+		c.samplesSaved.Add(uint64(hi - lo))
+		return rows, nil
+	}
+	return nil, &ticket{c: c, e: e, owned: true}
+}
+
+// ticket is one reservation; see diffusion.GridTicket for the
+// protocol. settled guards the owner against double settlement.
+type ticket struct {
+	c       *Cache
+	e       *entry
+	owned   bool
+	settled bool
+}
+
+func (t *ticket) Owned() bool { return t.owned }
+
+func (t *ticket) Commit(rows []diffusion.SampleResult) {
+	if !t.owned || t.settled {
+		return
+	}
+	t.settled = true
+	t.c.commit(t.e, rows, true)
+}
+
+func (t *ticket) Abort() {
+	if !t.owned || t.settled {
+		return
+	}
+	t.settled = true
+	c, e := t.c, t.e
+	c.mu.Lock()
+	if c.entries[e.key] == e {
+		delete(c.entries, e.key)
+	}
+	c.mu.Unlock()
+	close(e.done)
+}
+
+func (t *ticket) Wait(stop <-chan struct{}) ([]diffusion.SampleResult, bool) {
+	select {
+	case <-t.e.done:
+	case <-stop: // nil stop never fires, which is the intended "no preemption"
+		return nil, false
+	}
+	c, e := t.c, t.e
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !e.committed {
+		return nil, false // the owner aborted
+	}
+	if e.elem != nil && c.entries[e.key] == e {
+		c.lru.MoveToBack(e.elem)
+	}
+	c.samplesSaved.Add(uint64(e.span()))
+	return e.rows, true
+}
+
+// span recovers the sample count of a committed entry's rows.
+func (e *entry) span() int { return len(e.rows) }
+
+// commit publishes rows into an in-flight entry, accounts its bytes,
+// enrols it in the LRU and wakes waiters. persist controls the disk
+// spill (false when the rows just came FROM disk).
+func (c *Cache) commit(e *entry, rows []diffusion.SampleResult, persist bool) {
+	e.rows = rows
+	e.bytes = int64(len(e.key)) + rowsBytes(rows)
+	c.mu.Lock()
+	if c.entries[e.key] == e {
+		e.committed = true
+		c.bytes += e.bytes
+		e.elem = c.lru.PushBack(e)
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	close(e.done)
+	if persist {
+		c.saveDisk(e.key, rows)
+	}
+}
+
+// evictLocked drops committed entries oldest-first past MaxBytes.
+// In-flight reservations are not in the LRU, so they cannot be
+// evicted; waiters holding a settled entry keep it alive through the
+// ticket even after eviction drops it from the index.
+func (c *Cache) evictLocked() {
+	for c.bytes > c.maxBytes && c.lru.Len() > 0 {
+		ev := c.lru.Remove(c.lru.Front()).(*entry)
+		ev.elem = nil
+		if c.entries[ev.key] == ev {
+			delete(c.entries, ev.key)
+		}
+		c.bytes -= ev.bytes
+		c.evictions.Add(1)
+	}
+}
+
+// sampleResultBytes approximates the fixed per-row footprint of one
+// diffusion.SampleResult (four float64s plus two slice headers).
+const sampleResultBytes = 80
+
+// rowsBytes accounts the retained footprint of one committed row set:
+// struct overhead plus the sparse per-item backing arrays.
+func rowsBytes(rows []diffusion.SampleResult) int64 {
+	b := int64(len(rows)) * sampleResultBytes
+	for i := range rows {
+		b += int64(cap(rows[i].Items))*4 + int64(cap(rows[i].Counts))*8
+	}
+	return b
+}
+
+// fileName renders a key's spill location: the key bytes are not
+// filename-safe, so the name is a 128-bit FNV-1a of them; the full key
+// is stored inside the image and verified on load, so a hash collision
+// (or a renamed file) degrades to a re-simulation, never an alias.
+func fileName(key string) string {
+	const offset, prime = 14695981039346656037, 1099511628211
+	a, b := uint64(offset), uint64(offset)^0x9e3779b97f4a7c15
+	for i := 0; i < len(key); i++ {
+		a = (a ^ uint64(key[i])) * prime
+		b = (b ^ uint64(key[i])) * prime
+	}
+	return fmt.Sprintf("%016x%016x.grid", a, b)
+}
+
+func (c *Cache) path(key string) string { return filepath.Join(c.dir, fileName(key)) }
+
+// loadDisk attempts a spill reload; any failure (missing, corrupt,
+// key mismatch, wrong span) degrades to a miss.
+func (c *Cache) loadDisk(key string, span int) []diffusion.SampleResult {
+	if c.dir == "" {
+		return nil
+	}
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil
+	}
+	r := wirebin.NewReader(b)
+	n := r.Count(1)
+	if r.Err() != nil || n != len(key) {
+		return nil
+	}
+	stored := make([]byte, n)
+	for i := range stored {
+		stored[i] = r.U8()
+	}
+	if r.Err() != nil || string(stored) != key {
+		return nil
+	}
+	grid, err := diffusion.DecodeSampleGrid(r)
+	if err != nil || len(grid) != 1 || len(grid[0]) != span {
+		return nil
+	}
+	if err := r.Done(); err != nil {
+		return nil
+	}
+	return grid[0]
+}
+
+// saveDisk persists a committed grid best-effort (write-then-rename so
+// a crashed write never leaves a truncated image). The image carries
+// the full key for self-verification; persistence failures are
+// ignored — the cache is an accelerator, not a store of record.
+func (c *Cache) saveDisk(key string, rows []diffusion.SampleResult) {
+	if c.dir == "" {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	b := wirebin.AppendUvarint(nil, uint64(len(key)))
+	b = append(b, key...)
+	b = diffusion.AppendSampleGrid(b, [][]diffusion.SampleResult{rows})
+	tmp := c.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, c.path(key))
+}

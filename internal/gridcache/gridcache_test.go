@@ -1,0 +1,468 @@
+package gridcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"imdpp/internal/diffusion"
+)
+
+// testCache builds a cache whose problem key is a constant — key-space
+// behaviour is exercised through the group-key coordinates.
+func testCache(maxBytes int64, dir string) (*Cache, diffusion.GridCache) {
+	c := New(Config{
+		MaxBytes: maxBytes,
+		Dir:      dir,
+		KeyFn:    func(*diffusion.Problem) string { return "problem-A" },
+	})
+	return c, c.View(&diffusion.Problem{})
+}
+
+func rowsFor(tag int, span int) []diffusion.SampleResult {
+	rows := make([]diffusion.SampleResult, span)
+	for i := range rows {
+		rows[i] = diffusion.SampleResult{
+			Sigma:     float64(tag*1000 + i),
+			Pi:        float64(tag) / 7,
+			Adoptions: float64(i),
+			Items:     []int32{int32(i % 3)},
+			Counts:    []float64{float64(tag)},
+		}
+	}
+	return rows
+}
+
+func sameRows(a, b []diffusion.SampleResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Sigma != b[i].Sigma || a[i].Pi != b[i].Pi {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGroupKeyRoundTrip(t *testing.T) {
+	market := make([]bool, 10)
+	market[2], market[7] = true, true
+	cases := []struct {
+		name   string
+		seed   uint64
+		lo, hi int
+		seeds  []diffusion.Seed
+		market []bool
+		withPi bool
+	}{
+		{"empty group", 42, 0, 8, nil, nil, false},
+		{"one seed", 1, 3, 5, []diffusion.Seed{{User: 4, Item: 1, T: 2}}, nil, true},
+		{"masked", 99, 0, 16, []diffusion.Seed{{User: 0, Item: 0, T: 1}, {User: 3, Item: 2, T: 1}}, market, false},
+		{"empty mask is not nil mask", 7, 0, 4, nil, make([]bool, 10), false},
+		{"multi-promotion", 5, 2, 9, []diffusion.Seed{
+			{User: 9, Item: 0, T: 1}, {User: 1, Item: 1, T: 2}, {User: 6, Item: 2, T: 3},
+		}, nil, true},
+	}
+	for _, tc := range cases {
+		b := AppendGroupKey(nil, tc.seed, tc.lo, tc.hi, tc.seeds, tc.market, tc.withPi)
+		k, err := DecodeGroupKey(b)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		if k.Seed != tc.seed || k.Lo != tc.lo || k.Hi != tc.hi || k.WithPi != tc.withPi {
+			t.Fatalf("%s: decoded header %+v", tc.name, k)
+		}
+		if k.HasMarket != (tc.market != nil) {
+			t.Fatalf("%s: HasMarket %v, mask nil-ness %v", tc.name, k.HasMarket, tc.market == nil)
+		}
+		if !bytes.Equal(k.Append(nil), b) {
+			t.Fatalf("%s: re-encode differs from original", tc.name)
+		}
+	}
+}
+
+// TestGroupKeyCanonicalization pins the aliasing contract: reorderings
+// the engine itself performs (cross-promotion interleaving) share a
+// key; reorderings that can change bits (within one promotion) do not.
+func TestGroupKeyCanonicalization(t *testing.T) {
+	base := []diffusion.Seed{
+		{User: 1, Item: 0, T: 1}, {User: 2, Item: 1, T: 1}, {User: 3, Item: 0, T: 2},
+	}
+	key := func(seeds []diffusion.Seed) string {
+		return string(AppendGroupKey(nil, 9, 0, 4, seeds, nil, false))
+	}
+	crossT := []diffusion.Seed{
+		{User: 3, Item: 0, T: 2}, {User: 1, Item: 0, T: 1}, {User: 2, Item: 1, T: 1},
+	}
+	if key(base) != key(crossT) {
+		t.Fatal("cross-promotion interleaving must share one key (the engine buckets by T)")
+	}
+	withinT := []diffusion.Seed{
+		{User: 2, Item: 1, T: 1}, {User: 1, Item: 0, T: 1}, {User: 3, Item: 0, T: 2},
+	}
+	if key(base) == key(withinT) {
+		t.Fatal("within-promotion order is RNG-significant and must not alias")
+	}
+
+	// the other coordinates all separate the key space
+	distinct := []string{
+		key(base),
+		string(AppendGroupKey(nil, 10, 0, 4, base, nil, false)),            // seed
+		string(AppendGroupKey(nil, 9, 1, 4, base, nil, false)),             // lo
+		string(AppendGroupKey(nil, 9, 0, 5, base, nil, false)),             // hi
+		string(AppendGroupKey(nil, 9, 0, 4, base, nil, true)),              // withPi
+		string(AppendGroupKey(nil, 9, 0, 4, base, make([]bool, 4), false)), // empty mask ≠ nil
+	}
+	seen := map[string]int{}
+	for i, k := range distinct {
+		if j, dup := seen[k]; dup {
+			t.Fatalf("key variants %d and %d alias", i, j)
+		}
+		seen[k] = i
+	}
+}
+
+func TestDecodeGroupKeyRejects(t *testing.T) {
+	good := AppendGroupKey(nil, 3, 0, 4, []diffusion.Seed{{User: 1, Item: 0, T: 1}, {User: 2, Item: 1, T: 2}}, nil, false)
+	if _, err := DecodeGroupKey(good); err != nil {
+		t.Fatalf("canonical key rejected: %v", err)
+	}
+	// AppendGroupKey canonicalises, so a descending-T image must be
+	// forged by hand: the canonical two-seed encoding with its seed
+	// records swapped (the records are 3 bytes each here).
+	forged := append([]byte{}, good...)
+	rec := forged[len(forged)-6:]
+	rec[0], rec[1], rec[2], rec[3], rec[4], rec[5] = rec[3], rec[4], rec[5], rec[0], rec[1], rec[2]
+
+	bad := map[string][]byte{
+		"empty":          nil,
+		"truncated":      good[:len(good)-1],
+		"trailing byte":  append(append([]byte{}, good...), 0),
+		"descending T":   forged,
+		"inverted range": AppendGroupKey(nil, 3, 4, 4, nil, nil, false),
+	}
+	for name, b := range bad {
+		if _, err := DecodeGroupKey(b); err == nil {
+			t.Errorf("%s: decode accepted a non-canonical key", name)
+		}
+	}
+}
+
+func TestCacheHitMissCommit(t *testing.T) {
+	c, v := testCache(1<<20, "")
+	seeds := []diffusion.Seed{{User: 1, Item: 0, T: 1}}
+
+	rows, tk := v.Begin(7, 0, 4, seeds, nil, false)
+	if rows != nil || tk == nil || !tk.Owned() {
+		t.Fatalf("first Begin: rows=%v ticket=%v — want an owned miss", rows, tk)
+	}
+	want := rowsFor(1, 4)
+	tk.Commit(want)
+
+	got, tk2 := v.Begin(7, 0, 4, seeds, nil, false)
+	if tk2 != nil || !sameRows(got, want) {
+		t.Fatalf("second Begin: not a hit (rows=%v ticket=%v)", got, tk2)
+	}
+	// a different coordinate misses
+	if rows, tk := v.Begin(8, 0, 4, seeds, nil, false); rows != nil || !tk.Owned() {
+		t.Fatal("different seed must miss")
+	} else {
+		tk.Abort()
+	}
+
+	st := c.Stats()
+	if st.Lookups != 3 || st.Hits != 1 || st.Entries != 1 || st.SamplesSaved != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Bytes <= 0 {
+		t.Fatalf("committed entry accounts no bytes: %+v", st)
+	}
+}
+
+func TestCacheSingleflightJoinAndAbort(t *testing.T) {
+	c, v := testCache(1<<20, "")
+	seeds := []diffusion.Seed{{User: 2, Item: 1, T: 1}}
+
+	_, owner := v.Begin(1, 0, 2, seeds, nil, false)
+	_, joiner := v.Begin(1, 0, 2, seeds, nil, false)
+	if !owner.Owned() || joiner == nil || joiner.Owned() {
+		t.Fatalf("second concurrent Begin must join, not own (owner=%v joiner=%v)", owner, joiner)
+	}
+
+	want := rowsFor(2, 2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rows, ok := joiner.Wait(nil)
+		if !ok || !sameRows(rows, want) {
+			t.Errorf("joiner: ok=%v rows=%v", ok, rows)
+		}
+	}()
+	owner.Commit(want)
+	<-done
+	if st := c.Stats(); st.Singleflights != 1 {
+		t.Fatalf("stats %+v: want 1 singleflight", st)
+	}
+
+	// abort path: the waiter is released empty-handed and the key retries
+	_, owner2 := v.Begin(2, 0, 2, seeds, nil, false)
+	_, joiner2 := v.Begin(2, 0, 2, seeds, nil, false)
+	owner2.Abort()
+	if _, ok := joiner2.Wait(nil); ok {
+		t.Fatal("waiter on an aborted flight must get ok=false")
+	}
+	if _, retry := v.Begin(2, 0, 2, seeds, nil, false); retry == nil || !retry.Owned() {
+		t.Fatal("aborted key must be ownable again")
+	}
+
+	// stop channel preempts a Wait
+	_, owner3 := v.Begin(3, 0, 2, seeds, nil, false)
+	_, joiner3 := v.Begin(3, 0, 2, seeds, nil, false)
+	stop := make(chan struct{})
+	close(stop)
+	if _, ok := joiner3.Wait(stop); ok {
+		t.Fatal("fired stop channel must preempt Wait")
+	}
+	owner3.Abort()
+}
+
+// retainedBytes recomputes the byte ledger from first principles.
+func retainedBytes(c *Cache) (sum int64, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		if e.committed {
+			sum += e.bytes
+			n++
+		}
+	}
+	return sum, n
+}
+
+func TestCacheEvictionByteAccounting(t *testing.T) {
+	// each committed entry is ~keyBytes + 8 rows × (80 + 4 + 8) ≈ 780 B;
+	// a 4000-byte bound holds only a handful
+	c, v := testCache(4000, "")
+	const span = 8
+	for i := 0; i < 32; i++ {
+		seeds := []diffusion.Seed{{User: i, Item: 0, T: 1}}
+		rows, tk := v.Begin(1, 0, span, seeds, nil, false)
+		if rows != nil {
+			t.Fatalf("key %d: unexpected hit", i)
+		}
+		tk.Commit(rowsFor(i, span))
+
+		sum, n := retainedBytes(c)
+		st := c.Stats()
+		if st.Bytes != sum {
+			t.Fatalf("after insert %d: ledger %d != recomputed %d", i, st.Bytes, sum)
+		}
+		if st.Entries != n {
+			t.Fatalf("after insert %d: %d entries vs %d committed", i, st.Entries, n)
+		}
+		if st.Bytes > 4000 {
+			t.Fatalf("after insert %d: %d bytes exceeds the 4000-byte bound", i, st.Bytes)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("32 inserts under a 4000-byte bound evicted nothing: %+v", st)
+	}
+	// oldest keys are gone: re-Begin owns a fresh flight
+	if rows, tk := v.Begin(1, 0, span, []diffusion.Seed{{User: 0, Item: 0, T: 1}}, nil, false); rows != nil || !tk.Owned() {
+		t.Fatal("evicted key still answers from memory")
+	} else {
+		tk.Abort()
+	}
+	// newest key survives (LRU evicts oldest-first)
+	if rows, _ := v.Begin(1, 0, span, []diffusion.Seed{{User: 31, Item: 0, T: 1}}, nil, false); rows == nil {
+		t.Fatal("newest key was evicted before older ones")
+	}
+}
+
+func TestCacheDiskSpill(t *testing.T) {
+	dir := t.TempDir()
+	seeds := []diffusion.Seed{{User: 5, Item: 1, T: 2}}
+	want := rowsFor(9, 6)
+
+	c1, v1 := testCache(1<<20, dir)
+	_, tk := v1.Begin(4, 0, 6, seeds, nil, true)
+	tk.Commit(want)
+	if st := c1.Stats(); st.DiskHits != 0 {
+		t.Fatalf("writer claims disk hits: %+v", st)
+	}
+
+	// a fresh cache over the same directory reloads instead of missing
+	c2, v2 := testCache(1<<20, dir)
+	got, tk2 := v2.Begin(4, 0, 6, seeds, nil, true)
+	if tk2 != nil || !sameRows(got, want) {
+		t.Fatalf("spill reload failed: rows=%v ticket=%v", got, tk2)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 || st.SamplesSaved != 6 {
+		t.Fatalf("stats %+v: want one 6-sample disk hit", st)
+	}
+	// and the reloaded entry now answers from memory
+	if rows, _ := v2.Begin(4, 0, 6, seeds, nil, true); rows == nil {
+		t.Fatal("reloaded entry not resident")
+	}
+	if st := c2.Stats(); st.Hits != 1 {
+		t.Fatalf("stats %+v: want a memory hit after reload", st)
+	}
+
+	// corrupting the image degrades to a miss, never a bad alias
+	files, err := filepath.Glob(filepath.Join(dir, "*.grid"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("spill files: %v, %v", files, err)
+	}
+	if err := os.WriteFile(files[0], []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, v3 := testCache(1<<20, dir)
+	if rows, tk := v3.Begin(4, 0, 6, seeds, nil, true); rows != nil {
+		t.Fatal("corrupt spill image served rows")
+	} else {
+		tk.Abort()
+	}
+}
+
+// TestCacheConcurrentStress hammers one cache from many goroutines
+// over a small key space, checking the two invariants the -race run is
+// for: every key is simulated by exactly one owner (singleflight), and
+// the byte ledger matches the retained entries when the dust settles.
+// A second phase repeats under an eviction-heavy bound.
+func TestCacheConcurrentStress(t *testing.T) {
+	const (
+		workers = 8
+		keys    = 24
+		rounds  = 30
+		span    = 4
+	)
+	c, v := testCache(1<<20, "") // no eviction: committed keys stay
+	var owners [keys]atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				kid := (w + r) % keys
+				seeds := []diffusion.Seed{{User: kid, Item: 0, T: 1}}
+				rows, tk := v.Begin(1, 0, span, seeds, nil, false)
+				switch {
+				case rows != nil:
+				case tk.Owned():
+					owners[kid].Add(1)
+					tk.Commit(rowsFor(kid, span))
+					rows = rowsFor(kid, span)
+				default:
+					var ok bool
+					if rows, ok = tk.Wait(nil); !ok {
+						t.Errorf("key %d: joined flight aborted without an aborter", kid)
+						return
+					}
+				}
+				if len(rows) != span || rows[0].Sigma != float64(kid*1000) {
+					t.Errorf("key %d: wrong rows %+v", kid, rows[0])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for kid := range owners {
+		if n := owners[kid].Load(); n != 1 {
+			t.Fatalf("key %d simulated %d times, want exactly 1 (singleflight)", kid, n)
+		}
+	}
+	sum, _ := retainedBytes(c)
+	if st := c.Stats(); st.Bytes != sum {
+		t.Fatalf("ledger %d != recomputed %d", st.Bytes, sum)
+	}
+
+	// eviction-heavy phase: correctness of the ledger under churn
+	c2, v2 := testCache(3000, "")
+	var wg2 sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg2.Add(1)
+		go func(w int) {
+			defer wg2.Done()
+			for r := 0; r < rounds; r++ {
+				kid := (w*rounds + r) % (keys * 2)
+				seeds := []diffusion.Seed{{User: kid, Item: 1, T: 1}}
+				rows, tk := v2.Begin(2, 0, span, seeds, nil, false)
+				if rows != nil || tk == nil {
+					continue
+				}
+				if tk.Owned() {
+					if r%5 == 0 {
+						tk.Abort() // exercise abort under contention
+					} else {
+						tk.Commit(rowsFor(kid, span))
+					}
+				} else {
+					tk.Wait(nil)
+				}
+			}
+		}(w)
+	}
+	wg2.Wait()
+	sum2, n2 := retainedBytes(c2)
+	st := c2.Stats()
+	if st.Bytes != sum2 || st.Entries < n2 {
+		t.Fatalf("churn ledger: stats %+v vs recomputed (%d bytes, %d committed)", st, sum2, n2)
+	}
+	if st.Bytes > 3000 {
+		t.Fatalf("churn left %d bytes resident past the 3000-byte bound", st.Bytes)
+	}
+}
+
+func TestViewNilSafety(t *testing.T) {
+	var nilCache *Cache
+	if v := nilCache.View(&diffusion.Problem{}); v != nil {
+		t.Fatal("nil cache must yield a nil view")
+	}
+	if st := nilCache.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats %+v", st)
+	}
+	noKey := New(Config{})
+	if v := noKey.View(&diffusion.Problem{}); v != nil {
+		t.Fatal("nil KeyFn must yield a nil view")
+	}
+	withKey, _ := testCache(0, "")
+	if v := withKey.View(nil); v != nil {
+		t.Fatal("nil problem must yield a nil view")
+	}
+}
+
+// TestProblemKeySeparation checks two problems with distinct content
+// addresses never share entries even at identical group coordinates.
+func TestProblemKeySeparation(t *testing.T) {
+	n := 0
+	c := New(Config{KeyFn: func(*diffusion.Problem) string {
+		n++
+		return fmt.Sprintf("problem-%d", n)
+	}})
+	pA, pB := &diffusion.Problem{}, &diffusion.Problem{}
+	vA := c.View(pA)
+	vB := c.View(pB)
+	seeds := []diffusion.Seed{{User: 0, Item: 0, T: 1}}
+	_, tk := vA.Begin(1, 0, 2, seeds, nil, false)
+	tk.Commit(rowsFor(1, 2))
+	if rows, tk := vB.Begin(1, 0, 2, seeds, nil, false); rows != nil {
+		t.Fatal("problem B answered from problem A's entry")
+	} else {
+		tk.Abort()
+	}
+	// content addresses are memoized per problem pointer: a repeat View
+	// of pA must not re-run KeyFn
+	_ = c.View(pA)
+	if n != 2 {
+		t.Fatalf("KeyFn ran %d times, want 2", n)
+	}
+}

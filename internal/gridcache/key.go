@@ -1,0 +1,181 @@
+package gridcache
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"imdpp/internal/diffusion"
+	"imdpp/internal/wirebin"
+)
+
+// GroupKey is the decoded form of one canonical cache key — the exact
+// coordinates that, together with the problem content address,
+// determine a sample grid under the §3 determinism contract.
+type GroupKey struct {
+	Seed   uint64
+	Lo, Hi int
+	WithPi bool
+	// HasMarket distinguishes an explicit mask from "all users" (a nil
+	// mask); Market lists the mask's true user ids, ascending.
+	HasMarket bool
+	Market    []int32
+	// Seeds is the group in canonical order: bucketed by promotion T
+	// ascending, input order preserved within one T (see AppendGroupKey
+	// for why within-T order must NOT be sorted away).
+	Seeds []diffusion.Seed
+}
+
+// AppendGroupKey appends the canonical identity of one evaluation
+// unit: master seed, global sample range [lo,hi), the withPi flag, the
+// market mask (as ascending true-user ids, with an explicit
+// present/absent flag so an empty mask never aliases "all users") and
+// the seed group.
+//
+// The group is canonicalised by stable-sorting on promotion T only.
+// That is exactly the reordering the engine itself performs
+// (RunCampaign buckets seeds by T, preserving input order within a
+// bucket), so two groups that differ only in cross-promotion
+// interleaving provably simulate identically and may share an entry.
+// Within one promotion the order is significant and is preserved:
+// seeds enter the initial frontier in input order and the campaign
+// consumes a sequential RNG stream in frontier order, so permuting
+// within-T seeds can change outcomes bit-for-bit. Sorting those away
+// would alias bit-different grids — the one thing a bit-identity
+// cache must never do (DESIGN.md §10).
+func AppendGroupKey(b []byte, seed uint64, lo, hi int, seeds []diffusion.Seed, market []bool, withPi bool) []byte {
+	b = wirebin.AppendU64(b, seed)
+	b = wirebin.AppendUvarint(b, uint64(lo))
+	b = wirebin.AppendUvarint(b, uint64(hi))
+	b = wirebin.AppendBool(b, withPi)
+	if market == nil {
+		b = wirebin.AppendU8(b, 0)
+	} else {
+		b = wirebin.AppendU8(b, 1)
+		n := 0
+		for _, in := range market {
+			if in {
+				n++
+			}
+		}
+		ids := make([]int32, 0, n)
+		for u, in := range market {
+			if in {
+				ids = append(ids, int32(u))
+			}
+		}
+		b = wirebin.AppendAscInt32s(b, ids)
+	}
+	b = wirebin.AppendUvarint(b, uint64(len(seeds)))
+	for _, s := range canonicalSeeds(seeds) {
+		b = wirebin.AppendVarint(b, int64(s.User))
+		b = wirebin.AppendVarint(b, int64(s.Item))
+		b = wirebin.AppendUvarint(b, uint64(s.T))
+	}
+	return b
+}
+
+// Append re-encodes a decoded key. For any key DecodeGroupKey
+// accepts, Append reproduces the original bytes exactly — decoding is
+// injective over canonical encodings, which is what lets the decoder
+// double as the codec's correctness oracle under fuzzing.
+func (k GroupKey) Append(b []byte) []byte {
+	b = wirebin.AppendU64(b, k.Seed)
+	b = wirebin.AppendUvarint(b, uint64(k.Lo))
+	b = wirebin.AppendUvarint(b, uint64(k.Hi))
+	b = wirebin.AppendBool(b, k.WithPi)
+	if !k.HasMarket {
+		b = wirebin.AppendU8(b, 0)
+	} else {
+		b = wirebin.AppendU8(b, 1)
+		b = wirebin.AppendAscInt32s(b, k.Market)
+	}
+	b = wirebin.AppendUvarint(b, uint64(len(k.Seeds)))
+	for _, s := range canonicalSeeds(k.Seeds) {
+		b = wirebin.AppendVarint(b, int64(s.User))
+		b = wirebin.AppendVarint(b, int64(s.Item))
+		b = wirebin.AppendUvarint(b, uint64(s.T))
+	}
+	return b
+}
+
+// canonicalSeeds returns the group bucketed by T ascending with
+// within-T input order preserved, copying only when a reorder is
+// needed.
+func canonicalSeeds(seeds []diffusion.Seed) []diffusion.Seed {
+	for i := 1; i < len(seeds); i++ {
+		if seeds[i].T < seeds[i-1].T {
+			c := make([]diffusion.Seed, len(seeds))
+			copy(c, seeds)
+			sort.SliceStable(c, func(a, b int) bool { return c[a].T < c[b].T })
+			return c
+		}
+	}
+	return seeds
+}
+
+// DecodeGroupKey decodes a canonical group key, rejecting truncated or
+// non-canonical encodings (descending promotion order, an inverted
+// sample range, trailing bytes) so every accepted key re-encodes to
+// the same bytes — the round-trip property the fuzz target pins.
+func DecodeGroupKey(b []byte) (GroupKey, error) {
+	var k GroupKey
+	r := wirebin.NewReader(b)
+	k.Seed = r.U64()
+	lo := r.Uvarint()
+	hi := r.Uvarint()
+	k.WithPi = r.Bool()
+	switch flag := r.U8(); flag {
+	case 0:
+	case 1:
+		k.HasMarket = true
+		k.Market = r.AscInt32s()
+		for i := 1; i < len(k.Market); i++ {
+			if k.Market[i] == k.Market[i-1] {
+				return GroupKey{}, fmt.Errorf("gridcache: duplicate market user %d", k.Market[i])
+			}
+		}
+		if len(k.Market) > 0 && k.Market[0] < 0 {
+			return GroupKey{}, fmt.Errorf("gridcache: negative market user %d", k.Market[0])
+		}
+	default:
+		return GroupKey{}, fmt.Errorf("gridcache: bad market flag %d", flag)
+	}
+	n := r.Count(3) // two varints + one uvarint ≥ 3 bytes per seed
+	if r.Err() == nil && n > 0 {
+		k.Seeds = make([]diffusion.Seed, n)
+		prevT := 0
+		for i := range k.Seeds {
+			k.Seeds[i].User = int(r.Varint())
+			k.Seeds[i].Item = int(r.Varint())
+			t := r.Uvarint()
+			if r.Err() != nil {
+				break
+			}
+			if t > 1<<20 {
+				return GroupKey{}, fmt.Errorf("gridcache: promotion %d out of range", t)
+			}
+			if int(t) < prevT {
+				return GroupKey{}, fmt.Errorf("gridcache: non-canonical promotion order (%d after %d)", t, prevT)
+			}
+			k.Seeds[i].T = int(t)
+			prevT = int(t)
+		}
+	}
+	if err := r.Done(); err != nil {
+		return GroupKey{}, err
+	}
+	if lo > 1<<40 || hi > 1<<40 || hi <= lo {
+		return GroupKey{}, fmt.Errorf("gridcache: bad sample range [%d,%d)", lo, hi)
+	}
+	k.Lo, k.Hi = int(lo), int(hi)
+	// Canonicality backstop: the structural checks above reject the
+	// semantically dangerous reorderings, but the varint layer accepts
+	// non-minimal spellings (0x80 0x00 for zero). Re-encoding and
+	// comparing rejects every remaining alias in one stroke, making
+	// "accepted" synonymous with "canonical".
+	if !bytes.Equal(k.Append(nil), b) {
+		return GroupKey{}, fmt.Errorf("gridcache: non-canonical key encoding")
+	}
+	return k, nil
+}

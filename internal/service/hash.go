@@ -134,10 +134,10 @@ func hashOptions(d *digest, o core.Options) {
 	d.i64(int(o.Order))
 	d.bool(o.DisableTargetMarkets)
 	d.bool(o.DisableItemPriority)
-	// Workers, Progress and Backend-as-constructor intentionally
-	// omitted: none can affect the result under the §3/§7 determinism
-	// contracts, so requests that differ only there should share one
-	// cache entry. Epsilon/Delta are the exception the PR-4 note
+	// Workers, Progress, Backend-as-constructor and GridCache
+	// intentionally omitted: none can affect the result under the
+	// §3/§7/§10 determinism contracts, so requests that differ only
+	// there should share one cache entry. Epsilon/Delta are the exception the PR-4 note
 	// predates: they change the answer itself (approximate coverage
 	// counts instead of exact simulation), so sketch requests hash
 	// into their own cache lane below — gated on Epsilon > 0 so every

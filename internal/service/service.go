@@ -10,6 +10,7 @@ import (
 
 	"imdpp/internal/core"
 	"imdpp/internal/diffusion"
+	"imdpp/internal/gridcache"
 	"imdpp/internal/sketch"
 )
 
@@ -62,6 +63,19 @@ type Config struct {
 	// SketchDir, when non-empty, persists built sketch indexes to disk
 	// in the canonical wire form and reloads them across restarts.
 	SketchDir string
+	// GridCacheMB bounds the in-memory sample-grid memoization cache
+	// (internal/gridcache, DESIGN.md §10) in MiB (default 64; 0 uses
+	// the default, negative disables). The cache is shared by every
+	// job and sigma evaluation, so CELF waves of near-duplicate
+	// requests reuse simulation work bit-identically — it sits below
+	// the whole-solve result cache and, unlike the sketch lane, never
+	// changes an answer.
+	GridCacheMB int
+	// GridCacheDir, when non-empty, spills committed sample grids to
+	// disk in the canonical wire form and reloads them on a miss, so
+	// eviction or a restart degrades repeats to disk hits instead of
+	// re-simulation.
+	GridCacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +90,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobRetention <= 0 {
 		c.JobRetention = 1024
+	}
+	if c.GridCacheMB == 0 {
+		c.GridCacheMB = 64
 	}
 	return c
 }
@@ -103,17 +120,29 @@ type Metrics struct {
 	Running          int     `json:"running"`
 	SamplesSimulated uint64  `json:"samples_simulated"`
 	SolveSeconds     float64 `json:"solve_seconds"`
-	// SamplesPerSec is SamplesSimulated over cumulative solve time —
-	// the service-level estimator throughput.
+	// SamplesPerSec is effective estimator throughput: samples
+	// simulated plus samples served from the grid cache, over
+	// cumulative solve time. Counting served samples keeps the metric
+	// comparable across cache-on and cache-off daemons — a cache hit
+	// delivers the same bits as a simulation, just faster.
 	SamplesPerSec float64 `json:"samples_per_sec"`
-	// Sketch-backend counters: requests that selected the approximate
-	// backend (epsilon set), RR indexes actually built, in-memory
-	// sketch cache hits, and indexes reloaded from the disk spill
-	// (-sketch-dir) instead of rebuilt.
-	SketchRequests  uint64 `json:"sketch_requests"`
-	SketchBuilds    uint64 `json:"sketch_builds"`
-	SketchCacheHits uint64 `json:"sketch_cache_hits"`
-	SketchDiskHits  uint64 `json:"sketch_disk_hits"`
+	// Sketch and Grid nest the per-subsystem cache counters, the same
+	// object-per-subsystem shape the daemon uses for "shard" — one
+	// naming discipline for every future counter family instead of a
+	// drift of flat prefixed keys.
+	Sketch SketchMetrics   `json:"sketch"`
+	Grid   gridcache.Stats `json:"grid"`
+}
+
+// SketchMetrics groups the sketch-backend counters: requests that
+// selected the approximate backend (epsilon set), RR indexes actually
+// built, in-memory sketch cache hits, and indexes reloaded from the
+// disk spill (-sketch-dir) instead of rebuilt.
+type SketchMetrics struct {
+	Requests  uint64 `json:"requests"`
+	Builds    uint64 `json:"builds"`
+	CacheHits uint64 `json:"cache_hits"`
+	DiskHits  uint64 `json:"disk_hits"`
 }
 
 // Service runs campaign solves asynchronously. Create with New,
@@ -139,6 +168,11 @@ type Service struct {
 	sketchCache *sketch.Cache
 	sketchReqs  atomic.Uint64
 
+	// gridCache memoizes raw sample grids across jobs and sigma
+	// evaluations, keyed by HashProblem + the canonical group key
+	// (DESIGN.md §10); nil when Config disables it.
+	gridCache *gridcache.Cache
+
 	submitted  atomic.Uint64
 	completed  atomic.Uint64
 	failed     atomic.Uint64
@@ -148,6 +182,7 @@ type Service struct {
 	coalesced  atomic.Uint64
 	running    atomic.Int64
 	samples    atomic.Uint64
+	saved      atomic.Uint64
 	solveNanos atomic.Int64
 }
 
@@ -166,6 +201,13 @@ func New(cfg Config) *Service {
 	}
 	s.sketchCache = sketch.NewCache(cfg.SketchCacheSize, cfg.SketchDir,
 		func(p *diffusion.Problem) string { return HashProblem(p).String() })
+	if cfg.GridCacheMB > 0 {
+		s.gridCache = gridcache.New(gridcache.Config{
+			MaxBytes: int64(cfg.GridCacheMB) << 20,
+			Dir:      cfg.GridCacheDir,
+			KeyFn:    func(p *diffusion.Problem) string { return HashProblem(p).String() },
+		})
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -349,6 +391,12 @@ func (s *Service) runJob(j *Job) {
 	if s.cfg.SolveWorkers > 0 {
 		opt.Workers = s.cfg.SolveWorkers
 	}
+	if opt.GridCache == nil {
+		// the shared grid cache is what lets near-duplicate jobs — same
+		// problem and seed, slightly different options — reuse each
+		// other's simulation work below the whole-solve result cache
+		opt.GridCache = s.gridCache
+	}
 	if opt.Backend == nil {
 		if opt.Epsilon > 0 {
 			// an epsilon request explicitly asked for the approximate
@@ -387,6 +435,7 @@ func (s *Service) runJob(j *Job) {
 		}
 		s.mu.Unlock()
 		s.samples.Add(sol.Stats.SamplesSimulated)
+		s.saved.Add(sol.Stats.SamplesSaved)
 		s.solveNanos.Add(int64(elapsed))
 		if j.finish(StatusDone, &sol, nil) {
 			s.completed.Add(1)
@@ -469,12 +518,17 @@ func (s *Service) Sigma(ctx context.Context, p *diffusion.Problem, seeds []diffu
 	}
 	est := backend(p, mc, opt.Seed, s.cfg.SolveWorkers)
 	est.Bind(ctx)
+	core.AttachGridCache(est, p, s.gridCache)
 	start := time.Now()
 	run := est.Run(seeds, nil, false)
 	if err := ctx.Err(); err != nil {
 		return diffusion.Estimate{}, "", err
 	}
 	s.samples.Add(est.SamplesDone())
+	if gs, ok := est.(interface{ GridStats() (uint64, uint64) }); ok {
+		_, sv := gs.GridStats()
+		s.saved.Add(sv)
+	}
 	s.solveNanos.Add(int64(time.Since(start)))
 	return run, name, nil
 }
@@ -500,9 +554,10 @@ func (s *Service) Metrics() Metrics {
 		SolveSeconds:     time.Duration(s.solveNanos.Load()).Seconds(),
 	}
 	if m.SolveSeconds > 0 {
-		m.SamplesPerSec = float64(m.SamplesSimulated) / m.SolveSeconds
+		m.SamplesPerSec = float64(m.SamplesSimulated+s.saved.Load()) / m.SolveSeconds
 	}
-	m.SketchRequests = s.sketchReqs.Load()
-	m.SketchBuilds, m.SketchCacheHits, m.SketchDiskHits = s.sketchCache.Stats()
+	m.Sketch.Requests = s.sketchReqs.Load()
+	m.Sketch.Builds, m.Sketch.CacheHits, m.Sketch.DiskHits = s.sketchCache.Stats()
+	m.Grid = s.gridCache.Stats()
 	return m
 }

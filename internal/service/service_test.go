@@ -541,13 +541,13 @@ func TestSketchBackendSelection(t *testing.T) {
 	}
 
 	m := s.Metrics()
-	if m.SketchRequests < 2 {
-		t.Fatalf("sketch_requests = %d, want ≥ 2 (solve + sigma)", m.SketchRequests)
+	if m.Sketch.Requests < 2 {
+		t.Fatalf("sketch_requests = %d, want ≥ 2 (solve + sigma)", m.Sketch.Requests)
 	}
-	if m.SketchBuilds != 1 {
-		t.Fatalf("sketch_builds = %d, want 1 (index shared across solve and sigma)", m.SketchBuilds)
+	if m.Sketch.Builds != 1 {
+		t.Fatalf("sketch_builds = %d, want 1 (index shared across solve and sigma)", m.Sketch.Builds)
 	}
-	if m.SketchCacheHits < 1 {
-		t.Fatalf("sketch_cache_hits = %d, want ≥ 1", m.SketchCacheHits)
+	if m.Sketch.CacheHits < 1 {
+		t.Fatalf("sketch_cache_hits = %d, want ≥ 1", m.Sketch.CacheHits)
 	}
 }

@@ -105,6 +105,21 @@ func (e *Estimator) SamplesDone() uint64 {
 // footprint (remote workers' state lives in their own processes).
 func (e *Estimator) StateBytes() uint64 { return e.local.StateBytes() }
 
+// AttachGrid wires a sample-grid memoization view (DESIGN.md §10)
+// into the local fallback engine, so coordinator-side evaluations —
+// fallback ranges with a dead pool, MeanWeights — share grids with
+// other solves on this process. Remote workers host their own cache
+// instances (WorkerConfig.Grid); attaching here does not affect what
+// they simulate.
+func (e *Estimator) AttachGrid(v diffusion.GridCache) { e.local.Grid = v }
+
+// GridStats reports the local engine's cache-served work, the
+// per-solve counters behind core.Stats.GridHits/SamplesSaved.
+// Worker-side hits are visible in the workers' own /metrics, not
+// here: a coordinator cannot tell a warm remote grid from a cold one
+// by looking at the bit-identical bytes it receives.
+func (e *Estimator) GridStats() (hits, samplesSaved uint64) { return e.local.GridStats() }
+
 // Sigma returns the Monte-Carlo estimate of σ(seeds).
 func (e *Estimator) Sigma(seeds []diffusion.Seed) float64 {
 	return e.Run(seeds, nil, false).Sigma

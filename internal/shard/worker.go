@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"imdpp/internal/diffusion"
+	"imdpp/internal/gridcache"
 	"imdpp/internal/service"
 )
 
@@ -30,6 +31,18 @@ type WorkerConfig struct {
 	// one request (default 1<<24; requests beyond it are rejected
 	// with a typed bad_request).
 	MaxUnits int
+	// Grid, when non-nil, memoizes raw sample grids across estimate
+	// requests (DESIGN.md §10): coordinator re-dispatch, speculative
+	// duplicates and repeated CELF waves over the same (problem, seed,
+	// range, group) coordinates are served from the cache instead of
+	// re-simulated, bit-identically. Workers host their own instance —
+	// grids are cached where they are computed, never shipped warm.
+	// Note the key includes the sample range [lo,hi): under the pool's
+	// default throughput-weighted planning, ranges drift with the EWMAs
+	// between batches, so cross-batch reuse is best with the static
+	// split (Pool.SetWeighted(false)); within-batch reuse (repeated
+	// CELF waves, coordinator re-dispatch) is unaffected.
+	Grid *gridcache.Cache
 }
 
 // Worker is the server side of the estimator RPC: a content-addressed
@@ -78,6 +91,9 @@ type WorkerStats struct {
 	ProblemsCached   int    `json:"problems_cached"`
 	ShardsServed     uint64 `json:"shards_served"`
 	SamplesSimulated uint64 `json:"samples_simulated"`
+	// Grid nests the worker's sample-grid cache counters, mirroring
+	// the coordinator /metrics shape; nil without a cache.
+	Grid *gridcache.Stats `json:"grid,omitempty"`
 }
 
 // Stats snapshots the worker counters.
@@ -85,11 +101,16 @@ func (w *Worker) Stats() WorkerStats {
 	w.mu.Lock()
 	n := len(w.problems)
 	w.mu.Unlock()
-	return WorkerStats{
+	st := WorkerStats{
 		ProblemsCached:   n,
 		ShardsServed:     w.shardsServed.Load(),
 		SamplesSimulated: w.samplesDone.Load(),
 	}
+	if w.cfg.Grid != nil {
+		g := w.cfg.Grid.Stats()
+		st.Grid = &g
+	}
+	return st
 }
 
 // DropProblems empties the problem store — the observable effect of a
@@ -160,6 +181,7 @@ func (w *Worker) handleUpload(rw http.ResponseWriter, r *http.Request) {
 	key := service.HashProblem(p)
 	wp := &workerProblem{p: p, est: diffusion.NewEstimator(p, 1, 0)}
 	wp.est.Workers = w.cfg.Workers
+	wp.est.Grid = w.cfg.Grid.View(p)
 
 	w.mu.Lock()
 	if _, ok := w.problems[key]; !ok {

@@ -190,6 +190,16 @@ func (e *Estimator) MeanWeights(seeds []diffusion.Seed, users []int) []float64 {
 	return e.mc.MeanWeights(seeds, users)
 }
 
+// AttachGrid wires a sample-grid memoization view (DESIGN.md §10)
+// into the embedded MC engine — the delegated π/MeanWeights/MCSI
+// paths simulate real campaigns and memoize like the exact backend;
+// the sketch's own coverage-counting answers never touch the grid
+// cache (they are approximate and keyed in their own §9 lane).
+func (e *Estimator) AttachGrid(v diffusion.GridCache) { e.mc.Grid = v }
+
+// GridStats reports the embedded MC engine's cache-served work.
+func (e *Estimator) GridStats() (hits, samplesSaved uint64) { return e.mc.GridStats() }
+
 // SamplesDone reports the RR samples generated for this estimator's
 // sketch (counted once) plus the embedded MC engine's campaigns — the
 // work figure throughput accounting divides by.

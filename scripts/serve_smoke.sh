@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Serve-layer smoke: boots imdppd on a random port, drives one
 # end-to-end session — async solve to completion, identical resubmit
-# asserted to be a cache hit with bit-identical σ, cancel endpoint
-# asserted to abort a running solve — then appends the service
-# throughput record to BENCH_serve.json (one JSON object per line).
+# asserted to be a cache hit with bit-identical σ, two near-duplicate
+# solves asserted to share sample grids via the daemon-wide grid cache
+# (DESIGN.md §10), cancel endpoint asserted to abort a running solve —
+# then appends the service throughput record to BENCH_serve.json (one
+# JSON object per line).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -71,6 +73,33 @@ JOB2=$(echo "$R2" | jq -r .job_id)
 SIGMA2=$(curl -sf "$ADDR/v1/jobs/$JOB2" | jq -r .solution.sigma)
 [ "$SIGMA1" = "$SIGMA2" ] || { echo "cached σ differs: $SIGMA1 vs $SIGMA2" >&2; exit 1; }
 echo "cache hit: bit-identical σ"
+
+# Sample-grid memoization across near-duplicate solves (DESIGN.md §10):
+# two requests that differ from the first solve only in candidate_cap
+# miss the whole-solve result cache, but share (problem, seed, group)
+# coordinates with it, so the daemon-wide grid cache must report hits.
+for CAP in 48 56; do
+    REQN=$(echo "$REQ" | jq -c ".candidate_cap = $CAP")
+    RN=$(curl -sf -X POST "$ADDR/v1/solve" -d "$REQN")
+    [ "$(echo "$RN" | jq -r .cache_hit)" = "false" ] || { echo "near-duplicate hit the result cache: $RN" >&2; exit 1; }
+    JN=$(echo "$RN" | jq -r .job_id)
+    SN=""
+    for _ in $(seq 1 600); do
+        SN=$(curl -sf "$ADDR/v1/jobs/$JN" | jq -r .status)
+        [ "$SN" = done ] && break
+        case "$SN" in
+            failed | cancelled)
+                echo "near-duplicate job $SN" >&2
+                exit 1
+                ;;
+        esac
+        sleep 0.2
+    done
+    [ "$SN" = done ] || { echo "near-duplicate solve never finished" >&2; exit 1; }
+done
+GRID_HITS=$(curl -sf "$ADDR/metrics" | jq -r .grid.hits)
+[ "$GRID_HITS" -gt 0 ] || { echo "grid cache reported no hits after near-duplicate solves" >&2; exit 1; }
+echo "grid cache: $GRID_HITS hits across near-duplicate solves"
 
 # cancel path: a heavy solve (≳30s uncancelled) aborted mid-run
 HEAVY='{"dataset":"amazon","scale":0.05,"budget":100,"t":4,"mc":131072,"mcsi":4096,"candidate_cap":256,"seed":99}'
