@@ -3,7 +3,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race bench fmt fmt-check vet lint smoke serve-smoke shard-smoke sketch-smoke gridcache-smoke docs-check bench-diff fuzz
+.PHONY: all build test race bench fmt fmt-check vet lint smoke serve-smoke load-smoke shard-smoke sketch-smoke gridcache-smoke docs-check bench-diff fuzz
 
 all: build test
 
@@ -53,6 +53,13 @@ smoke:
 # throughput record to BENCH_serve.json.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Concurrent-client load smoke (DESIGN.md §11): N distinct-seeded
+# solves contending for the daemon's worker pool, asserting the
+# queue-wait and solve-wall latency histograms observed every client
+# and appending the p50/p99 tail-latency record to BENCH_serve.json.
+load-smoke:
+	./scripts/load_smoke.sh
 
 # Sharded-estimation smoke: boots two estimator workers plus binary-
 # and JSON-codec coordinators on random ports, asserts σ and a full

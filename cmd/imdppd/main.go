@@ -35,9 +35,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -63,16 +64,28 @@ func main() {
 	sketchDir := flag.String("sketch-dir", "", "directory persisting RR sketch indexes across restarts (empty = memory only)")
 	gridMB := flag.Int("grid-cache-mb", 64, "in-memory sample-grid memoization cache bound in MiB (0 disables); shared across jobs, and by each -worker across estimate requests")
 	gridDir := flag.String("grid-cache-dir", "", "directory spilling committed sample grids to disk (empty = memory only)")
+	debugAddr := flag.String("debug-addr", "", "optional debug listener (net/http/pprof + /debug/traces) kept off the serving mux; empty disables (DESIGN.md §11)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imdppd: %v\n", err)
+		os.Exit(1)
+	}
+	// one process-wide trace ring serves both modes: the coordinator
+	// records solve/shard spans into it, a worker its estimate spans
+	tracer := imdpp.NewTracer()
 
 	var handler http.Handler
 	var cleanup func()
 	switch {
 	case *workerMode:
 		if *shardWorkers != "" {
-			log.Fatal("imdppd: -worker and -shard-workers are mutually exclusive")
+			fatal(logger, "-worker and -shard-workers are mutually exclusive")
 		}
-		w := newWorkerDaemon(*solveWorkers, *gridMB, *gridDir)
+		w := newWorkerDaemon(*solveWorkers, *gridMB, *gridDir, tracer)
 		handler = w.handler()
 		cleanup = func() {}
 	default:
@@ -84,6 +97,8 @@ func main() {
 			SketchDir:    *sketchDir,
 			GridCacheMB:  *gridMB,
 			GridCacheDir: *gridDir,
+			Tracer:       tracer,
+			Logger:       logger,
 		}
 		if *gridMB <= 0 {
 			cfg.GridCacheMB = -1 // flag 0 means off; Config 0 means default
@@ -93,13 +108,15 @@ func main() {
 			urls := strings.Split(*shardWorkers, ",")
 			pool = imdpp.NewShardPool(urls, nil)
 			if err := pool.SetCodec(*shardCodec); err != nil {
-				log.Fatalf("imdppd: %v", err)
+				fatal(logger, err.Error())
 			}
 			pool.SetWeighted(*shardWeighted)
 			pool.SetSpeculation(*shardSpec)
+			pool.SetLogger(logger)
 			healthy := pool.Check(context.Background())
-			log.Printf("imdppd: shard pool: %d/%d workers healthy (codec=%s weighted=%v speculate=%v)",
-				healthy, pool.Size(), pool.Codec(), *shardWeighted, *shardSpec)
+			logger.Info("shard pool ready",
+				"healthy", healthy, "workers", pool.Size(), "codec", pool.Codec(),
+				"weighted", *shardWeighted, "speculate", *shardSpec)
 			pool.StartHealthLoop(*shardProbe)
 			cfg.Backend = imdpp.ShardBackend(pool)
 		}
@@ -114,9 +131,20 @@ func main() {
 	}
 	defer cleanup()
 
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(logger, "debug listen failed", "addr", *debugAddr, "err", err)
+		}
+		go func() { _ = http.Serve(dln, debugMux(tracer)) }()
+		// same scrape contract as the serving line below, for harnesses
+		// that need the resolved debug port
+		fmt.Printf("imdppd debug listening on http://%s\n", dln.Addr())
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("imdppd: listen %s: %v", *addr, err)
+		fatal(logger, "listen failed", "addr", *addr, "err", err)
 	}
 	srv := &http.Server{Handler: handler}
 
@@ -133,8 +161,50 @@ func main() {
 		_ = srv.Shutdown(shutdownCtx)
 	}()
 	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("imdppd: serve: %v", err)
+		fatal(logger, "serve failed", "err", err)
 	}
+}
+
+// newLogger builds the process logger from the -log-level / -log-json
+// flags. Logs go to stderr so stdout keeps the readiness-line contract.
+func newLogger(level string, jsonOut bool) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	if jsonOut {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+}
+
+func fatal(logger *slog.Logger, msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
+
+// debugMux is the opt-in -debug-addr surface: recent traces plus the
+// standard pprof profiles, deliberately on a separate listener so
+// profiling load and trace scrapes never contend with serving traffic.
+func debugMux(tracer *imdpp.Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /debug/traces", tracer.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // daemon wires the HTTP surface to the serving layer, memoizing the
@@ -179,8 +249,8 @@ type workerDaemon struct {
 	start time.Time
 }
 
-func newWorkerDaemon(solveWorkers, gridMB int, gridDir string) *workerDaemon {
-	cfg := imdpp.ShardWorkerConfig{Workers: solveWorkers}
+func newWorkerDaemon(solveWorkers, gridMB int, gridDir string, tracer *imdpp.Tracer) *workerDaemon {
+	cfg := imdpp.ShardWorkerConfig{Workers: solveWorkers, Tracer: tracer}
 	if gridMB > 0 {
 		cfg.Grid = imdpp.NewGridCache(gridMB, gridDir)
 	}
@@ -517,6 +587,9 @@ func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if d.pool != nil {
 		st := d.pool.Snapshot()
 		out.Shard = &st
+		// the RPC-latency histogram lives pool-side; overlay it onto the
+		// service's latency block so /metrics reports all four
+		out.Latency.ShardRPC = d.pool.RPCLatency()
 	}
 	writeJSON(w, http.StatusOK, out)
 }

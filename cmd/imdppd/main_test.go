@@ -267,8 +267,8 @@ func TestDaemonCancelFinishedJobConflict(t *testing.T) {
 // is bit-identical to a plain local daemon's — the shard-smoke contract
 // in-process.
 func TestDaemonShardedCoordinator(t *testing.T) {
-	w1 := httptest.NewServer(newWorkerDaemon(2, 16, "").handler())
-	w2 := httptest.NewServer(newWorkerDaemon(2, 16, "").handler())
+	w1 := httptest.NewServer(newWorkerDaemon(2, 16, "", nil).handler())
+	w2 := httptest.NewServer(newWorkerDaemon(2, 16, "", nil).handler())
 	t.Cleanup(w1.Close)
 	t.Cleanup(w2.Close)
 
@@ -457,7 +457,7 @@ func TestDaemonMetricsSchema(t *testing.T) {
 		"jobs_submitted", "jobs_completed", "jobs_failed", "jobs_cancelled",
 		"cache_hits", "cache_misses", "coalesced", "cache_entries",
 		"queue_depth", "running", "samples_simulated", "solve_seconds",
-		"samples_per_sec", "sketch", "grid",
+		"samples_per_sec", "sketch", "grid", "latency",
 		"solve_workers", "datasets_cached", "uptime_seconds",
 	}
 	for _, k := range want {
@@ -497,6 +497,105 @@ func TestDaemonMetricsSchema(t *testing.T) {
 	}
 	if hits, ok := nested.Grid["hits"].(float64); !ok || hits < 1 {
 		t.Errorf("identical sigma evaluations produced no grid hits: %v", nested.Grid["hits"])
+	}
+
+	// the latency block carries one histogram snapshot per stage, each
+	// with the full quantile key set (DESIGN.md §11)
+	var lat struct {
+		Latency map[string]map[string]float64 `json:"latency"`
+	}
+	if err := json.Unmarshal(mustMarshal(t, doc), &lat); err != nil {
+		t.Fatalf("decode latency: %v", err)
+	}
+	for _, stage := range []string{"queue_wait", "solve_wall", "shard_rpc", "sigma"} {
+		h, ok := lat.Latency[stage]
+		if !ok {
+			t.Errorf("latency block missing stage %q", stage)
+			continue
+		}
+		for _, k := range []string{"count", "mean_ms", "p50_ms", "p95_ms", "p99_ms"} {
+			if _, ok := h[k]; !ok {
+				t.Errorf("latency.%s missing %q", stage, k)
+			}
+		}
+	}
+	if lat.Latency["sigma"]["count"] < 2 {
+		t.Errorf("two sigma evaluations observed %v in latency.sigma", lat.Latency["sigma"]["count"])
+	}
+}
+
+// TestDaemonTracingEndToEnd pins the daemon-level observability
+// surface: with a Tracer configured, a finished job reports its
+// trace_id and per-phase timings, and the -debug-addr mux serves the
+// recorded trace at GET /debug/traces.
+func TestDaemonTracingEndToEnd(t *testing.T) {
+	tracer := imdpp.NewTracer()
+	d := newDaemon(imdpp.ServiceConfig{
+		Workers: 1, QueueDepth: 8, CacheSize: 32, Tracer: tracer,
+	}, nil)
+	srv := httptest.NewServer(d.handler())
+	debug := httptest.NewServer(debugMux(tracer))
+	t.Cleanup(func() {
+		srv.Close()
+		debug.Close()
+		d.svc.Close()
+	})
+
+	var sub solveResponse
+	if code := postJSON(t, srv.URL+"/v1/solve", quickSolve, &sub); code != http.StatusAccepted {
+		t.Fatalf("solve: status %d", code)
+	}
+	done := pollUntil(t, srv.URL+"/v1/jobs/"+sub.JobID, func(v imdpp.JobView) bool {
+		return v.Status == imdpp.JobDone
+	})
+	if done.TraceID == "" {
+		t.Fatalf("finished job has no trace_id: %+v", done)
+	}
+	if len(done.Phases) == 0 {
+		t.Fatalf("finished job has no phase timings: %+v", done)
+	}
+	for _, ph := range done.Phases {
+		if ph.Phase == "" || ph.Seconds < 0 {
+			t.Fatalf("malformed phase timing: %+v", ph)
+		}
+	}
+
+	var traces struct {
+		Traces []imdpp.Trace `json:"traces"`
+	}
+	if code := getJSON(t, debug.URL+"/debug/traces", &traces); code != http.StatusOK {
+		t.Fatalf("debug/traces: status %d", code)
+	}
+	found := false
+	for _, tr := range traces.Traces {
+		if tr.TraceID.String() != done.TraceID {
+			continue
+		}
+		found = true
+		names := make(map[string]int)
+		for _, s := range tr.Spans {
+			names[s.Name]++
+		}
+		if names["job"] == 0 || names["queue_wait"] == 0 {
+			t.Fatalf("trace %s missing job/queue_wait spans: %v", done.TraceID, names)
+		}
+		phased := 0
+		for n, c := range names {
+			if len(n) > 6 && n[:6] == "phase:" {
+				phased += c
+			}
+		}
+		if phased == 0 {
+			t.Fatalf("trace %s has no phase spans: %v", done.TraceID, names)
+		}
+	}
+	if !found {
+		t.Fatalf("job trace %s not in /debug/traces", done.TraceID)
+	}
+
+	// pprof rides the same debug mux
+	if code := getJSON(t, debug.URL+"/debug/pprof/cmdline", nil); code != http.StatusOK {
+		t.Fatalf("debug/pprof/cmdline: status %d", code)
 	}
 }
 

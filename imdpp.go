@@ -38,6 +38,7 @@ import (
 	"imdpp/internal/diffusion"
 	"imdpp/internal/exp"
 	"imdpp/internal/gridcache"
+	"imdpp/internal/obs"
 	"imdpp/internal/service"
 	"imdpp/internal/shard"
 	"imdpp/internal/sketch"
@@ -381,3 +382,27 @@ var (
 	// SketchTheta returns the RR sample count for an (ε, δ) contract.
 	SketchTheta = sketch.Theta
 )
+
+// Observability (package obs, DESIGN.md §11): span tracing across the
+// solve → shard → cache pipeline plus fixed-bucket latency histograms.
+// Purely observational — enabling a Tracer never changes a solver
+// result bit (the same exclusion §3 grants Progress callbacks).
+type (
+	// Tracer records recent traces in a bounded ring; plug one into
+	// ServiceConfig.Tracer (coordinator) or ShardWorkerConfig.Tracer
+	// (worker). Its Handler serves GET /debug/traces.
+	Tracer = obs.Tracer
+	// Trace is one recorded trace: a root id plus its span records.
+	Trace = obs.Trace
+	// SpanRec is one finished span (also the shard-wire span form).
+	SpanRec = obs.SpanRec
+	// HistStats is a latency histogram snapshot (count, mean, p50/p95/p99).
+	HistStats = obs.HistStats
+	// LatencyMetrics is the /metrics "latency" block.
+	LatencyMetrics = service.LatencyMetrics
+	// PhaseTiming is one per-phase wall-clock entry on a job snapshot.
+	PhaseTiming = service.PhaseTiming
+)
+
+// NewTracer creates a trace recorder holding the most recent traces.
+var NewTracer = obs.NewTracer

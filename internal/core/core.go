@@ -126,6 +126,10 @@ type ProgressEvent struct {
 	Spent float64 `json:"spent"`
 	// Sigma is the best σ estimate observed so far (0 until known).
 	Sigma float64 `json:"sigma"`
+	// ElapsedNS is the monotonic time since the solve began, so
+	// consumers can order and latency-attribute streamed events without
+	// trusting wall clocks.
+	ElapsedNS int64 `json:"elapsed_ns"`
 }
 
 // WithDefaults returns the options with every zero-valued field
@@ -226,11 +230,12 @@ type solver struct {
 	est   Estimator // MC-sample estimator for selection
 	estSI Estimator // MCSI-sample estimator for DRE/TDSI
 	stats Stats
+	start time.Time // monotonic solve start, for ProgressEvent.ElapsedNS
 }
 
 func newSolver(ctx context.Context, p *diffusion.Problem, opt Options) *solver {
 	opt = opt.withDefaults()
-	s := &solver{ctx: ctx, p: p, opt: opt}
+	s := &solver{ctx: ctx, p: p, opt: opt, start: time.Now()}
 	backend := opt.backend()
 	s.est = backend(p, opt.MC, opt.Seed, opt.Workers)
 	s.est.Bind(ctx)
@@ -286,7 +291,10 @@ func (s *solver) err() error { return s.ctx.Err() }
 // progress emits a solver progress event when a callback is set.
 func (s *solver) progress(phase string, round int, spent, sigma float64) {
 	if s.opt.Progress != nil {
-		s.opt.Progress(ProgressEvent{Phase: phase, Round: round, Spent: spent, Sigma: sigma})
+		s.opt.Progress(ProgressEvent{
+			Phase: phase, Round: round, Spent: spent, Sigma: sigma,
+			ElapsedNS: time.Since(s.start).Nanoseconds(),
+		})
 	}
 }
 

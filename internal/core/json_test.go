@@ -72,6 +72,35 @@ func TestSolutionJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestProgressEventJSONRoundTrip pins the progress-stream wire
+// contract surfaced through the daemon's job-status JSON, including
+// the monotonic elapsed_ns ordering field.
+func TestProgressEventJSONRoundTrip(t *testing.T) {
+	ev := ProgressEvent{
+		Phase:     "select",
+		Round:     3,
+		Spent:     12.5,
+		Sigma:     7.25,
+		ElapsedNS: 1500000,
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, field := range []string{`"phase"`, `"round"`, `"spent"`, `"sigma"`, `"elapsed_ns"`} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("wire contract broken: %s missing from %s", field, data)
+		}
+	}
+	var back ProgressEvent
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(ev, back) {
+		t.Fatalf("round trip lost data:\nwant %+v\ngot  %+v", ev, back)
+	}
+}
+
 func TestEstimateJSONRoundTrip(t *testing.T) {
 	est := diffusion.Estimate{
 		Sigma:       3.75,

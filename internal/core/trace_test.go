@@ -1,0 +1,65 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"imdpp/internal/obs"
+)
+
+// TestSolveTracingBitIdentity is the observability acceptance golden:
+// a solve run under a live trace span with a progress callback must be
+// bit-identical (Float64bits) to the same solve with no
+// instrumentation at all, because spans and progress events only
+// observe work — they never schedule, reorder or parameterise it
+// (DESIGN.md §3, §11).
+func TestSolveTracingBitIdentity(t *testing.T) {
+	p := sampleProblem(t, 100, 2)
+
+	plain, err := Solve(p, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := obs.NewTracer()
+	root := tracer.Start("solve_test")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	opt := quickOpts()
+	var events []ProgressEvent
+	opt.Progress = func(ev ProgressEvent) { events = append(events, ev) }
+	traced, err := SolveCtx(ctx, p, opt)
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if math.Float64bits(plain.Sigma) != math.Float64bits(traced.Sigma) {
+		t.Fatalf("sigma differs under tracing: %x vs %x",
+			math.Float64bits(plain.Sigma), math.Float64bits(traced.Sigma))
+	}
+	if math.Float64bits(plain.Cost) != math.Float64bits(traced.Cost) {
+		t.Fatalf("cost differs under tracing: %v vs %v", plain.Cost, traced.Cost)
+	}
+	if len(plain.Seeds) != len(traced.Seeds) {
+		t.Fatalf("seed count differs under tracing: %d vs %d", len(plain.Seeds), len(traced.Seeds))
+	}
+	for i := range plain.Seeds {
+		if plain.Seeds[i] != traced.Seeds[i] {
+			t.Fatalf("seed %d differs under tracing: %+v vs %+v", i, plain.Seeds[i], traced.Seeds[i])
+		}
+	}
+
+	// the instrumentation itself must have fired: progress events carry
+	// monotonically non-decreasing elapsed_ns
+	if len(events) == 0 {
+		t.Fatal("no progress events observed")
+	}
+	prev := int64(-1)
+	for i, ev := range events {
+		if ev.ElapsedNS < prev {
+			t.Fatalf("elapsed_ns not monotone at event %d: %d after %d", i, ev.ElapsedNS, prev)
+		}
+		prev = ev.ElapsedNS
+	}
+}

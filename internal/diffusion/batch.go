@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"imdpp/internal/obs"
 	"imdpp/internal/rng"
 )
 
@@ -114,7 +115,14 @@ func (e *Estimator) runBatch(groups [][]Seed, maskOf func(int) []bool, withPi bo
 	if k == 0 {
 		return out
 	}
+	// tracing is observation only (DESIGN.md §11): the span records the
+	// engine choice and unit counts after the fact, it never picks them
+	sp := obs.StartSpan(e.ctx, "sigma_batch")
+	defer sp.End()
+	sp.SetAttrInt("groups", int64(k))
+	sp.SetAttrInt("samples", int64(e.M))
 	if e.Grid != nil {
+		sp.SetAttr("engine", "grid")
 		// memoized path (DESIGN.md §10): resolve the full sample range
 		// through the grid cache and reduce with the same canonical
 		// sample-order fold the slot path uses — ReduceSampleGrid over
@@ -148,9 +156,12 @@ func (e *Estimator) runBatch(groups [][]Seed, maskOf func(int) []bool, withPi bo
 		// slots, atomics or locks. The addition order is identical to
 		// the pooled path's per-group reduction, so results stay
 		// bit-identical across worker counts.
+		sp.SetAttr("engine", "serial")
 		e.runSerial(groups, maskOf, withPi, master, out)
 		return out
 	}
+	sp.SetAttr("engine", "slots")
+	sp.SetAttrInt("workers", int64(w))
 
 	var (
 		next int64

@@ -56,6 +56,10 @@ type Estimator struct {
 	// claiming (group × sample) units once the channel is closed. Set
 	// via Bind; see the cancellation note on that method.
 	done <-chan struct{}
+
+	// ctx is the bound context, kept for trace-span extraction
+	// (obs.SpanFromContext); like done it never influences results.
+	ctx context.Context
 }
 
 // NewEstimator creates an estimator with M samples and master seed.
@@ -73,7 +77,10 @@ func NewEstimator(p *Problem, m int, seed uint64) *Estimator {
 // partial garbage; callers must check ctx.Err() before trusting an
 // Estimate. Binding context.Background() (or never binding) disables
 // preemption. Bind must not be called concurrently with evaluation.
-func (e *Estimator) Bind(ctx context.Context) { e.done = ctx.Done() }
+func (e *Estimator) Bind(ctx context.Context) {
+	e.done = ctx.Done()
+	e.ctx = ctx
+}
 
 // preempted reports whether a bound context has been cancelled. It is
 // a non-blocking channel poll, cheap enough for the per-unit hot path.

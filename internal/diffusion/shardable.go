@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"imdpp/internal/obs"
 	"imdpp/internal/rng"
 )
 
@@ -57,9 +58,19 @@ type SampleResult struct {
 // returned rows are then shared with the cache and must be treated as
 // immutable.
 func (e *Estimator) RunBatchSamples(groups [][]Seed, market []bool, masks [][]bool, withPi bool, lo, hi int) [][]SampleResult {
+	sp := obs.StartSpan(e.ctx, "sample_batch")
+	defer sp.End()
+	sp.SetAttrInt("groups", int64(len(groups)))
+	sp.SetAttrInt("lo", int64(lo))
+	sp.SetAttrInt("hi", int64(hi))
 	if e.Grid != nil {
-		return e.cachedSamples(groups, market, masks, withPi, lo, hi)
+		hits0 := e.gridHits.Load()
+		grid := e.cachedSamples(groups, market, masks, withPi, lo, hi)
+		sp.SetAttr("engine", "grid")
+		sp.SetAttrInt("grid_hits", int64(e.gridHits.Load()-hits0))
+		return grid
 	}
+	sp.SetAttr("engine", "raw")
 	return e.runBatchSamplesRaw(groups, market, masks, withPi, lo, hi)
 }
 

@@ -1,0 +1,37 @@
+package obs
+
+import "context"
+
+// Trace context rides on context.Context — the same channel the
+// solver pipeline already threads for cancellation — so tracing
+// reaches the diffusion engine and the shard dispatcher without any
+// estimator interface change, and code paths with no live trace see a
+// nil span everywhere.
+
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the current span. A nil
+// span returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFromContext returns the current span, or nil (also for nil
+// ctx).
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartSpan begins a child of ctx's current span, or returns nil when
+// no trace is live — the one-line instrumentation entry point for the
+// batch engine and shard dispatch paths.
+func StartSpan(ctx context.Context, name string) *Span {
+	return SpanFromContext(ctx).StartChild(name)
+}

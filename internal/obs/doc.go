@@ -1,0 +1,15 @@
+// Package obs is the zero-dependency observability layer behind the
+// daemon's /debug/traces endpoint and the /metrics "latency" block
+// (DESIGN.md §11): span-based tracing with trace/span ids, parent
+// links, phase labels and durations collected into a bounded ring of
+// recent traces, plus fixed-bucket latency histograms with p50/p95/p99
+// extraction.
+//
+// Everything here is result-invariant by construction — spans and
+// histogram observations only record wall-clock facts about work that
+// already happened; they never schedule, reorder or parameterise it —
+// so instrumented and uninstrumented solves are bit-identical under
+// the §3 determinism contract. All types are safe for concurrent use,
+// and every Span method is nil-receiver safe: code paths with no live
+// trace pay a nil check, not an allocation.
+package obs

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets is the fixed bucket count of every latency histogram:
+// bucket i spans (2^(i-1), 2^i] microseconds (bucket 0 is [0, 1µs]),
+// so 36 doubling buckets cover 1µs to ~19h — the whole plausible
+// range from a grid-cache hit to a pathological solve — at a constant
+// ~300 bytes per histogram. Fixed exponential buckets keep Observe
+// lock-free (one atomic add) and make quantile extraction a cheap
+// cumulative walk with linear interpolation inside the hit bucket,
+// accurate to within the bucket's 2× width — plenty for p50/p95/p99
+// dashboards, by design not a percentile-exact digest.
+const numBuckets = 36
+
+// Histogram is a fixed-bucket latency histogram. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Histogram struct {
+	counts [numBuckets + 1]atomic.Uint64 // last bucket: overflow
+	total  atomic.Uint64
+	sumNS  atomic.Int64
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	if us <= 1 {
+		return 0
+	}
+	i := bits.Len64(us - 1) // smallest i with us <= 2^i
+	if i > numBuckets {
+		return numBuckets
+	}
+	return i
+}
+
+// Observe records one latency sample. Negative durations are clamped
+// to zero; a nil histogram ignores the call.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.total.Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+}
+
+// HistStats is a histogram snapshot: the /metrics "latency" block
+// entry shape. JSON field names are a stable wire contract.
+type HistStats struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// Stats snapshots the histogram's count, mean and p50/p95/p99. A
+// concurrent Observe may or may not be included; the snapshot is
+// internally consistent enough for monitoring (counts are read once
+// into a local copy before the quantile walk).
+func (h *Histogram) Stats() HistStats {
+	if h == nil {
+		return HistStats{}
+	}
+	var counts [numBuckets + 1]uint64
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	st := HistStats{Count: total}
+	if total == 0 {
+		return st
+	}
+	st.MeanMs = float64(h.sumNS.Load()) / float64(total) / 1e6
+	st.P50Ms = quantile(&counts, total, 0.50)
+	st.P95Ms = quantile(&counts, total, 0.95)
+	st.P99Ms = quantile(&counts, total, 0.99)
+	return st
+}
+
+// quantile walks the cumulative counts to the bucket holding rank
+// q·total and interpolates linearly within it, returning
+// milliseconds.
+func quantile(counts *[numBuckets + 1]uint64, total uint64, q float64) float64 {
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			lo, hi := bucketBounds(i)
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return (lo + (hi-lo)*frac) / 1e3 // µs → ms
+		}
+		cum = next
+	}
+	_, hi := bucketBounds(numBuckets)
+	return hi / 1e3
+}
+
+// bucketBounds returns bucket i's (lo, hi] range in microseconds.
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return float64(uint64(1) << (i - 1)), float64(uint64(1) << i)
+}

@@ -1,0 +1,387 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ID is a trace or span identifier. It serializes as a 16-digit hex
+// string — JSON numbers lose precision past 2^53, and trace ids must
+// survive a round trip through any JSON client bit-exactly.
+type ID uint64
+
+// String returns the canonical 16-digit lower-hex form.
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// MarshalJSON encodes the id as its hex-string form.
+func (id ID) MarshalJSON() ([]byte, error) { return []byte(`"` + id.String() + `"`), nil }
+
+// UnmarshalJSON accepts the hex-string form (and, leniently, a bare
+// number from hand-written clients).
+func (id *ID) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		var n uint64
+		if nerr := json.Unmarshal(data, &n); nerr == nil {
+			*id = ID(n)
+			return nil
+		}
+		return err
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return fmt.Errorf("obs: bad id %q: %w", s, err)
+	}
+	*id = ID(v)
+	return nil
+}
+
+// idState seeds id generation once per process; ids are unique within
+// a process and collide across processes with splitmix64's ~2^-64
+// odds, which is plenty for joining coordinator and worker spans.
+var idState atomic.Uint64
+
+func init() { idState.Store(uint64(time.Now().UnixNano())) }
+
+// newID returns a fresh non-zero id (splitmix64 over a shared
+// counter; zero is reserved to mean "no id").
+func newID() ID {
+	for {
+		z := idState.Add(0x9e3779b97f4a7c15)
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		if z != 0 {
+			return ID(z)
+		}
+	}
+}
+
+// SpanRec is one finished span — the snapshot form served by
+// /debug/traces and the wire form shipped from shard workers back to
+// the coordinator. JSON field names are a stable contract.
+type SpanRec struct {
+	TraceID ID     `json:"trace_id"`
+	SpanID  ID     `json:"span_id"`
+	Parent  ID     `json:"parent_id,omitempty"` // zero for a trace root
+	Name    string `json:"name"`
+	Start   int64  `json:"start_unix_ns"`
+	DurNS   int64  `json:"duration_ns"`
+	// Attrs are small string facts about the span (counts, urls,
+	// ranges); values are strings so the set stays schema-free.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Trace is one completed trace: every span that finished under one
+// trace id, in end order (children before parents).
+type Trace struct {
+	TraceID ID        `json:"trace_id"`
+	Root    string    `json:"root"` // the root span's name
+	Spans   []SpanRec `json:"spans"`
+	// Dropped counts spans discarded beyond the per-trace bound.
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// Bounds of the recent-trace ring: how many completed traces are kept
+// and how many spans one trace may accumulate before dropping (a CELF
+// solve can emit thousands of batch spans; the cap keeps one heavy
+// job from pinning unbounded memory while still recording how much
+// was dropped).
+const (
+	maxTraces        = 64
+	maxSpansPerTrace = 512
+)
+
+// Tracer collects finished spans into a bounded ring of recent
+// traces. The zero value is not usable; create with NewTracer.
+type Tracer struct {
+	mu     sync.Mutex
+	traces []Trace // ring, oldest first
+}
+
+// NewTracer creates an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// collector accumulates one live trace's finished spans.
+type collector struct {
+	mu      sync.Mutex
+	spans   []SpanRec
+	dropped int
+}
+
+func (c *collector) add(rec SpanRec) {
+	c.mu.Lock()
+	if len(c.spans) >= maxSpansPerTrace {
+		c.dropped++
+	} else {
+		c.spans = append(c.spans, rec)
+	}
+	c.mu.Unlock()
+}
+
+// Span is a live span handle. A nil *Span is a valid no-op: every
+// method (including StartChild, which returns nil) is nil-receiver
+// safe, so uninstrumented paths need no branching at call sites.
+type Span struct {
+	tracer  *Tracer
+	col     *collector
+	traceID ID
+	spanID  ID
+	parent  ID
+	name    string
+	start   time.Time
+	root    bool
+
+	mu    sync.Mutex
+	attrs map[string]string
+	ended bool
+}
+
+// Start begins a new trace rooted at a span with the given name.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		tracer:  t,
+		col:     &collector{},
+		traceID: newID(),
+		spanID:  newID(),
+		name:    name,
+		start:   time.Now(),
+		root:    true,
+	}
+}
+
+// StartRemote begins a local root span that joins a trace started
+// elsewhere (a shard worker joining the coordinator's trace): the
+// span carries the propagated trace id and parent span id, and its
+// EndCollect ships the worker-side records back over the RPC response
+// while also committing them to this tracer's own ring.
+func (t *Tracer) StartRemote(traceID, parent ID, name string) *Span {
+	if t == nil || traceID == 0 {
+		return nil
+	}
+	return &Span{
+		tracer:  t,
+		col:     &collector{},
+		traceID: traceID,
+		spanID:  newID(),
+		parent:  parent,
+		name:    name,
+		start:   time.Now(),
+		root:    true,
+	}
+}
+
+// StartChild begins a child span under s (nil in, nil out).
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		tracer:  s.tracer,
+		col:     s.col,
+		traceID: s.traceID,
+		spanID:  newID(),
+		parent:  s.spanID,
+		name:    name,
+		start:   time.Now(),
+	}
+}
+
+// TraceID returns the span's trace id (zero for nil).
+func (s *Span) TraceID() ID {
+	if s == nil {
+		return 0
+	}
+	return s.traceID
+}
+
+// SpanID returns the span's own id (zero for nil).
+func (s *Span) SpanID() ID {
+	if s == nil {
+		return 0
+	}
+	return s.spanID
+}
+
+// SetAttr records one string fact on the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// SetAttrInt records one integer fact on the span.
+func (s *Span) SetAttrInt(key string, value int64) {
+	s.SetAttr(key, strconv.FormatInt(value, 10))
+}
+
+// rec snapshots the span as a finished record ending now.
+func (s *Span) rec() SpanRec {
+	s.mu.Lock()
+	var attrs map[string]string
+	if len(s.attrs) > 0 {
+		attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			attrs[k] = v
+		}
+	}
+	s.mu.Unlock()
+	return SpanRec{
+		TraceID: s.traceID,
+		SpanID:  s.spanID,
+		Parent:  s.parent,
+		Name:    s.name,
+		Start:   s.start.UnixNano(),
+		DurNS:   time.Since(s.start).Nanoseconds(),
+		Attrs:   attrs,
+	}
+}
+
+// End finishes the span, recording its duration. Ending the trace's
+// root span commits the whole trace to the tracer's ring; repeated
+// End calls are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.mu.Unlock()
+	s.col.add(s.rec())
+	if s.root {
+		s.commit()
+	}
+}
+
+// EndCollect finishes a root span and returns every span collected
+// under it (the root record last), bounded at maxRemoteSpans — the
+// form a shard worker ships back in its RPC response. The trace is
+// also committed to the worker's own tracer ring, so worker-side
+// /debug/traces shows the same spans the coordinator adopts.
+func (s *Span) EndCollect() []SpanRec {
+	if s == nil {
+		return nil
+	}
+	s.End()
+	s.col.mu.Lock()
+	spans := append([]SpanRec(nil), s.col.spans...)
+	s.col.mu.Unlock()
+	if len(spans) > maxRemoteSpans {
+		// keep the newest records: the root (appended by End above) and
+		// the spans nearest to it
+		spans = spans[len(spans)-maxRemoteSpans:]
+	}
+	return spans
+}
+
+// maxRemoteSpans bounds how many span records one RPC response may
+// carry (and how many an Adopt call will accept): enough for a worker
+// root plus its batch spans, small enough that spans never dominate
+// the sample payload they ride along with.
+const maxRemoteSpans = 16
+
+// Adopt merges remotely produced span records (a worker's EndCollect
+// output) into s's trace. Records whose trace id does not match are
+// discarded — a confused or stale worker cannot graft spans onto the
+// wrong trace — and at most maxRemoteSpans records are accepted.
+func (s *Span) Adopt(recs []SpanRec) {
+	if s == nil || len(recs) == 0 {
+		return
+	}
+	if len(recs) > maxRemoteSpans {
+		recs = recs[:maxRemoteSpans]
+	}
+	for _, rec := range recs {
+		if rec.TraceID != s.traceID {
+			continue
+		}
+		s.col.add(rec)
+	}
+}
+
+// RecordChild records an already-elapsed interval as a finished child
+// span — e.g. a job's queue wait, whose start predates the trace.
+func (s *Span) RecordChild(name string, start, end time.Time) {
+	if s == nil || end.Before(start) {
+		return
+	}
+	s.col.add(SpanRec{
+		TraceID: s.traceID,
+		SpanID:  newID(),
+		Parent:  s.spanID,
+		Name:    name,
+		Start:   start.UnixNano(),
+		DurNS:   end.Sub(start).Nanoseconds(),
+	})
+}
+
+// commit moves the finished trace into the tracer's bounded ring.
+func (s *Span) commit() {
+	s.col.mu.Lock()
+	tr := Trace{
+		TraceID: s.traceID,
+		Root:    s.name,
+		Spans:   append([]SpanRec(nil), s.col.spans...),
+		Dropped: s.col.dropped,
+	}
+	s.col.mu.Unlock()
+	t := s.tracer
+	t.mu.Lock()
+	t.traces = append(t.traces, tr)
+	if len(t.traces) > maxTraces {
+		t.traces = t.traces[len(t.traces)-maxTraces:]
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns the completed traces, newest first.
+func (t *Tracer) Snapshot() []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Trace, len(t.traces))
+	for i, tr := range t.traces {
+		out[len(t.traces)-1-i] = tr
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// Handler serves the recent traces as JSON — the GET /debug/traces
+// body: {"traces": [...]}, newest first, spans in end order with
+// children before their parents.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		traces := t.Snapshot()
+		for i := range traces {
+			spans := traces[i].Spans
+			// stable by start time for readability; end order is an
+			// artifact of goroutine scheduling, not meaning
+			sort.SliceStable(spans, func(a, b int) bool { return spans[a].Start < spans[b].Start })
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Traces []Trace `json:"traces"`
+		}{Traces: traces})
+	})
+}

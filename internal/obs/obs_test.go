@@ -1,0 +1,322 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestIDJSONRoundTrip(t *testing.T) {
+	for _, id := range []ID{0, 1, 0xdeadbeefcafe1234, ^ID(0)} {
+		b, err := json.Marshal(id)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", id, err)
+		}
+		want := fmt.Sprintf("%q", id.String())
+		if string(b) != want {
+			t.Fatalf("marshal %v = %s, want %s", id, b, want)
+		}
+		var back ID
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != id {
+			t.Fatalf("round trip %v -> %v", id, back)
+		}
+	}
+	// lenient bare-number form
+	var n ID
+	if err := json.Unmarshal([]byte("42"), &n); err != nil || n != 42 {
+		t.Fatalf("bare number: %v %v", n, err)
+	}
+	if err := json.Unmarshal([]byte(`"zzz"`), &n); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+}
+
+func TestNewIDNonZeroUnique(t *testing.T) {
+	seen := make(map[ID]bool)
+	for i := 0; i < 10000; i++ {
+		id := newID()
+		if id == 0 {
+			t.Fatal("zero id")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("job")
+	root.SetAttr("job_id", "j1")
+	child := root.StartChild("solve")
+	grand := child.StartChild("batch")
+	grand.SetAttrInt("samples", 100)
+	grand.End()
+	child.End()
+	root.RecordChild("queue_wait", time.Now().Add(-time.Millisecond), time.Now())
+	root.End()
+
+	traces := tr.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.Root != "job" {
+		t.Fatalf("root = %q", got.Root)
+	}
+	if len(got.Spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(got.Spans))
+	}
+	byName := make(map[string]SpanRec)
+	for _, s := range got.Spans {
+		if s.TraceID != got.TraceID {
+			t.Fatalf("span %q trace id mismatch", s.Name)
+		}
+		byName[s.Name] = s
+	}
+	if byName["solve"].Parent != byName["job"].SpanID {
+		t.Fatal("solve not parented to job")
+	}
+	if byName["batch"].Parent != byName["solve"].SpanID {
+		t.Fatal("batch not parented to solve")
+	}
+	if byName["queue_wait"].Parent != byName["job"].SpanID {
+		t.Fatal("queue_wait not parented to job")
+	}
+	if byName["batch"].Attrs["samples"] != "100" {
+		t.Fatalf("attrs = %v", byName["batch"].Attrs)
+	}
+	if byName["job"].Parent != 0 {
+		t.Fatal("root has a parent")
+	}
+}
+
+func TestTracerRingBound(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < maxTraces+10; i++ {
+		s := tr.Start("t")
+		s.SetAttrInt("i", int64(i))
+		s.End()
+	}
+	traces := tr.Snapshot()
+	if len(traces) != maxTraces {
+		t.Fatalf("ring = %d, want %d", len(traces), maxTraces)
+	}
+	// newest first: the last-committed trace leads
+	if traces[0].Spans[0].Attrs["i"] != fmt.Sprint(maxTraces+9) {
+		t.Fatalf("newest = %v", traces[0].Spans[0].Attrs)
+	}
+}
+
+func TestSpanPerTraceBound(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("big")
+	for i := 0; i < maxSpansPerTrace+50; i++ {
+		root.StartChild("c").End()
+	}
+	root.End()
+	got := tr.Snapshot()[0]
+	if len(got.Spans) != maxSpansPerTrace {
+		t.Fatalf("spans = %d, want %d", len(got.Spans), maxSpansPerTrace)
+	}
+	if got.Dropped != 51 { // 50 extra children + the root itself
+		t.Fatalf("dropped = %d, want 51", got.Dropped)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("x")
+	if s != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	// every method on a nil span must be a no-op
+	s.SetAttr("k", "v")
+	s.SetAttrInt("k", 1)
+	s.RecordChild("q", time.Now(), time.Now())
+	s.Adopt([]SpanRec{{TraceID: 1}})
+	s.End()
+	if c := s.StartChild("y"); c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	if s.TraceID() != 0 || s.SpanID() != 0 {
+		t.Fatal("nil span has ids")
+	}
+	if s.EndCollect() != nil {
+		t.Fatal("nil EndCollect returned spans")
+	}
+	if tr.Snapshot() != nil {
+		t.Fatal("nil tracer snapshot")
+	}
+	if StartSpan(nil, "z") != nil {
+		t.Fatal("StartSpan on nil ctx")
+	}
+	if NewTracer().StartRemote(0, 0, "w") != nil {
+		t.Fatal("StartRemote with zero trace id")
+	}
+}
+
+func TestRemoteAdoptJoinsTrace(t *testing.T) {
+	coord := NewTracer()
+	worker := NewTracer()
+
+	root := coord.Start("job")
+	rpc := root.StartChild("shard_rpc")
+
+	// worker side: join the propagated trace, do some work, collect
+	wroot := worker.StartRemote(rpc.TraceID(), rpc.SpanID(), "worker_estimate")
+	wroot.StartChild("batch").End()
+	recs := wroot.EndCollect()
+	if len(recs) != 2 {
+		t.Fatalf("collected %d recs, want 2", len(recs))
+	}
+	if recs[len(recs)-1].Name != "worker_estimate" {
+		t.Fatalf("root rec not last: %v", recs)
+	}
+	for _, r := range recs {
+		if r.TraceID != root.TraceID() {
+			t.Fatal("worker rec has wrong trace id")
+		}
+	}
+	// worker's own ring also holds the trace
+	if wt := worker.Snapshot(); len(wt) != 1 || wt[0].TraceID != root.TraceID() {
+		t.Fatalf("worker ring = %+v", wt)
+	}
+
+	// coordinator adopts, plus a mismatched record that must be dropped
+	rpc.Adopt(append(recs, SpanRec{TraceID: 12345, Name: "stale"}))
+	rpc.End()
+	root.End()
+
+	got := coord.Snapshot()[0]
+	names := make(map[string]bool)
+	for _, s := range got.Spans {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"job", "shard_rpc", "worker_estimate", "batch"} {
+		if !names[want] {
+			t.Fatalf("joined trace missing %q: %v", want, names)
+		}
+	}
+	if names["stale"] {
+		t.Fatal("mismatched trace id adopted")
+	}
+}
+
+func TestEndCollectBound(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartRemote(7, 0, "w")
+	for i := 0; i < maxRemoteSpans+10; i++ {
+		root.StartChild("c").End()
+	}
+	recs := root.EndCollect()
+	if len(recs) != maxRemoteSpans {
+		t.Fatalf("collected %d, want %d", len(recs), maxRemoteSpans)
+	}
+	if recs[len(recs)-1].Name != "w" {
+		t.Fatal("root rec not last after truncation")
+	}
+}
+
+func TestHandlerJSON(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("job")
+	root.StartChild("solve").End()
+	root.End()
+
+	rr := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var body struct {
+		Traces []Trace `json:"traces"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad body: %v\n%s", err, rr.Body.String())
+	}
+	if len(body.Traces) != 1 || body.Traces[0].Root != "job" {
+		t.Fatalf("body = %+v", body)
+	}
+	// spans sorted by start: root began first
+	if body.Traces[0].Spans[0].Name != "job" {
+		t.Fatalf("span order = %+v", body.Traces[0].Spans)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	if st := h.Stats(); st.Count != 0 || st.P50Ms != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+	// 100 samples at 1ms, 100 at 10ms: p50 within the 1ms bucket's
+	// range, p95/p99 within the 10ms bucket's range
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+		h.Observe(10 * time.Millisecond)
+	}
+	st := h.Stats()
+	if st.Count != 200 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	if st.MeanMs < 5.4 || st.MeanMs > 5.6 {
+		t.Fatalf("mean = %v, want ~5.5", st.MeanMs)
+	}
+	// 1ms lands in bucket (512µs, 1024µs]; 10ms in (8.192ms, 16.384ms]
+	if st.P50Ms < 0.5 || st.P50Ms > 1.03 {
+		t.Fatalf("p50 = %v, want in (0.512, 1.024]", st.P50Ms)
+	}
+	if st.P95Ms < 8.1 || st.P95Ms > 16.4 {
+		t.Fatalf("p95 = %v, want in (8.192, 16.384]", st.P95Ms)
+	}
+	if st.P99Ms < 8.1 || st.P99Ms > 16.4 {
+		t.Fatalf("p99 = %v, want in (8.192, 16.384]", st.P99Ms)
+	}
+	if st.P50Ms > st.P95Ms || st.P95Ms > st.P99Ms {
+		t.Fatalf("quantiles not monotone: %+v", st)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-time.Second) // clamped to zero
+	h.Observe(0)
+	h.Observe(time.Nanosecond)
+	h.Observe(100 * time.Hour) // overflow bucket
+	st := h.Stats()
+	if st.Count != 4 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	var nilH *Histogram
+	nilH.Observe(time.Second)
+	if st := nilH.Stats(); st.Count != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{1024 * time.Microsecond, 10},
+		{1025 * time.Microsecond, 11},
+		{200 * time.Hour, numBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Fatalf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

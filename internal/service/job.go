@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"imdpp/internal/core"
+	"imdpp/internal/obs"
 )
 
 // Status is the lifecycle state of a job.
@@ -47,6 +48,8 @@ type Job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	traceID  string
+	phases   []PhaseTiming
 }
 
 // JobView is the JSON-able snapshot of a job, the body of the
@@ -65,13 +68,19 @@ type JobView struct {
 	// identical-looking snapshots.
 	Progress       core.ProgressEvent `json:"progress"`
 	ProgressEvents int                `json:"progress_events"`
-	Solution       *core.Solution     `json:"solution,omitempty"`
-	Error          string             `json:"error,omitempty"`
-	CreatedAt      time.Time          `json:"created_at"`
-	StartedAt      time.Time          `json:"started_at,omitzero"`
-	FinishedAt     time.Time          `json:"finished_at,omitzero"`
-	QueueSeconds   float64            `json:"queue_seconds"`
-	SolveSeconds   float64            `json:"solve_seconds"`
+	// TraceID correlates the job with its trace at GET /debug/traces
+	// and in structured logs; omitted when the daemon runs untraced.
+	TraceID string `json:"trace_id,omitempty"`
+	// Phases is the per-phase timing breakdown (DESIGN.md §11), present
+	// once the solve has finished on a daemon emitting progress.
+	Phases       []PhaseTiming  `json:"phases,omitempty"`
+	Solution     *core.Solution `json:"solution,omitempty"`
+	Error        string         `json:"error,omitempty"`
+	CreatedAt    time.Time      `json:"created_at"`
+	StartedAt    time.Time      `json:"started_at,omitzero"`
+	FinishedAt   time.Time      `json:"finished_at,omitzero"`
+	QueueSeconds float64        `json:"queue_seconds"`
+	SolveSeconds float64        `json:"solve_seconds"`
 }
 
 // ID returns the job's identifier.
@@ -114,6 +123,8 @@ func (j *Job) Snapshot() JobView {
 		Backend:        j.backend,
 		Progress:       j.progress,
 		ProgressEvents: j.events,
+		TraceID:        j.traceID,
+		Phases:         j.phases,
 		Solution:       j.sol,
 		CreatedAt:      j.created,
 		StartedAt:      j.started,
@@ -131,6 +142,34 @@ func (j *Job) Snapshot() JobView {
 		v.SolveSeconds = end.Sub(j.started).Seconds()
 	}
 	return v
+}
+
+// setTrace records the job's trace id (a no-op for the zero id, so
+// untraced daemons keep byte-identical job JSON).
+func (j *Job) setTrace(id obs.ID) {
+	if id == 0 {
+		return
+	}
+	j.mu.Lock()
+	j.traceID = id.String()
+	j.mu.Unlock()
+}
+
+// setPhases records the finished solve's per-phase breakdown.
+func (j *Job) setPhases(phases []PhaseTiming) {
+	if len(phases) == 0 {
+		return
+	}
+	j.mu.Lock()
+	j.phases = phases
+	j.mu.Unlock()
+}
+
+// queueWait returns how long the job sat queued before running.
+func (j *Job) queueWait() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.started.Sub(j.created)
 }
 
 // setProgress is the solver's Progress callback target.

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"sync"
+
+	"imdpp/internal/core"
+	"imdpp/internal/obs"
+)
+
+// PhaseTiming is one solver phase's share of a job's wall time, the
+// per-phase breakdown surfaced on GET /v1/jobs/{id}. Boundaries come
+// from ProgressEvent.ElapsedNS — the solver's own monotonic clock —
+// so the attribution survives wall-clock jumps and needs no extra
+// solver instrumentation beyond the progress stream.
+type PhaseTiming struct {
+	Phase   string  `json:"phase"`
+	Rounds  int     `json:"rounds"`
+	Seconds float64 `json:"seconds"`
+}
+
+// phaseTracker folds a solve's progress stream into per-phase
+// timings, and — when a trace is live — mirrors each phase as a child
+// span under the job's root. It observes only; the solver never sees
+// it.
+type phaseTracker struct {
+	parent *obs.Span // job root; nil when untraced
+
+	mu      sync.Mutex
+	phases  []PhaseTiming
+	cur     string
+	curSpan *obs.Span
+	startNS int64 // elapsed_ns at the current phase's boundary
+	lastNS  int64 // elapsed_ns of the latest event
+	rounds  int
+}
+
+// observe ingests one progress event; safe for the solver goroutine.
+func (pt *phaseTracker) observe(ev core.ProgressEvent) {
+	pt.mu.Lock()
+	if ev.Phase != pt.cur {
+		pt.closeLocked()
+		pt.cur = ev.Phase
+		pt.startNS = pt.lastNS
+		pt.rounds = 0
+		pt.curSpan = pt.parent.StartChild("phase:" + ev.Phase)
+	}
+	pt.rounds++
+	pt.lastNS = ev.ElapsedNS
+	pt.mu.Unlock()
+}
+
+// closeLocked flushes the current phase; pt.mu must be held.
+func (pt *phaseTracker) closeLocked() {
+	if pt.cur == "" {
+		return
+	}
+	pt.phases = append(pt.phases, PhaseTiming{
+		Phase:   pt.cur,
+		Rounds:  pt.rounds,
+		Seconds: float64(pt.lastNS-pt.startNS) / 1e9,
+	})
+	pt.curSpan.SetAttrInt("rounds", int64(pt.rounds))
+	pt.curSpan.End()
+	pt.curSpan = nil
+	pt.cur = ""
+}
+
+// finish flushes the in-flight phase and returns the breakdown.
+func (pt *phaseTracker) finish() []PhaseTiming {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	pt.closeLocked()
+	return pt.phases
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"imdpp/internal/core"
 	"imdpp/internal/diffusion"
 	"imdpp/internal/gridcache"
+	"imdpp/internal/obs"
 	"imdpp/internal/sketch"
 )
 
@@ -76,6 +78,15 @@ type Config struct {
 	// eviction or a restart degrades repeats to disk hits instead of
 	// re-simulation.
 	GridCacheDir string
+	// Tracer, when non-nil, records one trace per job and sigma
+	// evaluation (DESIGN.md §11). Tracing is observation only: the §3
+	// determinism contract guarantees traced and untraced runs return
+	// bit-identical results, so Tracer — like Progress and GridCache —
+	// is excluded from every content address.
+	Tracer *obs.Tracer
+	// Logger receives structured job-lifecycle records with job_id and
+	// trace_id correlation fields; nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +143,18 @@ type Metrics struct {
 	// drift of flat prefixed keys.
 	Sketch SketchMetrics   `json:"sketch"`
 	Grid   gridcache.Stats `json:"grid"`
+	// Latency nests the pipeline latency histograms (DESIGN.md §11).
+	Latency LatencyMetrics `json:"latency"`
+}
+
+// LatencyMetrics is the /metrics "latency" block: p50/p95/p99
+// snapshots of the pipeline's four latency histograms. ShardRPC is
+// zero-valued here — the daemon overlays it from the shard pool.
+type LatencyMetrics struct {
+	QueueWait obs.HistStats `json:"queue_wait"`
+	SolveWall obs.HistStats `json:"solve_wall"`
+	ShardRPC  obs.HistStats `json:"shard_rpc"`
+	Sigma     obs.HistStats `json:"sigma"`
 }
 
 // SketchMetrics groups the sketch-backend counters: requests that
@@ -184,6 +207,13 @@ type Service struct {
 	samples    atomic.Uint64
 	saved      atomic.Uint64
 	solveNanos atomic.Int64
+
+	// latency histograms, always allocated so /metrics carries the
+	// latency block whether or not a tracer is configured
+	histQueue *obs.Histogram
+	histSolve *obs.Histogram
+	histSigma *obs.Histogram
+	logger    *slog.Logger
 }
 
 // New starts a service with cfg's worker pool.
@@ -198,6 +228,13 @@ func New(cfg Config) *Service {
 		jobs:       make(map[string]*Job),
 		inflight:   make(map[Key]*Job),
 		cache:      newLRU(cfg.CacheSize),
+		histQueue:  obs.NewHistogram(),
+		histSolve:  obs.NewHistogram(),
+		histSigma:  obs.NewHistogram(),
+		logger:     cfg.Logger,
+	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
 	}
 	s.sketchCache = sketch.NewCache(cfg.SketchCacheSize, cfg.SketchDir,
 		func(p *diffusion.Problem) string { return HashProblem(p).String() })
@@ -386,8 +423,27 @@ func (s *Service) runJob(j *Job) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
 
+	// root span for the whole job: nil tracer → nil span → every call
+	// below is a no-op and ctx is passed through unchanged
+	root := s.cfg.Tracer.Start("job")
+	defer root.End()
+	root.SetAttr("job_id", j.id)
+	root.SetAttr("key", j.key.String())
+	j.setTrace(root.TraceID())
+	qwait := j.queueWait()
+	root.RecordChild("queue_wait", j.created, j.created.Add(qwait))
+	s.histQueue.Observe(qwait)
+	ctx := obs.ContextWithSpan(j.ctx, root)
+	s.logger.Info("job running",
+		"job_id", j.id, "trace_id", root.TraceID().String(),
+		"queue_ms", float64(qwait)/1e6, "adaptive", j.req.Adaptive)
+
+	tracker := &phaseTracker{parent: root}
 	opt := j.req.Options
-	opt.Progress = j.setProgress
+	opt.Progress = func(ev core.ProgressEvent) {
+		tracker.observe(ev)
+		j.setProgress(ev)
+	}
 	if s.cfg.SolveWorkers > 0 {
 		opt.Workers = s.cfg.SolveWorkers
 	}
@@ -417,11 +473,23 @@ func (s *Service) runJob(j *Job) {
 		err error
 	)
 	if j.req.Adaptive {
-		sol, err = core.SolveAdaptiveCtx(j.ctx, j.req.Problem, opt)
+		sol, err = core.SolveAdaptiveCtx(ctx, j.req.Problem, opt)
 	} else {
-		sol, err = core.SolveCtx(j.ctx, j.req.Problem, opt)
+		sol, err = core.SolveCtx(ctx, j.req.Problem, opt)
 	}
 	elapsed := time.Since(start)
+	s.histSolve.Observe(elapsed)
+	j.setPhases(tracker.finish())
+	if err != nil {
+		root.SetAttr("error", err.Error())
+		s.logger.Warn("job finished",
+			"job_id", j.id, "trace_id", root.TraceID().String(),
+			"solve_ms", elapsed.Seconds()*1e3, "err", err)
+	} else {
+		s.logger.Info("job finished",
+			"job_id", j.id, "trace_id", root.TraceID().String(),
+			"solve_ms", elapsed.Seconds()*1e3, "sigma", sol.Sigma)
+	}
 
 	switch {
 	case err == nil:
@@ -516,11 +584,17 @@ func (s *Service) Sigma(ctx context.Context, p *diffusion.Problem, seeds []diffu
 	case s.cfg.Backend != nil:
 		backend = s.cfg.Backend
 	}
+	root := s.cfg.Tracer.Start("sigma")
+	defer root.End()
+	root.SetAttr("backend", name)
+	root.SetAttrInt("seeds", int64(len(seeds)))
+	ctx = obs.ContextWithSpan(ctx, root)
 	est := backend(p, mc, opt.Seed, s.cfg.SolveWorkers)
 	est.Bind(ctx)
 	core.AttachGridCache(est, p, s.gridCache)
 	start := time.Now()
 	run := est.Run(seeds, nil, false)
+	s.histSigma.Observe(time.Since(start))
 	if err := ctx.Err(); err != nil {
 		return diffusion.Estimate{}, "", err
 	}
@@ -559,5 +633,8 @@ func (s *Service) Metrics() Metrics {
 	m.Sketch.Requests = s.sketchReqs.Load()
 	m.Sketch.Builds, m.Sketch.CacheHits, m.Sketch.DiskHits = s.sketchCache.Stats()
 	m.Grid = s.gridCache.Stats()
+	m.Latency.QueueWait = s.histQueue.Stats()
+	m.Latency.SolveWall = s.histSolve.Stats()
+	m.Latency.Sigma = s.histSigma.Stats()
 	return m
 }

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"sync"
 
 	"imdpp/internal/diffusion"
 	"imdpp/internal/graph"
+	"imdpp/internal/obs"
 	"imdpp/internal/pin"
 	"imdpp/internal/service"
 	"imdpp/internal/wirebin"
@@ -56,6 +58,14 @@ const (
 const (
 	frameVersion = 1
 	flagDeflate  = 1 << 0
+	// flagTraced marks a frame whose payload ends with trace-context
+	// fields (request: trace + parent span id; response: worker span
+	// records). A pre-tracing decoder ignores the unknown flag, decodes
+	// the base payload and then fails r.Done() on the trailing bytes
+	// with a 400 — which is exactly the negotiation signal the pool's
+	// trace demotion listens for (DESIGN.md §11), mirroring the PR 5
+	// codec fallback.
+	flagTraced = 1 << 1
 	// compressMin is the payload size below which DEFLATE is skipped:
 	// tiny frames (estimate requests, acks) gain nothing and would pay
 	// the flate setup latency on every RPC. Mid-size sample grids —
@@ -118,39 +128,46 @@ func finishFrame(b []byte, start int) []byte {
 // openFrame validates a frame's header and returns its decoded (and,
 // when flagged, decompressed) payload.
 func openFrame(data []byte, wantKind byte) ([]byte, error) {
+	payload, _, err := openFrameFlags(data, wantKind)
+	return payload, err
+}
+
+// openFrameFlags is openFrame plus the frame's flags byte, for
+// decoders whose payload shape depends on a flag (flagTraced).
+func openFrameFlags(data []byte, wantKind byte) ([]byte, byte, error) {
 	if len(data) < frameHeaderLen {
-		return nil, fmt.Errorf("shard: binary frame truncated at %d bytes", len(data))
+		return nil, 0, fmt.Errorf("shard: binary frame truncated at %d bytes", len(data))
 	}
 	if data[0] != frameMagic[0] || data[1] != frameMagic[1] || data[2] != frameMagic[2] {
-		return nil, fmt.Errorf("shard: bad frame magic %q", data[:3])
+		return nil, 0, fmt.Errorf("shard: bad frame magic %q", data[:3])
 	}
 	if data[3] != frameVersion {
-		return nil, fmt.Errorf("shard: unsupported frame version %d (want %d)", data[3], frameVersion)
+		return nil, 0, fmt.Errorf("shard: unsupported frame version %d (want %d)", data[3], frameVersion)
 	}
 	if data[4] != wantKind {
-		return nil, fmt.Errorf("shard: frame kind %d, want %d", data[4], wantKind)
+		return nil, 0, fmt.Errorf("shard: frame kind %d, want %d", data[4], wantKind)
 	}
 	flags := data[5]
 	n := int(uint32(data[6]) | uint32(data[7])<<8 | uint32(data[8])<<16 | uint32(data[9])<<24)
 	if n > maxFramePayload {
-		return nil, fmt.Errorf("shard: frame payload %d exceeds %d-byte bound", n, maxFramePayload)
+		return nil, 0, fmt.Errorf("shard: frame payload %d exceeds %d-byte bound", n, maxFramePayload)
 	}
 	if len(data) != frameHeaderLen+n {
-		return nil, fmt.Errorf("shard: frame length %d != header-declared %d", len(data)-frameHeaderLen, n)
+		return nil, 0, fmt.Errorf("shard: frame length %d != header-declared %d", len(data)-frameHeaderLen, n)
 	}
 	payload := data[frameHeaderLen:]
 	if flags&flagDeflate != 0 {
 		fr := flate.NewReader(bytes.NewReader(payload))
 		out, err := io.ReadAll(io.LimitReader(fr, maxFramePayload+1))
 		if err != nil {
-			return nil, fmt.Errorf("shard: inflate frame: %w", err)
+			return nil, 0, fmt.Errorf("shard: inflate frame: %w", err)
 		}
 		if len(out) > maxFramePayload {
-			return nil, fmt.Errorf("shard: inflated payload exceeds %d-byte bound", maxFramePayload)
+			return nil, 0, fmt.Errorf("shard: inflated payload exceeds %d-byte bound", maxFramePayload)
 		}
 		payload = out
 	}
-	return payload, nil
+	return payload, flags, nil
 }
 
 // AppendBinary appends the problem upload's binary frame to b.
@@ -317,13 +334,23 @@ func (req *EstimateRequest) AppendBinary(b []byte) ([]byte, error) {
 			b = appendOptInt32s(b, mask)
 		}
 	}
-	return finishFrame(b, start), nil
+	if req.TraceID != 0 {
+		b = wirebin.AppendU64(b, uint64(req.TraceID))
+		b = wirebin.AppendU64(b, uint64(req.SpanID))
+	}
+	b = finishFrame(b, start)
+	if req.TraceID != 0 {
+		// flagged after finishFrame so the bit is never clobbered by the
+		// flagDeflate patch (compression covers the trace fields too)
+		b[start+5] |= flagTraced
+	}
+	return b, nil
 }
 
 // DecodeEstimateRequestBinary reads one binary estimate-request frame.
 func DecodeEstimateRequestBinary(data []byte) (EstimateRequest, error) {
 	var req EstimateRequest
-	payload, err := openFrame(data, frameEstimateReq)
+	payload, flags, err := openFrameFlags(data, frameEstimateReq)
 	if err != nil {
 		return req, err
 	}
@@ -348,6 +375,10 @@ func DecodeEstimateRequestBinary(data []byte) (EstimateRequest, error) {
 			req.PerGroupMasks[i] = decodeOptInt32s(r)
 		}
 	}
+	if flags&flagTraced != 0 {
+		req.TraceID = obs.ID(r.U64())
+		req.SpanID = obs.ID(r.U64())
+	}
 	if err := r.Done(); err != nil {
 		return req, fmt.Errorf("shard: binary estimate request: %w", err)
 	}
@@ -360,7 +391,66 @@ func (resp *EstimateResponse) AppendBinary(b []byte) []byte {
 	start := len(b)
 	b = beginFrame(b, frameEstimateResp)
 	b = diffusion.AppendSampleGrid(b, resp.Samples)
-	return finishFrame(b, start)
+	if len(resp.Spans) > 0 {
+		b = appendSpanRecs(b, resp.Spans)
+	}
+	b = finishFrame(b, start)
+	if len(resp.Spans) > 0 {
+		b[start+5] |= flagTraced
+	}
+	return b
+}
+
+// appendSpanRecs encodes worker span records. Attr keys are sorted so
+// equal records produce equal bytes — the canonical-encoding rule the
+// rest of the codec follows.
+func appendSpanRecs(b []byte, spans []obs.SpanRec) []byte {
+	b = wirebin.AppendUvarint(b, uint64(len(spans)))
+	for _, s := range spans {
+		b = wirebin.AppendU64(b, uint64(s.TraceID))
+		b = wirebin.AppendU64(b, uint64(s.SpanID))
+		b = wirebin.AppendU64(b, uint64(s.Parent))
+		b = wirebin.AppendString(b, s.Name)
+		b = wirebin.AppendVarint(b, s.Start)
+		b = wirebin.AppendVarint(b, s.DurNS)
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b = wirebin.AppendUvarint(b, uint64(len(keys)))
+		for _, k := range keys {
+			b = wirebin.AppendString(b, k)
+			b = wirebin.AppendString(b, s.Attrs[k])
+		}
+	}
+	return b
+}
+
+func decodeSpanRecs(r *wirebin.Reader) []obs.SpanRec {
+	// 3 u64 ids + name len + start + dur + attr count ≥ 28 bytes each
+	n := r.Count(28)
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	spans := make([]obs.SpanRec, n)
+	for i := range spans {
+		spans[i].TraceID = obs.ID(r.U64())
+		spans[i].SpanID = obs.ID(r.U64())
+		spans[i].Parent = obs.ID(r.U64())
+		spans[i].Name = r.String()
+		spans[i].Start = r.Varint()
+		spans[i].DurNS = r.Varint()
+		if na := r.Count(2); na > 0 {
+			attrs := make(map[string]string, na)
+			for j := 0; j < na; j++ {
+				k := r.String()
+				attrs[k] = r.String()
+			}
+			spans[i].Attrs = attrs
+		}
+	}
+	return spans
 }
 
 // DecodeEstimateResponseBinary reads one binary estimate-response
@@ -368,13 +458,16 @@ func (resp *EstimateResponse) AppendBinary(b []byte) []byte {
 // exactly as on the JSON path.
 func DecodeEstimateResponseBinary(data []byte) (EstimateResponse, error) {
 	var resp EstimateResponse
-	payload, err := openFrame(data, frameEstimateResp)
+	payload, flags, err := openFrameFlags(data, frameEstimateResp)
 	if err != nil {
 		return resp, err
 	}
 	r := wirebin.NewReader(payload)
 	if resp.Samples, err = diffusion.DecodeSampleGrid(r); err != nil {
 		return resp, err
+	}
+	if flags&flagTraced != 0 {
+		resp.Spans = decodeSpanRecs(r)
 	}
 	if err := r.Done(); err != nil {
 		return resp, fmt.Errorf("shard: binary estimate response: %w", err)

@@ -9,6 +9,7 @@ import (
 
 	"imdpp/internal/core"
 	"imdpp/internal/diffusion"
+	"imdpp/internal/obs"
 )
 
 // Estimator is the sharded σ/π estimation backend: a core.Estimator
@@ -267,10 +268,19 @@ func (e *Estimator) runBatch(groups [][]diffusion.Seed, market []bool, masks [][
 		grid[g] = make([]diffusion.SampleResult, e.m)
 	}
 
+	// batch span parenting every shard_rpc span below; shard contexts
+	// derive from bctx so the trace rides the same cancellation tree
+	batchSpan := obs.StartSpan(e.ctx, "shard_batch")
+	defer batchSpan.End()
+	batchSpan.SetAttrInt("groups", int64(k))
+	batchSpan.SetAttrInt("samples", int64(e.m))
+	bctx := obs.ContextWithSpan(e.ctx, batchSpan)
+
 	assigns := e.assignments(remotes)
+	batchSpan.SetAttrInt("shards", int64(len(assigns)))
 	states := make([]*shardState, len(assigns))
 	for i, a := range assigns {
-		sctx, cancel := context.WithCancel(e.ctx)
+		sctx, cancel := context.WithCancel(bctx)
 		states[i] = &shardState{shardAssign: a, ctx: sctx, cancel: cancel}
 	}
 	defer func() {

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"imdpp/internal/diffusion"
+	"imdpp/internal/obs"
 	"imdpp/internal/service"
 )
 
@@ -63,6 +65,11 @@ type Pool struct {
 	speculativeHits atomic.Uint64
 	bytesTx         atomic.Uint64
 	bytesRx         atomic.Uint64
+
+	// rpcHist records successful shard-RPC round-trip latency, the
+	// latency.shard_rpc block of the daemon's /metrics (DESIGN.md §11).
+	rpcHist *obs.Histogram
+	logger  *slog.Logger
 }
 
 // Remote codec-negotiation states: a remote starts codecUnknown, is
@@ -75,6 +82,18 @@ const (
 	codecJSONOnly
 )
 
+// Remote trace-propagation states, the flagTraced analogue of the
+// codec negotiation: a remote starts traceUnknown, is confirmed by its
+// first successful traced binary RPC, and is pinned to untraced
+// dispatch when it rejects a traced frame as undecodable — an
+// old-binary worker build keeps serving samples, it just contributes
+// no spans (graceful mixed-version degradation, DESIGN.md §11).
+const (
+	traceUnknown int32 = iota
+	traceSupported
+	traceUnsupported
+)
+
 // Remote is one registered worker.
 type Remote struct {
 	url string
@@ -84,11 +103,12 @@ type Remote struct {
 	lastErr  string
 	problems map[service.Key]bool // uploads acknowledged by this worker
 
-	shards   atomic.Uint64
-	failures atomic.Uint64
-	binMode  atomic.Int32  // codecUnknown | codecBinaryOK | codecJSONOnly
-	inflight atomic.Int32  // shard RPCs currently outstanding
-	ewmaBits atomic.Uint64 // float64 bits of the samples/sec EWMA (0 = no data)
+	shards    atomic.Uint64
+	failures  atomic.Uint64
+	binMode   atomic.Int32  // codecUnknown | codecBinaryOK | codecJSONOnly
+	traceMode atomic.Int32  // traceUnknown | traceSupported | traceUnsupported
+	inflight  atomic.Int32  // shard RPCs currently outstanding
+	ewmaBits  atomic.Uint64 // float64 bits of the samples/sec EWMA (0 = no data)
 }
 
 // URL returns the worker's base URL.
@@ -201,6 +221,8 @@ func NewPool(urls []string, client *http.Client) *Pool {
 		specFactor: 2.0,
 		specMin:    25 * time.Millisecond,
 		specTick:   5 * time.Millisecond,
+		rpcHist:    obs.NewHistogram(),
+		logger:     slog.New(slog.DiscardHandler),
 	}
 	p.binary.Store(true)
 	p.weighted.Store(true)
@@ -239,6 +261,19 @@ func (p *Pool) Codec() string {
 	}
 	return "json"
 }
+
+// SetLogger routes the pool's structured dispatch logs (worker
+// failures, codec and trace demotions) to l; nil restores discard.
+// Call during setup, before any dispatch.
+func (p *Pool) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(slog.DiscardHandler)
+	}
+	p.logger = l
+}
+
+// RPCLatency snapshots the shard-RPC latency histogram.
+func (p *Pool) RPCLatency() obs.HistStats { return p.rpcHist.Stats() }
 
 // SetWeighted toggles throughput-proportional shard planning.
 func (p *Pool) SetWeighted(on bool) { p.weighted.Store(on) }
@@ -589,6 +624,25 @@ func codecFallback(r *Remote, err error) bool {
 	if r.binMode.Load() != codecUnknown {
 		return false
 	}
+	return undecodableErr(err)
+}
+
+// traceFallback reports whether err from a traced binary RPC to r
+// should strip trace propagation and retry: the remote never confirmed
+// flagTraced support and rejected the frame as undecodable — the
+// signature of an old-binary worker build that predates tracing. It is
+// checked before codecFallback, so a mixed-version fleet first loses
+// the spans, then (if still rejected) the binary codec.
+func traceFallback(r *Remote, err error) bool {
+	if r.traceMode.Load() != traceUnknown {
+		return false
+	}
+	return undecodableErr(err)
+}
+
+// undecodableErr matches the two statuses a worker returns for a
+// request body it cannot decode.
+func undecodableErr(err error) bool {
 	var se *shardError
 	if !errors.As(err, &se) {
 		return false
@@ -645,19 +699,35 @@ func (p *Pool) ensureProblem(ctx context.Context, r *Remote, blob *ProblemBlob) 
 func (p *Pool) estimateOn(ctx context.Context, r *Remote, blob *ProblemBlob, req *EstimateRequest) (*EstimateResponse, error) {
 	r.inflight.Add(1)
 	defer r.inflight.Add(-1)
-	reuploaded, demoted := false, false
+	// one span per RPC attempt chain, joined to the batch span riding
+	// ctx; nil when untraced. req is shared across failover and
+	// speculative dispatch, so the trace ids go on a private copy.
+	sp := obs.StartSpan(ctx, "shard_rpc")
+	defer sp.End()
+	sp.SetAttr("worker", r.url)
+	sp.SetAttrInt("lo", int64(req.Lo))
+	sp.SetAttrInt("hi", int64(req.Hi))
+	reuploaded, demoted, traceDemoted := false, false, false
 	for {
 		if err := p.ensureProblem(ctx, r, blob); err != nil {
 			return nil, err
 		}
 		useBin := p.binary.Load() && r.binMode.Load() != codecJSONOnly
+		use := *req
+		if sp != nil && !(useBin && r.traceMode.Load() == traceUnsupported) {
+			// JSON carries the trace ids harmlessly — unknown fields to an
+			// old worker — so only the binary flagTraced path needs the
+			// negotiated opt-out
+			use.TraceID = sp.TraceID()
+			use.SpanID = sp.SpanID()
+		}
 		var body []byte
 		var ct string
 		var scratch *[]byte
 		if useBin {
 			scratch = getScratch()
 			var err error
-			body, err = req.AppendBinary((*scratch)[:0])
+			body, err = use.AppendBinary((*scratch)[:0])
 			if err != nil {
 				putScratch(scratch, body)
 				return nil, err
@@ -665,7 +735,7 @@ func (p *Pool) estimateOn(ctx context.Context, r *Remote, blob *ProblemBlob, req
 			ct = ContentTypeBinary
 		} else {
 			var err error
-			if body, err = json.Marshal(req); err != nil {
+			if body, err = json.Marshal(&use); err != nil {
 				return nil, err
 			}
 			ct = "application/json"
@@ -688,8 +758,13 @@ func (p *Pool) estimateOn(ctx context.Context, r *Remote, blob *ProblemBlob, req
 			}
 			if useBin {
 				r.binMode.Store(codecBinaryOK)
+				if use.TraceID != 0 {
+					r.traceMode.Store(traceSupported)
+				}
 			}
 			r.shards.Add(1)
+			p.rpcHist.Observe(time.Since(start))
+			sp.Adopt(resp.Spans)
 			r.observeRate(len(req.Groups)*(req.Hi-req.Lo), time.Since(start))
 			return &resp, nil
 		}
@@ -701,12 +776,21 @@ func (p *Pool) estimateOn(ctx context.Context, r *Remote, blob *ProblemBlob, req
 			reuploaded = true
 			r.setProblem(blob.Key, false)
 			continue
+		case useBin && use.TraceID != 0 && !traceDemoted && traceFallback(r, err):
+			// old-binary worker build that predates flagTraced: keep the
+			// binary codec, stop propagating trace ids to this worker
+			traceDemoted = true
+			r.traceMode.Store(traceUnsupported)
+			p.logger.Info("shard trace propagation disabled for worker", "worker", r.url)
+			continue
 		case useBin && !demoted && codecFallback(r, err):
 			// pre-binary worker build: pin it to JSON and retry once
 			demoted = true
 			r.binMode.Store(codecJSONOnly)
+			p.logger.Info("shard codec demoted to json for worker", "worker", r.url)
 			continue
 		}
+		sp.SetAttr("error", err.Error())
 		return nil, err
 	}
 }
@@ -758,6 +842,7 @@ func (p *Pool) tryShardOn(ctx context.Context, r *Remote, blob *ProblemBlob, req
 		return nil // cancelled mid-request: not the worker's fault
 	}
 	r.markFailed(err)
+	p.logger.Warn("shard worker failed", "worker", r.url, "err", err)
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"imdpp/internal/diffusion"
 	"imdpp/internal/graph"
 	"imdpp/internal/kg"
+	"imdpp/internal/obs"
 	"imdpp/internal/pin"
 )
 
@@ -157,12 +158,24 @@ type EstimateRequest struct {
 	Groups        [][]diffusion.Seed `json:"groups"`
 	Market        []int32            `json:"market"`
 	PerGroupMasks [][]int32          `json:"masks"`
+	// TraceID/SpanID propagate the coordinator's trace context
+	// (DESIGN.md §11) so worker spans join the coordinator's trace.
+	// Zero means untraced, and omitempty keeps pre-tracing JSON bodies
+	// byte-identical; on the binary frame the pair rides behind the
+	// flagTraced bit. Tracing never affects sample content — an old
+	// worker may ignore these fields entirely.
+	TraceID obs.ID `json:"trace_id,omitempty"`
+	SpanID  obs.ID `json:"span_id,omitempty"`
 }
 
 // EstimateResponse carries the per-sample outcomes: Samples[g][i-Lo]
 // is global sample i of group g.
 type EstimateResponse struct {
 	Samples [][]diffusion.SampleResult `json:"samples"`
+	// Spans are the worker-side span records for a traced request,
+	// adopted into the coordinator's trace. Only populated when the
+	// request carried a trace id, so old coordinators never see them.
+	Spans []obs.SpanRec `json:"spans,omitempty"`
 }
 
 // maskToUsers flattens a membership mask into a sorted user-id list

@@ -12,6 +12,7 @@ import (
 
 	"imdpp/internal/diffusion"
 	"imdpp/internal/gridcache"
+	"imdpp/internal/obs"
 	"imdpp/internal/service"
 )
 
@@ -43,6 +44,11 @@ type WorkerConfig struct {
 	// split (Pool.SetWeighted(false)); within-batch reuse (repeated
 	// CELF waves, coordinator re-dispatch) is unaffected.
 	Grid *gridcache.Cache
+	// Tracer, when non-nil, lets the worker join traced estimate
+	// requests (DESIGN.md §11): its spans are recorded locally and
+	// shipped back in the response for the coordinator to adopt.
+	// Untraced requests — and a nil Tracer — change nothing.
+	Tracer *obs.Tracer
 }
 
 // Worker is the server side of the estimator RPC: a content-addressed
@@ -277,19 +283,29 @@ func (w *Worker) handleEstimate(rw http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// join the coordinator's trace when the request carries one and a
+	// tracer is configured; StartRemote returns nil otherwise and every
+	// span call below is a no-op
+	wspan := w.cfg.Tracer.StartRemote(req.TraceID, req.SpanID, "worker_estimate")
+	wspan.SetAttrInt("groups", int64(len(req.Groups)))
+	wspan.SetAttrInt("lo", int64(req.Lo))
+	wspan.SetAttrInt("hi", int64(req.Hi))
+	ctx := obs.ContextWithSpan(r.Context(), wspan)
+
 	wp.mu.Lock()
 	wp.est.Seed = req.Seed
-	wp.est.Bind(r.Context())
+	wp.est.Bind(ctx)
 	samples := wp.est.RunBatchSamples(req.Groups, market, masks, req.WithPi, req.Lo, req.Hi)
 	wp.mu.Unlock()
 
 	if r.Context().Err() != nil {
 		// the coordinator is gone; the partial result is garbage
+		wspan.End()
 		return
 	}
 	w.shardsServed.Add(1)
 	w.samplesDone.Add(uint64(len(req.Groups) * (req.Hi - req.Lo)))
-	resp := EstimateResponse{Samples: samples}
+	resp := EstimateResponse{Samples: samples, Spans: wspan.EndCollect()}
 	if wantsBinary(r.Header.Get("Accept")) {
 		scratch := getScratch()
 		out := resp.AppendBinary((*scratch)[:0])

@@ -63,6 +63,13 @@ func AppendFloats(b []byte, vs []float64) []byte {
 	return b
 }
 
+// AppendString appends a uvarint byte length followed by the raw
+// bytes.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
 // AppendAscInt32s appends a sorted-ascending id list as a uvarint
 // count, the first id as a zig-zag varint, and ascending deltas as
 // uvarints. The input must be strictly or weakly ascending; violations
@@ -246,6 +253,17 @@ func (r *Reader) Floats() []float64 {
 		out[i] = r.Float()
 	}
 	return out
+}
+
+// String reads a length-prefixed string written by AppendString.
+func (r *Reader) String() string {
+	n := r.Count(1)
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	v := string(r.b[r.off : r.off+n])
+	r.off += n
+	return v
 }
 
 // AscInt32s reads an ascending id list written by AppendAscInt32s

@@ -39,6 +39,7 @@ func TestPrimitivesRoundTrip(t *testing.T) {
 		uv := rng.Uint64() >> uint(rng.Intn(64))
 		iv := rng.Int63() - rng.Int63()
 		bl := rng.Intn(2) == 1
+		str := string(rune('a'+rng.Intn(26))) + "πattr"[:rng.Intn(6)]
 		fs := make([]float64, rng.Intn(8))
 		for i := range fs {
 			if rng.Intn(2) == 0 {
@@ -61,6 +62,7 @@ func TestPrimitivesRoundTrip(t *testing.T) {
 		b = AppendUvarint(b, uv)
 		b = AppendVarint(b, iv)
 		b = AppendBool(b, bl)
+		b = AppendString(b, str)
 		b = AppendFloats(b, fs)
 		b = AppendAscInt32s(b, asc)
 
@@ -82,6 +84,9 @@ func TestPrimitivesRoundTrip(t *testing.T) {
 		}
 		if got := r.Bool(); got != bl {
 			t.Fatalf("bool %v != %v", got, bl)
+		}
+		if got := r.String(); got != str {
+			t.Fatalf("string %q != %q", got, str)
 		}
 		gfs := r.Floats()
 		if len(gfs) != len(fs) {
@@ -143,6 +148,7 @@ func FuzzReader(f *testing.F) {
 		_ = r.Floats()
 		_ = r.AscInt32s()
 		_ = r.Bool()
+		_ = r.String()
 		_ = r.U32()
 		_ = r.U64()
 		_ = r.Err()

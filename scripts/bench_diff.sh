@@ -12,9 +12,14 @@
 #                                successful run's bench-* artifact
 #                                here; fail-soft when absent)
 #
-# "Previous" is resolved in order: the same-named file under
-# BENCH_PREV_DIR (the previous CI artifact), then the file as committed
-# at HEAD, then the second-to-last record of the working file (bench
+# Records are compared per `kind` ("default" when absent), so a file
+# holding several trajectories — BENCH_serve.json carries both the
+# serve-smoke throughput record and the load-smoke tail-latency record
+# (kind: "load") — diffs each against its own lineage instead of
+# whichever record happens to be last. "Previous" is resolved in
+# order: the same-named file under BENCH_PREV_DIR (the previous CI
+# artifact), then the file as committed at HEAD, then the
+# second-to-last same-kind record of the working file (bench
 # trajectories are JSON-lines, so one smoke run appending to a
 # pre-existing file carries its own history). Works for both shapes in
 # the repo: single-object reports (BENCH_solve.json) and JSON-lines
@@ -25,44 +30,60 @@ cd "$(dirname "$0")/.."
 
 THRESHOLD=${BENCH_DIFF_THRESHOLD:-0.10}
 
+# freshest samples_per_sec of one kind in a JSON-lines stream on stdin
+last_of_kind() {
+    jq -s --arg k "$1" \
+        'map(select((.kind // "default") == $k)) | last | .samples_per_sec // empty' \
+        2>/dev/null || true
+}
+
 for f in "$@"; do
     if [ ! -s "$f" ]; then
         echo "bench-diff: $f missing or empty, skipping"
         continue
     fi
-    cur=$(jq -s 'last | .samples_per_sec // empty' "$f" 2>/dev/null || true)
-    prev=""
-    if [ -n "${BENCH_PREV_DIR:-}" ] && [ -s "${BENCH_PREV_DIR}/$f" ]; then
-        prev=$(jq -s 'last | .samples_per_sec // empty' "${BENCH_PREV_DIR}/$f" 2>/dev/null || true)
-    fi
-    if [ -z "$prev" ]; then
-        prev=$(git show "HEAD:$f" 2>/dev/null | jq -s 'last | .samples_per_sec // empty' 2>/dev/null || true)
-    fi
-    if [ -z "$prev" ]; then
-        prev=$(jq -s 'if length > 1 then .[-2].samples_per_sec // empty else empty end' "$f" 2>/dev/null || true)
-    fi
-    if [ -z "$cur" ] || [ -z "$prev" ]; then
-        echo "bench-diff: $f has no comparable samples_per_sec pair (cur='$cur' prev='$prev'), skipping"
-        continue
-    fi
-    verdict=$(jq -n --argjson cur "$cur" --argjson prev "$prev" --argjson thr "$THRESHOLD" '
-        if $prev <= 0 then "skip"
-        elif $cur < $prev * (1 - $thr) then "drop"
-        else "ok" end')
-    pct=$(jq -n --argjson cur "$cur" --argjson prev "$prev" \
-        'if $prev > 0 then (100 * ($cur - $prev) / $prev | floor) else 0 end')
-    case $(echo "$verdict" | tr -d '"') in
-        drop)
-            # GitHub Actions annotation; plain stderr everywhere else
-            echo "::warning file=$f::samples_per_sec dropped ${pct}% ($prev -> $cur), past the ${THRESHOLD} threshold"
-            echo "bench-diff: $f REGRESSED ${pct}% ($prev -> $cur)" >&2
-            ;;
-        ok)
-            echo "bench-diff: $f ok (${pct}% change, $prev -> $cur)"
-            ;;
-        *)
-            echo "bench-diff: $f previous record unusable, skipping"
-            ;;
-    esac
+    kinds=$(jq -rs 'map(.kind // "default") | unique | .[]' "$f" 2>/dev/null || true)
+    [ -n "$kinds" ] || { echo "bench-diff: $f is not bench JSON, skipping"; continue; }
+    for kind in $kinds; do
+        label=$f
+        [ "$kind" = default ] || label="$f[$kind]"
+        cur=$(last_of_kind "$kind" <"$f")
+        prev=""
+        if [ -n "${BENCH_PREV_DIR:-}" ] && [ -s "${BENCH_PREV_DIR}/$f" ]; then
+            prev=$(last_of_kind "$kind" <"${BENCH_PREV_DIR}/$f")
+        fi
+        if [ -z "$prev" ]; then
+            prev=$(git show "HEAD:$f" 2>/dev/null | last_of_kind "$kind" || true)
+        fi
+        if [ -z "$prev" ]; then
+            prev=$(jq -s --arg k "$kind" \
+                'map(select((.kind // "default") == $k))
+                 | if length > 1 then .[-2].samples_per_sec // empty else empty end' \
+                "$f" 2>/dev/null || true)
+        fi
+        if [ -z "$cur" ] || [ -z "$prev" ]; then
+            echo "bench-diff: $label has no comparable samples_per_sec pair (cur='$cur' prev='$prev'), skipping"
+            continue
+        fi
+        verdict=$(jq -n --argjson cur "$cur" --argjson prev "$prev" --argjson thr "$THRESHOLD" '
+            if $prev <= 0 then "skip"
+            elif $cur < $prev * (1 - $thr) then "drop"
+            else "ok" end')
+        pct=$(jq -n --argjson cur "$cur" --argjson prev "$prev" \
+            'if $prev > 0 then (100 * ($cur - $prev) / $prev | floor) else 0 end')
+        case $(echo "$verdict" | tr -d '"') in
+            drop)
+                # GitHub Actions annotation; plain stderr everywhere else
+                echo "::warning file=$f::samples_per_sec dropped ${pct}% ($prev -> $cur), past the ${THRESHOLD} threshold"
+                echo "bench-diff: $label REGRESSED ${pct}% ($prev -> $cur)" >&2
+                ;;
+            ok)
+                echo "bench-diff: $label ok (${pct}% change, $prev -> $cur)"
+                ;;
+            *)
+                echo "bench-diff: $label previous record unusable, skipping"
+                ;;
+        esac
+    done
 done
 exit 0

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Load smoke (DESIGN.md §11): N concurrent clients against one imdppd,
+# each submitting a distinct-seeded solve so nothing coalesces or hits
+# the result cache — every client pays a real solve and the job queue
+# actually backs up. Asserts the latency histograms observed at least
+# one queue-wait and one solve-wall sample per client, then appends the
+# p50/p99 latency record (kind: "load") to BENCH_serve.json so the
+# perf trajectory tracks tail latency alongside throughput.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLIENTS=${CLIENTS:-6}
+WORKDIR=$(mktemp -d)
+BIN="$WORKDIR/imdppd"
+LOG="$WORKDIR/imdppd.log"
+go build -o "$BIN" ./cmd/imdppd
+
+"$BIN" -addr 127.0.0.1:0 -workers 2 >"$LOG" 2>&1 &
+PID=$!
+cleanup() {
+    kill "$PID" 2>/dev/null || true
+    wait "$PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+# readiness: the daemon prints its resolved address once listening
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's#^imdppd listening on ##p' "$LOG")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "imdppd never became ready:" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+echo "imdppd at $ADDR ($CLIENTS concurrent clients)"
+
+# submit everything up front: distinct seeds defeat coalescing and the
+# result cache, so CLIENTS solves contend for 2 workers
+JOBS=()
+for i in $(seq 1 "$CLIENTS"); do
+    REQ=$(jq -nc --argjson s "$i" \
+        '{dataset: "amazon", scale: 0.05, budget: 100, t: 4, mc: 8, mcsi: 4, candidate_cap: 48, seed: $s}')
+    R=$(curl -sf -X POST "$ADDR/v1/solve" -d "$REQ")
+    [ "$(echo "$R" | jq -r .cache_hit)" = "false" ] || { echo "distinct-seed submit hit the cache: $R" >&2; exit 1; }
+    JOBS+=("$(echo "$R" | jq -r .job_id)")
+done
+
+for JOB in "${JOBS[@]}"; do
+    ST=""
+    for _ in $(seq 1 600); do
+        ST=$(curl -sf "$ADDR/v1/jobs/$JOB" | jq -r .status)
+        [ "$ST" = done ] && break
+        case "$ST" in
+            failed | cancelled)
+                echo "job $JOB finished $ST" >&2
+                exit 1
+                ;;
+        esac
+        sleep 0.2
+    done
+    [ "$ST" = done ] || { echo "job $JOB never finished" >&2; exit 1; }
+done
+echo "all $CLIENTS solves done"
+
+METRICS=$(curl -sf "$ADDR/metrics")
+echo "$METRICS" | jq -e --argjson n "$CLIENTS" '
+    .jobs_completed >= $n
+    and .latency.queue_wait.count >= $n
+    and .latency.solve_wall.count >= $n
+    and .latency.solve_wall.p99_ms >= .latency.solve_wall.p50_ms' >/dev/null ||
+    { echo "latency counters below client count: $(echo "$METRICS" | jq .latency)" >&2; exit 1; }
+
+echo "$METRICS" | jq -c --argjson n "$CLIENTS" '{
+    ts: (now | floor), kind: "load", clients: $n,
+    p50_queue_ms: .latency.queue_wait.p50_ms, p99_queue_ms: .latency.queue_wait.p99_ms,
+    p50_solve_ms: .latency.solve_wall.p50_ms, p99_solve_ms: .latency.solve_wall.p99_ms,
+    samples_per_sec, samples_simulated, jobs_completed}' >>BENCH_serve.json
+echo "load smoke OK; appended to BENCH_serve.json:"
+tail -1 BENCH_serve.json

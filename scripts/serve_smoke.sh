@@ -123,6 +123,15 @@ METRICS=$(curl -sf "$ADDR/metrics")
 echo "$METRICS" | jq -e '.cache_hits >= 1 and .jobs_completed >= 2 and .jobs_cancelled >= 1 and .samples_per_sec > 0' >/dev/null ||
     { echo "metrics incoherent: $METRICS" >&2; exit 1; }
 
+# latency histograms (DESIGN.md §11): every stage carries the full
+# p50/p95/p99 snapshot, and the stages this session exercised count
+echo "$METRICS" | jq -e '
+    .latency.queue_wait.count >= 2 and .latency.solve_wall.count >= 2
+    and ([.latency.queue_wait, .latency.solve_wall, .latency.shard_rpc, .latency.sigma]
+         | all(has("p50_ms") and has("p95_ms") and has("p99_ms") and has("mean_ms")))' >/dev/null ||
+    { echo "latency block incoherent: $(echo "$METRICS" | jq .latency)" >&2; exit 1; }
+echo "latency histograms OK: $(echo "$METRICS" | jq -c '{queue_p50: .latency.queue_wait.p50_ms, solve_p50: .latency.solve_wall.p50_ms}')"
+
 echo "$METRICS" | jq -c "{ts: (now | floor), sigma: $SIGMA1, samples_per_sec, samples_simulated, solve_seconds, jobs_completed, cache_hits, jobs_cancelled, coalesced}" >>BENCH_serve.json
 echo "serve smoke OK; appended to BENCH_serve.json:"
 tail -1 BENCH_serve.json

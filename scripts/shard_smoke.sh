@@ -54,7 +54,10 @@ boot() {
 W1=$(boot "$WORKDIR/worker1.log" -worker)
 W2=$(boot "$WORKDIR/worker2.log" -worker)
 LOCAL=$(boot "$WORKDIR/local.log" -workers 1)
-COORD=$(boot "$WORKDIR/coord.log" -workers 1 -shard-workers "$W1,$W2")
+COORD=$(boot "$WORKDIR/coord.log" -workers 1 -shard-workers "$W1,$W2" -debug-addr 127.0.0.1:0)
+# the binary coordinator's opt-in debug listener (pprof + traces)
+DEBUG=$(sed -n 's#^imdppd debug listening on ##p' "$WORKDIR/coord.log")
+[ -n "$DEBUG" ] || { echo "coordinator printed no debug listener line" >&2; cat "$WORKDIR/coord.log" >&2; exit 1; }
 COORDJ=$(boot "$WORKDIR/coordj.log" -workers 1 -shard-workers "$W1,$W2" -shard-codec json -shard-weighted=false -shard-speculate=false)
 echo "workers at $W1 $W2; binary coordinator at $COORD; json coordinator at $COORDJ; local reference at $LOCAL"
 
@@ -114,6 +117,18 @@ for c in "$COORD" "$COORDJ"; do
         { echo "coordinator $c fell back to local compute" >&2; curl -s "$c/metrics" >&2; exit 1; }
 done
 echo "fleet OK: $TOTAL_SERVED shards served ($SERVED1 + $SERVED2)"
+
+# --- one joined trace across coordinator and workers (§11) -----------
+TRACES=$(curl -sf "$DEBUG/debug/traces")
+echo "$TRACES" | jq -e '
+    ([.traces[] | select(
+        ([.spans[].name] | index("shard_rpc"))
+        and ([.spans[].name] | index("worker_estimate")))] | length) >= 1
+    and all(.traces[]; .trace_id as $t | all(.spans[]; .trace_id == $t))' >/dev/null ||
+    { echo "no joined coordinator+worker trace at $DEBUG/debug/traces" >&2; echo "$TRACES" >&2; exit 1; }
+echo "trace OK: coordinator and worker spans joined under one trace id"
+curl -sf "$COORD/metrics" | jq -e '.latency.shard_rpc.count >= 1 and .latency.shard_rpc.p50_ms >= 0' >/dev/null ||
+    { echo "shard_rpc latency histogram empty on the coordinator" >&2; curl -s "$COORD/metrics" >&2; exit 1; }
 
 # --- wire/planning metrics present and sane --------------------------
 METRICS=$(curl -sf "$COORD/metrics")
