@@ -1,0 +1,262 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"imdpp"
+	"imdpp/internal/servicetest"
+)
+
+// chaosBody is a solve request unique per index so bursts never
+// coalesce: every submission is its own accounting unit.
+func chaosBody(seed int) string {
+	return fmt.Sprintf(`{"dataset":"sample","budget":80,"t":3,"mc":4,"mcsi":2,"candidate_cap":16,"seed":%d}`, seed)
+}
+
+// postRaw posts a body with optional headers and decodes the response
+// into out, returning the status code and the Retry-After header.
+func postRaw(t *testing.T, url, body, tenant string, out any) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-IMDPP-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode, resp.Header.Get("Retry-After")
+}
+
+// TestChaosShedBursts drives admission-control faults table-style: a
+// saturated service sheds a concurrent burst with typed 429 bodies —
+// the right code, the right tenant, a usable Retry-After — and the
+// shed counters account for every rejection exactly.
+func TestChaosShedBursts(t *testing.T) {
+	cases := []struct {
+		name       string
+		cfg        imdpp.ServiceConfig
+		tenant     string // header on the burst submissions
+		burst      int
+		wantOK     int
+		wantCode   string
+		wantTenant string
+	}{
+		{
+			// the global queue (depth 2) fills: one job runs, two queue,
+			// the rest shed service-wide
+			name:       "queue_full",
+			cfg:        imdpp.ServiceConfig{Workers: 1, QueueDepth: 2, CacheSize: -1},
+			burst:      6,
+			wantOK:     2,
+			wantCode:   imdpp.ShedQueueFull,
+			wantTenant: imdpp.DefaultTenant,
+		},
+		{
+			// tenant "free" holds MaxQueue 1 while the global queue has
+			// room: the shed is the tenant's own, typed quota_exceeded
+			name: "quota_exceeded",
+			cfg: imdpp.ServiceConfig{Workers: 1, QueueDepth: 16, CacheSize: -1,
+				Tenants: map[string]imdpp.TenantQuota{"free": {MaxQueue: 1}}},
+			tenant:     "free",
+			burst:      4,
+			wantOK:     1,
+			wantCode:   imdpp.ShedQuotaExceeded,
+			wantTenant: "free",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, srv := newDaemonWith(t, tc.cfg, 0)
+
+			// saturate the single worker so burst submissions must queue
+			slow := `{"dataset":"sample","budget":80,"t":3,"mc":4096,"mcsi":512,"candidate_cap":256,"seed":99}`
+			var blocker solveResponse
+			if code := postJSON(t, srv.URL+"/v1/solve", slow, &blocker); code != http.StatusAccepted {
+				t.Fatalf("blocker: status %d", code)
+			}
+			pollUntil(t, srv.URL+"/v1/jobs/"+blocker.JobID, func(v imdpp.JobView) bool {
+				return v.Status == imdpp.JobRunning
+			})
+
+			type outcome struct {
+				code  int
+				body  errorBody
+				retry string
+			}
+			outcomes := make([]outcome, tc.burst)
+			errs := servicetest.Burst(tc.burst, func(i int) error {
+				var body errorBody
+				code, retry := postRaw(t, srv.URL+"/v1/solve", chaosBody(i+1), tc.tenant, &body)
+				outcomes[i] = outcome{code: code, body: body, retry: retry}
+				return nil
+			})
+			for _, err := range errs {
+				if err != nil {
+					t.Fatalf("burst: %v", err)
+				}
+			}
+
+			accepted, shed := 0, 0
+			for i, o := range outcomes {
+				switch o.code {
+				case http.StatusAccepted:
+					accepted++
+				case http.StatusTooManyRequests:
+					shed++
+					if o.body.Code != tc.wantCode {
+						t.Errorf("shed %d: code %q, want %q", i, o.body.Code, tc.wantCode)
+					}
+					if o.body.Tenant != tc.wantTenant {
+						t.Errorf("shed %d: tenant %q, want %q", i, o.body.Tenant, tc.wantTenant)
+					}
+					if o.body.RetryAfterSeconds < 1 || o.retry == "" {
+						t.Errorf("shed %d: Retry-After missing (header %q, body %d)", i, o.retry, o.body.RetryAfterSeconds)
+					}
+				default:
+					t.Errorf("burst %d: unexpected status %d (%+v)", i, o.code, o.body)
+				}
+			}
+			if accepted != tc.wantOK || shed != tc.burst-tc.wantOK {
+				t.Fatalf("burst split %d accepted / %d shed, want %d/%d", accepted, shed, tc.wantOK, tc.burst-tc.wantOK)
+			}
+
+			// shed accounting is exact: the tenant row counted every 429
+			var m struct {
+				Tenants map[string]imdpp.TenantMetrics `json:"tenants"`
+			}
+			if code := getJSON(t, srv.URL+"/metrics", &m); code != http.StatusOK {
+				t.Fatalf("metrics: status %d", code)
+			}
+			row := m.Tenants[tc.wantTenant]
+			got := row.ShedQueueFull
+			if tc.wantCode == imdpp.ShedQuotaExceeded {
+				got = row.ShedQuota
+			}
+			if got != uint64(shed) {
+				t.Errorf("tenant %s counted %d sheds, burst produced %d", tc.wantTenant, got, shed)
+			}
+		})
+	}
+}
+
+// TestChaosSlowSolverCancel: with a stalling estimation backend, a
+// running job still cancels promptly mid-stall, and its SSE stream
+// closes on the cancelled terminal.
+func TestChaosSlowSolverCancel(t *testing.T) {
+	var faults servicetest.Faults
+	faults.SetDelay(100 * time.Millisecond)
+	_, srv := newDaemonWith(t, imdpp.ServiceConfig{
+		Workers: 1, QueueDepth: 8, CacheSize: -1, Backend: faults.Backend(),
+	}, 0)
+
+	var sub solveResponse
+	if code := postJSON(t, srv.URL+"/v1/solve", chaosBody(7), &sub); code != http.StatusAccepted {
+		t.Fatalf("solve: status %d", code)
+	}
+	pollUntil(t, srv.URL+"/v1/jobs/"+sub.JobID, func(v imdpp.JobView) bool {
+		return v.Status == imdpp.JobRunning
+	})
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+sub.JobID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: status %d", resp.StatusCode)
+	}
+	start := time.Now()
+	pollUntil(t, srv.URL+"/v1/jobs/"+sub.JobID, func(v imdpp.JobView) bool {
+		return v.Status == imdpp.JobCancelled
+	})
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("cancellation took %v against a stalling backend", waited)
+	}
+	evs := events(sseGet(t, srv.URL, sub.JobID, ""))
+	if len(evs) == 0 || evs[len(evs)-1].event != "cancelled" {
+		t.Fatalf("SSE after cancel ended with %+v, want cancelled terminal", evs)
+	}
+	if faults.Calls() == 0 {
+		t.Fatal("fault-injected backend was never exercised")
+	}
+}
+
+// TestChaosSSEDisconnect: a subscriber vanishing mid-stream must not
+// wedge the job or the daemon — the solve completes, metrics stay
+// serviceable, and a fresh subscriber replays the full log.
+func TestChaosSSEDisconnect(t *testing.T) {
+	_, srv := newDaemonWith(t, imdpp.ServiceConfig{Workers: 1, QueueDepth: 8, CacheSize: -1}, 0)
+
+	var sub solveResponse
+	if code := postJSON(t, srv.URL+"/v1/solve", chaosBody(21), &sub); code != http.StatusAccepted {
+		t.Fatalf("solve: status %d", code)
+	}
+	// attach and immediately drop two subscribers while the job works
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(srv.URL + "/v1/jobs/" + sub.JobID + "/events")
+		if err != nil {
+			t.Fatalf("GET events: %v", err)
+		}
+		resp.Body.Close() // disconnect without reading the stream
+	}
+	done := pollUntil(t, srv.URL+"/v1/jobs/"+sub.JobID, func(v imdpp.JobView) bool {
+		return v.Status == imdpp.JobDone || v.Status == imdpp.JobFailed
+	})
+	if done.Status != imdpp.JobDone {
+		t.Fatalf("job after disconnects: %+v", done)
+	}
+	evs := events(sseGet(t, srv.URL, sub.JobID, ""))
+	if len(evs) == 0 || evs[len(evs)-1].event != "done" {
+		t.Fatalf("post-disconnect stream ended with %+v, want done terminal", evs)
+	}
+	if code := getJSON(t, srv.URL+"/metrics", &struct{}{}); code != http.StatusOK {
+		t.Fatalf("metrics after disconnects: status %d", code)
+	}
+}
+
+// TestChaosTenantHeaderRouting: the X-IMDPP-Tenant header routes
+// admission (body field wins when both are set), and the snapshot
+// reports the accounting tenant.
+func TestChaosTenantHeaderRouting(t *testing.T) {
+	_, srv := newDaemonWith(t, imdpp.ServiceConfig{Workers: 1, QueueDepth: 8, CacheSize: -1}, 0)
+
+	var sub solveResponse
+	code, _ := postRaw(t, srv.URL+"/v1/solve", chaosBody(31), "header-tenant", &sub)
+	if code != http.StatusAccepted {
+		t.Fatalf("header solve: status %d", code)
+	}
+	view := pollUntil(t, srv.URL+"/v1/jobs/"+sub.JobID, func(v imdpp.JobView) bool {
+		return v.Status == imdpp.JobDone
+	})
+	if view.Tenant != "header-tenant" {
+		t.Fatalf("snapshot tenant %q, want header-tenant", view.Tenant)
+	}
+
+	body := `{"dataset":"sample","budget":80,"t":3,"mc":4,"mcsi":2,"candidate_cap":16,"seed":32,"tenant":"body-tenant","priority":2}`
+	code, _ = postRaw(t, srv.URL+"/v1/solve", body, "header-tenant", &sub)
+	if code != http.StatusAccepted {
+		t.Fatalf("body solve: status %d", code)
+	}
+	view = pollUntil(t, srv.URL+"/v1/jobs/"+sub.JobID, func(v imdpp.JobView) bool {
+		return v.Status == imdpp.JobDone
+	})
+	if view.Tenant != "body-tenant" || view.Priority != 2 {
+		t.Fatalf("snapshot tenant/priority %q/%d, want body-tenant/2", view.Tenant, view.Priority)
+	}
+}

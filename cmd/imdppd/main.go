@@ -6,13 +6,22 @@
 //
 // Endpoints:
 //
-//	POST   /v1/solve      submit a solve; returns a job id
-//	GET    /v1/jobs/{id}  job status, progress and (when done) the solution
-//	DELETE /v1/jobs/{id}  cancel a queued or running job (409 if finished)
-//	POST   /v1/sigma      evaluate σ for an explicit seed group (sync)
-//	GET    /healthz       liveness
-//	GET    /metrics       JSON counters: jobs, cache hits, samples/sec,
-//	                      worker-pool depth (solver pool + shard fleet)
+//	POST   /v1/solve             submit a solve; returns a job id.
+//	                             ?wait=<duration> long-polls completion
+//	GET    /v1/jobs/{id}         job status, progress and (when done) the solution
+//	GET    /v1/jobs/{id}/events  SSE stream of progress + terminal events
+//	                             (Last-Event-ID resume, heartbeats)
+//	DELETE /v1/jobs/{id}         cancel a queued or running job (409 if finished)
+//	POST   /v1/sigma             evaluate σ for an explicit seed group (sync)
+//	GET    /healthz              liveness
+//	GET    /metrics              JSON counters: jobs, cache hits, samples/sec,
+//	                             per-tenant scheduling, worker-pool depth
+//
+// Requests are scheduled per tenant (X-IMDPP-Tenant header or "tenant"
+// body field; default tenant otherwise) under deficit-weighted
+// round-robin with per-tenant quotas (-tenant-quotas, DESIGN.md §12);
+// shed load returns typed 429s (quota_exceeded / queue_full) bearing
+// Retry-After.
 //
 // Quickstart:
 //
@@ -64,6 +73,8 @@ func main() {
 	sketchDir := flag.String("sketch-dir", "", "directory persisting RR sketch indexes across restarts (empty = memory only)")
 	gridMB := flag.Int("grid-cache-mb", 64, "in-memory sample-grid memoization cache bound in MiB (0 disables); shared across jobs, and by each -worker across estimate requests")
 	gridDir := flag.String("grid-cache-dir", "", "directory spilling committed sample grids to disk (empty = memory only)")
+	tenantQuotas := flag.String("tenant-quotas", "", "per-tenant scheduling quotas: name:weight[:max_queue[:max_inflight]] comma-separated; name 'default' sets the quota unlisted tenants get (DESIGN.md §12)")
+	sseHeartbeat := flag.Duration("sse-heartbeat", 15*time.Second, "SSE keep-alive comment interval on GET /v1/jobs/{id}/events")
 	debugAddr := flag.String("debug-addr", "", "optional debug listener (net/http/pprof + /debug/traces) kept off the serving mux; empty disables (DESIGN.md §11)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
@@ -89,6 +100,10 @@ func main() {
 		handler = w.handler()
 		cleanup = func() {}
 	default:
+		quotas, defQuota, err := imdpp.ParseTenantQuotas(*tenantQuotas)
+		if err != nil {
+			fatal(logger, err.Error())
+		}
 		cfg := imdpp.ServiceConfig{
 			Workers:      *workers,
 			QueueDepth:   *queue,
@@ -97,6 +112,8 @@ func main() {
 			SketchDir:    *sketchDir,
 			GridCacheMB:  *gridMB,
 			GridCacheDir: *gridDir,
+			Tenants:      quotas,
+			DefaultQuota: defQuota,
 			Tracer:       tracer,
 			Logger:       logger,
 		}
@@ -121,6 +138,7 @@ func main() {
 			cfg.Backend = imdpp.ShardBackend(pool)
 		}
 		d := newDaemon(cfg, pool)
+		d.heartbeat = *sseHeartbeat
 		handler = d.handler()
 		cleanup = func() {
 			d.svc.Close()
@@ -216,6 +234,8 @@ type daemon struct {
 	pool    *imdpp.ShardPool
 	workers int
 	start   time.Time
+	// heartbeat is the SSE keep-alive comment interval; tests shrink it.
+	heartbeat time.Duration
 
 	mu       sync.Mutex
 	datasets map[dsKey]*imdpp.Dataset
@@ -232,11 +252,12 @@ func newDaemon(cfg imdpp.ServiceConfig, pool *imdpp.ShardPool) *daemon {
 		workers = 1
 	}
 	return &daemon{
-		svc:      imdpp.NewService(cfg),
-		pool:     pool,
-		workers:  workers,
-		start:    time.Now(),
-		datasets: make(map[dsKey]*imdpp.Dataset),
+		svc:       imdpp.NewService(cfg),
+		pool:      pool,
+		workers:   workers,
+		start:     time.Now(),
+		heartbeat: 15 * time.Second,
+		datasets:  make(map[dsKey]*imdpp.Dataset),
 	}
 }
 
@@ -286,6 +307,7 @@ func (d *daemon) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", d.handleSolve)
 	mux.HandleFunc("GET /v1/jobs/{id}", d.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", d.handleJobEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", d.handleJobCancel)
 	mux.HandleFunc("POST /v1/sigma", d.handleSigma)
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
@@ -313,6 +335,12 @@ type solveRequest struct {
 	Theta        int    `json:"theta"`
 	CandidateCap int    `json:"candidate_cap"`
 	Order        string `json:"order"` // AE|PF|SZ|RMS|RD
+	// Tenant selects the scheduling tenant (falls back to the
+	// X-IMDPP-Tenant header, then the default tenant); Priority orders
+	// dispatch within it, higher first. Both are result-invariant —
+	// they steer when a job runs, never what it computes.
+	Tenant   string `json:"tenant"`
+	Priority int    `json:"priority"`
 	// Epsilon, when present, selects the RR-sketch approximate
 	// backend: σ answers within ε·n·W of exact with probability
 	// ≥ 1−delta (DESIGN.md §9). Absent keeps the exact MC path and
@@ -447,6 +475,15 @@ func (d *daemon) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	wait, err := parseWait(r.URL.Query().Get("wait"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = r.Header.Get("X-IMDPP-Tenant")
+	}
 	p, err := d.loadProblem(req.problemSpec)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -465,10 +502,25 @@ func (d *daemon) handleSolve(w http.ResponseWriter, r *http.Request) {
 			Delta:        delta,
 		},
 		Adaptive: adaptive,
+		Tenant:   tenant,
+		Priority: req.Priority,
 	})
 	if err != nil {
 		writeError(w, submitStatus(err), err)
 		return
+	}
+	if wait > 0 {
+		// long-poll: block up to the deadline; a finished job returns its
+		// full snapshot (solution included), a still-working one falls
+		// through to the usual 202 ticket
+		waitCtx, cancel := context.WithTimeout(r.Context(), wait)
+		_, _ = job.Wait(waitCtx)
+		cancel()
+		if snap := job.Snapshot(); snap.Status == imdpp.JobDone ||
+			snap.Status == imdpp.JobFailed || snap.Status == imdpp.JobCancelled {
+			writeJSON(w, http.StatusOK, snap)
+			return
+		}
 	}
 	snap := job.Snapshot()
 	writeJSON(w, http.StatusAccepted, solveResponse{
@@ -479,6 +531,26 @@ func (d *daemon) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Coalesced: coalesced,
 		Backend:   snap.Backend,
 	})
+}
+
+// maxWait caps ?wait= long-polls so an absurd deadline cannot pin a
+// connection for hours; clients needing longer should poll or stream.
+const maxWait = 10 * time.Minute
+
+// parseWait parses the ?wait= long-poll deadline on POST /v1/solve.
+// Empty means no wait; values above maxWait are clamped, not rejected.
+func parseWait(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, &imdpp.InputError{Field: "wait", Reason: fmt.Sprintf("bad duration %q: %v", s, err)}
+	}
+	if d < 0 {
+		return 0, &imdpp.InputError{Field: "wait", Reason: fmt.Sprintf("negative duration %q", s)}
+	}
+	return min(d, maxWait), nil
 }
 
 func submitStatus(err error) int {
@@ -502,6 +574,104 @@ func (d *daemon) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+// handleJobEvents streams a job's retained event log as Server-Sent
+// Events (DESIGN.md §12): `id:` carries the event sequence number,
+// `event:` the type ("progress", or the terminal "done"/"failed"/
+// "cancelled"), `data:` the JSON payload (ProgressEvent for progress,
+// the full JobView for the terminal event). A Last-Event-ID header (or
+// ?last_event_id=) resumes after the given sequence number; progress
+// older than the retention window is skipped, the terminal event never
+// is. The stream ends after the terminal event; heartbeat comments
+// (": hb") keep idle connections alive.
+func (d *daemon) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := d.svc.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported by this connection"))
+		return
+	}
+	last := 0
+	lastID := r.Header.Get("Last-Event-ID")
+	if lastID == "" {
+		lastID = r.URL.Query().Get("last_event_id")
+	}
+	if lastID != "" {
+		if _, err := fmt.Sscanf(lastID, "%d", &last); err != nil || last < 0 {
+			writeError(w, http.StatusBadRequest, &imdpp.InputError{Field: "Last-Event-ID", Reason: fmt.Sprintf("bad sequence number %q", lastID)})
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	heartbeat := d.heartbeat
+	if heartbeat <= 0 {
+		heartbeat = 15 * time.Second
+	}
+	timer := time.NewTimer(heartbeat)
+	defer timer.Stop()
+	for {
+		// grab the wake channel BEFORE reading, so a publication landing
+		// between the read and the wait is never slept through
+		wake := job.Wake()
+		evs, terminal := job.EventsSince(last)
+		for _, ev := range evs {
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			last = ev.Seq
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(heartbeat)
+		select {
+		case <-wake:
+		case <-timer.C:
+			if _, err := fmt.Fprint(w, ": hb\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE frames one job event: id carries the sequence number for
+// Last-Event-ID resume, data the progress report or (terminal) the
+// full job snapshot.
+func writeSSE(w http.ResponseWriter, ev imdpp.JobEvent) error {
+	var payload any
+	if ev.Progress != nil {
+		payload = ev.Progress
+	} else {
+		payload = ev.Job
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	return err
 }
 
 func (d *daemon) handleJobCancel(w http.ResponseWriter, r *http.Request) {
@@ -595,12 +765,15 @@ func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 // errorBody is the daemon's typed error payload. Code is a stable
-// machine-readable discriminator (e.g. "job_finished"); Status carries
-// the job's settled state where relevant.
+// machine-readable discriminator (e.g. "job_finished", "queue_full",
+// "quota_exceeded"); Status carries the job's settled state where
+// relevant; Tenant and RetryAfterSeconds accompany scheduling sheds.
 type errorBody struct {
-	Error  string          `json:"error"`
-	Code   string          `json:"code,omitempty"`
-	Status imdpp.JobStatus `json:"status,omitempty"`
+	Error             string          `json:"error"`
+	Code              string          `json:"code,omitempty"`
+	Status            imdpp.JobStatus `json:"status,omitempty"`
+	Tenant            string          `json:"tenant,omitempty"`
+	RetryAfterSeconds int             `json:"retry_after_seconds,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -610,5 +783,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	body := errorBody{Error: err.Error()}
+	var qe *imdpp.QuotaError
+	if errors.As(err, &qe) {
+		// typed shed: surface the machine-readable code and the
+		// Retry-After estimate both as a header and in the body
+		body.Code = qe.Code
+		body.Tenant = qe.Tenant
+		if secs := int(qe.RetryAfter.Round(time.Second).Seconds()); secs > 0 {
+			body.RetryAfterSeconds = secs
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		}
+	}
+	writeJSON(w, status, body)
 }

@@ -441,13 +441,22 @@ func TestDaemonMetricsSchema(t *testing.T) {
 	_, srv := newTestDaemon(t)
 
 	// run one solve and two identical sigma evaluations so every
-	// counter family has a chance to move (grid hits included)
+	// counter family has a chance to move (grid hits included); the
+	// solve also materialises the default tenant's scheduling row
 	sigma := `{"dataset":"sample","budget":80,"t":3,"mc":32,"seed":5,"seeds":[{"user":0,"item":0,"t":1}]}`
 	for i := 0; i < 2; i++ {
 		if code := postJSON(t, srv.URL+"/v1/sigma", sigma, nil); code != http.StatusOK {
 			t.Fatalf("sigma %d: status %d", i, code)
 		}
 	}
+	var sub solveResponse
+	if code := postJSON(t, srv.URL+"/v1/solve",
+		`{"dataset":"sample","budget":80,"t":3,"mc":4,"mcsi":2,"candidate_cap":8,"seed":5}`, &sub); code != http.StatusAccepted {
+		t.Fatalf("solve: status %d", code)
+	}
+	pollUntil(t, srv.URL+"/v1/jobs/"+sub.JobID, func(v imdpp.JobView) bool {
+		return v.Status != imdpp.JobQueued && v.Status != imdpp.JobRunning
+	})
 
 	var doc map[string]json.RawMessage
 	if code := getJSON(t, srv.URL+"/metrics", &doc); code != http.StatusOK {
@@ -457,7 +466,7 @@ func TestDaemonMetricsSchema(t *testing.T) {
 		"jobs_submitted", "jobs_completed", "jobs_failed", "jobs_cancelled",
 		"cache_hits", "cache_misses", "coalesced", "cache_entries",
 		"queue_depth", "running", "samples_simulated", "solve_seconds",
-		"samples_per_sec", "sketch", "grid", "latency",
+		"samples_per_sec", "sketch", "grid", "latency", "tenants",
 		"solve_workers", "datasets_cached", "uptime_seconds",
 	}
 	for _, k := range want {
@@ -497,6 +506,28 @@ func TestDaemonMetricsSchema(t *testing.T) {
 	}
 	if hits, ok := nested.Grid["hits"].(float64); !ok || hits < 1 {
 		t.Errorf("identical sigma evaluations produced no grid hits: %v", nested.Grid["hits"])
+	}
+
+	// the tenants block carries one scheduling row per tenant seen; the
+	// solve above ran under the default tenant (DESIGN.md §12)
+	var tn struct {
+		Tenants map[string]map[string]any `json:"tenants"`
+	}
+	if err := json.Unmarshal(mustMarshal(t, doc), &tn); err != nil {
+		t.Fatalf("decode tenants: %v", err)
+	}
+	row, ok := tn.Tenants["default"]
+	if !ok {
+		t.Fatalf("tenants block missing the default tenant: %v", tn.Tenants)
+	}
+	for _, k := range []string{"admitted", "completed", "shed_quota", "shed_queue_full",
+		"queued", "inflight", "weight", "max_queue", "max_inflight", "queue_wait"} {
+		if _, ok := row[k]; !ok {
+			t.Errorf("tenants.default missing %q", k)
+		}
+	}
+	if adm, ok := row["admitted"].(float64); !ok || adm < 1 {
+		t.Errorf("solve did not move tenants.default.admitted: %v", row["admitted"])
 	}
 
 	// the latency block carries one histogram snapshot per stage, each

@@ -245,7 +245,33 @@ type (
 	JobStatus = service.Status
 	// SolveKey is the 128-bit content address of a solve request.
 	SolveKey = service.Key
+	// TenantQuota bounds one tenant's share of the service: DRR weight,
+	// queue depth and in-flight concurrency (DESIGN.md §12).
+	TenantQuota = service.TenantQuota
+	// TenantMetrics is one tenant's scheduling counters (/metrics "tenants").
+	TenantMetrics = service.TenantMetrics
+	// QuotaError is a typed shed rejection bearing a Retry-After
+	// estimate; it satisfies errors.Is(err, ErrQueueFull).
+	QuotaError = service.QuotaError
+	// JobEvent is one entry in a job's retained event log — the payload
+	// of the daemon's SSE stream.
+	JobEvent = service.Event
 )
+
+// DefaultTenant is the tenant requests without one are accounted under.
+const DefaultTenant = service.DefaultTenant
+
+// QuotaError shed codes.
+const (
+	ShedQueueFull     = service.ShedQueueFull
+	ShedQuotaExceeded = service.ShedQuotaExceeded
+)
+
+// ParseTenantQuotas parses the -tenant-quotas flag syntax
+// (name:weight[:max_queue[:max_inflight]], comma-separated; name
+// "default" sets the quota unlisted tenants get) into
+// ServiceConfig.Tenants / ServiceConfig.DefaultQuota.
+var ParseTenantQuotas = service.ParseTenantQuotas
 
 // Job lifecycle states.
 const (

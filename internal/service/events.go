@@ -1,0 +1,96 @@
+package service
+
+import (
+	"imdpp/internal/core"
+)
+
+// Event is one entry in a job's retained event log — the payload of
+// the daemon's SSE stream (GET /v1/jobs/{id}/events, DESIGN.md §12).
+// Seq numbers are contiguous per job starting at 1; the SSE "id:"
+// field carries Seq so Last-Event-ID resume is exact.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"` // "progress", or terminal: "done"|"failed"|"cancelled"
+	// Progress carries the solver event for Type "progress".
+	Progress *core.ProgressEvent `json:"progress,omitempty"`
+	// Job carries the final snapshot (solution included) on the
+	// terminal event.
+	Job *JobView `json:"job,omitempty"`
+}
+
+// eventRetention bounds how many progress events a job retains for
+// Last-Event-ID resume. The terminal event is stored separately and
+// is never evicted: a subscriber may always miss intermediate
+// progress, never the outcome.
+const eventRetention = 256
+
+// publishProgress appends a progress event to the ring; j.mu must be
+// held. Oldest events fall off beyond the retention bound.
+func (j *Job) publishProgressLocked(ev core.ProgressEvent) {
+	j.seq++
+	e := Event{Seq: j.seq, Type: "progress", Progress: &ev}
+	if len(j.ring) >= eventRetention {
+		copy(j.ring, j.ring[1:])
+		j.ring[len(j.ring)-1] = e
+	} else {
+		j.ring = append(j.ring, e)
+	}
+	j.wakeLocked()
+}
+
+// publishTerminalLocked records the terminal event; j.mu must be
+// held. It runs inside the same critical section that settles the job
+// status, so no subscriber can observe a finished job without a
+// terminal event — the ordering guarantee retirement relies on
+// (DESIGN.md §12): finish publishes the terminal event strictly
+// before retireJob may evict the id.
+func (j *Job) publishTerminalLocked() {
+	j.seq++
+	v := j.snapshotLocked()
+	j.terminal = &Event{Seq: j.seq, Type: string(j.status), Job: &v}
+	j.wakeLocked()
+}
+
+// wakeLocked releases every EventsSince waiter; j.mu must be held.
+func (j *Job) wakeLocked() {
+	if j.wakeCh != nil {
+		close(j.wakeCh)
+		j.wakeCh = nil
+	}
+}
+
+// Wake returns a channel closed on the next event publication. Grab
+// it BEFORE calling EventsSince: if an event lands between the two
+// calls the returned channel is already closed, so the caller never
+// sleeps through a publication.
+func (j *Job) Wake() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wakeCh == nil {
+		j.wakeCh = make(chan struct{})
+	}
+	return j.wakeCh
+}
+
+// EventsSince returns the retained events with Seq > after, in order,
+// and whether the batch ends with the terminal event (after which no
+// further events will ever be published). Progress older than the
+// retention window is silently skipped — resume delivers what is
+// retained, and always the terminal event exactly once per contiguous
+// read sequence.
+func (j *Job) EventsSince(after int) (evs []Event, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, e := range j.ring {
+		if e.Seq > after {
+			evs = append(evs, e)
+		}
+	}
+	if j.terminal != nil {
+		if j.terminal.Seq > after {
+			evs = append(evs, *j.terminal)
+		}
+		return evs, true
+	}
+	return evs, false
+}

@@ -28,6 +28,12 @@ type Job struct {
 	key Key
 	req Request
 
+	// tenant and priority are the scheduling coordinates (DESIGN.md
+	// §12): tenant selects the sub-queue (canonicalised by admit),
+	// priority orders within it. Immutable after admission.
+	tenant   string
+	priority int
+
 	ctx        context.Context
 	cancelCtx  context.CancelFunc
 	cancelHook func() // set by the Service: ctx cancel + queue bookkeeping
@@ -50,6 +56,13 @@ type Job struct {
 	finished time.Time
 	traceID  string
 	phases   []PhaseTiming
+
+	// event log (events.go): bounded progress ring + the terminal
+	// event, with wakeCh releasing SSE/long-poll waiters per publish.
+	seq      int
+	ring     []Event
+	terminal *Event
+	wakeCh   chan struct{}
 }
 
 // JobView is the JSON-able snapshot of a job, the body of the
@@ -59,6 +72,11 @@ type JobView struct {
 	Key      string `json:"key"` // content address of the request
 	Status   Status `json:"status"`
 	CacheHit bool   `json:"cache_hit"`
+	// Tenant is the scheduling tenant the job was accounted under;
+	// Priority its within-tenant dispatch priority (omitted at the
+	// defaults, keeping pre-tenant snapshots byte-identical).
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
 	// Backend echoes the estimation backend the request selected
 	// ("sketch" for epsilon requests); omitted on the exact MC path so
 	// existing clients see unchanged bytes.
@@ -115,11 +133,24 @@ func (j *Job) Wait(ctx context.Context) (*core.Solution, error) {
 func (j *Job) Snapshot() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+// snapshotLocked builds the view; j.mu must be held.
+func (j *Job) snapshotLocked() JobView {
+	tenant := j.tenant
+	if tenant == DefaultTenant {
+		// requests that never named a tenant (and ones naming the
+		// default explicitly) keep their pre-tenant snapshot bytes
+		tenant = ""
+	}
 	v := JobView{
 		ID:             j.id,
 		Key:            j.key.String(),
 		Status:         j.status,
 		CacheHit:       j.cacheHit,
+		Tenant:         tenant,
+		Priority:       j.priority,
 		Backend:        j.backend,
 		Progress:       j.progress,
 		ProgressEvents: j.events,
@@ -177,6 +208,7 @@ func (j *Job) setProgress(ev core.ProgressEvent) {
 	j.mu.Lock()
 	j.progress = ev
 	j.events++
+	j.publishProgressLocked(ev)
 	j.mu.Unlock()
 }
 
@@ -210,6 +242,7 @@ func (j *Job) finish(st Status, sol *core.Solution, err error) bool {
 	if j.started.IsZero() {
 		j.started = j.finished
 	}
+	j.publishTerminalLocked()
 	j.mu.Unlock()
 	j.cancelCtx() // release the context's resources in every terminal path
 	close(j.done)
@@ -229,6 +262,7 @@ func (j *Job) finishIfQueued() bool {
 	j.err = context.Canceled
 	j.finished = time.Now()
 	j.started = j.finished
+	j.publishTerminalLocked()
 	j.mu.Unlock()
 	j.cancelCtx()
 	close(j.done)

@@ -43,8 +43,19 @@ type Config struct {
 	// JobRetention bounds how many finished jobs stay pollable
 	// (default 1024); beyond it the oldest finished jobs are forgotten
 	// and their ids return not-found. Queued and running jobs are
-	// never evicted.
+	// never evicted, and a job's terminal event is always published to
+	// its event log before its id can be evicted (DESIGN.md §12).
 	JobRetention int
+	// Tenants maps tenant names to their scheduling quotas (weight,
+	// queue depth, in-flight bound; DESIGN.md §12). Tenants not listed
+	// get DefaultQuota. Scheduling only reorders work, so quotas never
+	// change any job's result bits.
+	Tenants map[string]TenantQuota
+	// DefaultQuota is the quota applied to every tenant absent from
+	// Tenants, including the default tenant requests without an
+	// explicit tenant land in. The zero value selects weight 1,
+	// MaxQueue = QueueDepth and MaxInflight = Workers.
+	DefaultQuota TenantQuota
 	// Backend, when non-nil, constructs the σ/π estimation backend
 	// every solve and sigma evaluation runs over — e.g. a sharded
 	// remote-worker estimator (internal/shard). The determinism
@@ -114,6 +125,14 @@ type Request struct {
 	Options core.Options
 	// Adaptive selects SolveAdaptive (Sec. V-D) instead of Dysim.
 	Adaptive bool
+	// Tenant names the scheduling tenant the request is accounted
+	// under; empty selects the default tenant. Tenancy affects only
+	// admission and dispatch order — never the solve result or its
+	// content-address (§3 exclusion, like Workers and Progress).
+	Tenant string
+	// Priority orders dispatch within the tenant's queue: higher runs
+	// earlier, FIFO within a priority. Result-invariant like Tenant.
+	Priority int
 }
 
 // Metrics is a point-in-time snapshot of the service counters, the
@@ -145,6 +164,11 @@ type Metrics struct {
 	Grid   gridcache.Stats `json:"grid"`
 	// Latency nests the pipeline latency histograms (DESIGN.md §11).
 	Latency LatencyMetrics `json:"latency"`
+	// Tenants is the per-tenant scheduling block (DESIGN.md §12): one
+	// row per tenant with admission/shed counters, live queue/inflight
+	// occupancy, the effective quota and the tenant's own queue-wait
+	// histogram.
+	Tenants map[string]TenantMetrics `json:"tenants"`
 }
 
 // LatencyMetrics is the /metrics "latency" block: p50/p95/p99
@@ -171,8 +195,10 @@ type SketchMetrics struct {
 // Service runs campaign solves asynchronously. Create with New,
 // release with Close.
 type Service struct {
-	cfg   Config
-	queue chan *Job
+	cfg Config
+	// sched is the weighted-fair, quota-aware admission and dispatch
+	// layer (sched.go, DESIGN.md §12) that replaced the FIFO channel.
+	sched *scheduler
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -222,7 +248,7 @@ func New(cfg Config) *Service {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:        cfg,
-		queue:      make(chan *Job, cfg.QueueDepth),
+		sched:      newScheduler(cfg),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
@@ -235,6 +261,18 @@ func New(cfg Config) *Service {
 	}
 	if s.logger == nil {
 		s.logger = slog.New(slog.DiscardHandler)
+	}
+	// Retry-After estimate: how long until a queue slot frees, from
+	// the backlog ahead of the caller and the observed mean solve time
+	// (1s floor before any solve completes, 60s cap so clients never
+	// back off absurdly).
+	s.sched.retryAfter = func(queued int) time.Duration {
+		mean := time.Duration(s.histSolve.Stats().MeanMs * float64(time.Millisecond))
+		if mean <= 0 {
+			mean = time.Second
+		}
+		d := mean * time.Duration(queued/cfg.Workers+1)
+		return min(max(d, time.Second), time.Minute)
 	}
 	s.sketchCache = sketch.NewCache(cfg.SketchCacheSize, cfg.SketchDir,
 		func(p *diffusion.Problem) string { return HashProblem(p).String() })
@@ -254,6 +292,9 @@ func New(cfg Config) *Service {
 
 // Close cancels running jobs, drains the queue and waits for the
 // worker pool to exit. The service rejects submissions afterwards.
+// Jobs still queued are settled as cancelled, publishing their
+// terminal events, so SSE subscribers and long-pollers attached at
+// close time observe an outcome instead of hanging.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -262,9 +303,9 @@ func (s *Service) Close() {
 		return
 	}
 	s.closed = true
-	close(s.queue) // Submit sends under s.mu, so no send can race this
 	s.mu.Unlock()
 	s.baseCancel()
+	s.sched.close() // workers drain the remaining queue as cancelled, then exit
 	s.wg.Wait()
 }
 
@@ -304,13 +345,13 @@ func (s *Service) Submit(req Request) (job *Job, coalescedFlag bool, err error) 
 		return j, true, nil
 	}
 	j := s.newJobLocked(key, req)
-	select {
-	case s.queue <- j:
-	default:
+	if err := s.sched.admit(j); err != nil {
+		// typed shed: *QuotaError carries the reason (queue_full or
+		// quota_exceeded), the tenant and a Retry-After estimate
 		delete(s.jobs, j.id)
 		s.mu.Unlock()
 		j.cancelCtx()
-		return nil, false, ErrQueueFull
+		return nil, false, err
 	}
 	s.inflight[key] = j
 	s.mu.Unlock()
@@ -323,10 +364,16 @@ func (s *Service) Submit(req Request) (job *Job, coalescedFlag bool, err error) 
 func (s *Service) newJobLocked(key Key, req Request) *Job {
 	s.nextID++
 	ctx, cancel := context.WithCancel(s.baseCtx)
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
 	j := &Job{
 		id:        jobID(s.nextID),
 		key:       key,
 		req:       req,
+		tenant:    tenant,
+		priority:  req.Priority,
 		ctx:       ctx,
 		cancelCtx: cancel,
 		done:      make(chan struct{}),
@@ -364,10 +411,13 @@ func (s *Service) Cancel(id string) bool {
 
 // cancelJob cancels a job's context and, when no worker has picked it
 // up yet, settles it as cancelled immediately so pollers never wait
-// on a dead queue entry.
+// on a dead queue entry. The queued entry is withdrawn from its
+// tenant's sub-queue eagerly, so quota accounting stays exact — a
+// cancelled job can never hold a tenant at its MaxQueue bound.
 func (s *Service) cancelJob(j *Job) {
 	j.cancelCtx()
 	if j.finishIfQueued() {
+		s.sched.remove(j)
 		s.cancelled.Add(1)
 		s.retireJob(j)
 		s.clearInflight(j)
@@ -388,6 +438,15 @@ func (s *Service) clearInflight(j *Job) {
 // evicting the oldest finished jobs beyond Config.JobRetention so a
 // long-running daemon's job index cannot grow without bound. Only
 // finished jobs enter the window, so queued/running jobs are safe.
+//
+// Ordering guarantee (DESIGN.md §12): every caller invokes retireJob
+// strictly after Job.finish / finishIfQueued, which publish the
+// terminal event to the job's event log inside the status-settling
+// critical section. An SSE subscriber or long-poller attached to a
+// retiring job therefore always observes the terminal event — eviction
+// only removes the id from the index; attached streams keep draining
+// the Job they already hold. TestRetireDeliversTerminalToSubscribers
+// pins this.
 func (s *Service) retireJob(j *Job) {
 	s.mu.Lock()
 	s.retired = append(s.retired, j.id)
@@ -398,11 +457,19 @@ func (s *Service) retireJob(j *Job) {
 	s.mu.Unlock()
 }
 
-// worker is the solver loop: one goroutine per Config.Workers.
+// worker is the solver loop: one goroutine per Config.Workers. Every
+// job handed out by the scheduler — run, drained-at-close or
+// cancelled-after-dequeue — releases its tenant's inflight slot here,
+// so the per-tenant accounting is exact.
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.sched.next()
+		if !ok {
+			return
+		}
 		s.runJob(j)
+		s.sched.release(j.tenant, j.queueWait(), j.Snapshot().Status == StatusDone)
 	}
 }
 
@@ -611,8 +678,8 @@ func (s *Service) Sigma(ctx context.Context, p *diffusion.Problem, seeds []diffu
 func (s *Service) Metrics() Metrics {
 	s.mu.Lock()
 	entries := s.cache.len()
-	depth := len(s.queue)
 	s.mu.Unlock()
+	depth := s.sched.depth()
 	m := Metrics{
 		JobsSubmitted:    s.submitted.Load(),
 		JobsCompleted:    s.completed.Load(),
@@ -636,5 +703,6 @@ func (s *Service) Metrics() Metrics {
 	m.Latency.QueueWait = s.histQueue.Stats()
 	m.Latency.SolveWall = s.histSolve.Stats()
 	m.Latency.Sigma = s.histSigma.Stats()
+	m.Tenants = s.sched.metrics()
 	return m
 }

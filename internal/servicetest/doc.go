@@ -1,0 +1,13 @@
+// Package servicetest provides fault-injection harnesses for testing
+// the serving layer under adverse conditions (DESIGN.md §12): an
+// estimation backend with controllable per-evaluation stalls, and a
+// concurrent burst driver with outcome tallying. The service and
+// daemon chaos test tiers share these so slow solvers, mid-job
+// cancellation, client disconnects and queue-full bursts are exercised
+// against one deterministic fault model.
+//
+// The fault injections are scheduling-only: a stalled backend delays
+// evaluations but delegates them unchanged to the local engine, so
+// results remain bit-identical to an unstalled run (the §3 determinism
+// contract) and golden comparisons hold across every chaos scenario.
+package servicetest

@@ -1,0 +1,132 @@
+package servicetest
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"imdpp/internal/core"
+	"imdpp/internal/diffusion"
+)
+
+// Faults is a controllable fault model for the estimation backend.
+// Tests adjust it while a service is live; all fields are safe for
+// concurrent use.
+type Faults struct {
+	// delay is the per-evaluation stall in nanoseconds. Every estimator
+	// call waits min(delay, context cancellation) before delegating.
+	delay atomic.Int64
+	// calls counts estimator evaluations that passed the stall.
+	calls atomic.Uint64
+}
+
+// SetDelay sets the per-evaluation stall. Zero removes it.
+func (f *Faults) SetDelay(d time.Duration) { f.delay.Store(int64(d)) }
+
+// Calls reports how many estimator evaluations ran.
+func (f *Faults) Calls() uint64 { return f.calls.Load() }
+
+// Backend returns an EstimatorFactory injecting f's faults in front of
+// the local engine. The stall honours the estimator's bound context,
+// so cancellation stays prompt even mid-stall; the delegated
+// evaluation is unchanged, keeping results bit-identical to an
+// unstalled local solve (§3).
+func (f *Faults) Backend() core.EstimatorFactory {
+	return func(p *diffusion.Problem, samples int, seed uint64, workers int) core.Estimator {
+		return &slowEstimator{Estimator: core.LocalEstimator(p, samples, seed, workers), f: f}
+	}
+}
+
+// slowEstimator stalls each evaluation, then delegates to the wrapped
+// engine. Only the evaluation entry points are intercepted; Reseed,
+// SamplesDone and StateBytes pass straight through via embedding.
+type slowEstimator struct {
+	core.Estimator
+	f *Faults
+
+	mu  sync.Mutex
+	ctx context.Context
+}
+
+func (e *slowEstimator) Bind(ctx context.Context) {
+	e.mu.Lock()
+	e.ctx = ctx
+	e.mu.Unlock()
+	e.Estimator.Bind(ctx)
+}
+
+// stall waits the configured delay or until the bound context fires.
+func (e *slowEstimator) stall() {
+	d := time.Duration(e.f.delay.Load())
+	defer e.f.calls.Add(1)
+	if d <= 0 {
+		return
+	}
+	e.mu.Lock()
+	ctx := e.ctx
+	e.mu.Unlock()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-done:
+	}
+}
+
+func (e *slowEstimator) Sigma(seeds []diffusion.Seed) float64 {
+	e.stall()
+	return e.Estimator.Sigma(seeds)
+}
+
+func (e *slowEstimator) Run(seeds []diffusion.Seed, market []bool, withPi bool) diffusion.Estimate {
+	e.stall()
+	return e.Estimator.Run(seeds, market, withPi)
+}
+
+func (e *slowEstimator) RunBatch(groups [][]diffusion.Seed, market []bool) []diffusion.Estimate {
+	e.stall()
+	return e.Estimator.RunBatch(groups, market)
+}
+
+func (e *slowEstimator) RunBatchPi(groups [][]diffusion.Seed, market []bool) []diffusion.Estimate {
+	e.stall()
+	return e.Estimator.RunBatchPi(groups, market)
+}
+
+func (e *slowEstimator) RunBatchMasked(groups [][]diffusion.Seed, masks [][]bool, withPi bool) []diffusion.Estimate {
+	e.stall()
+	return e.Estimator.RunBatchMasked(groups, masks, withPi)
+}
+
+func (e *slowEstimator) SigmaBatch(groups [][]diffusion.Seed) []float64 {
+	e.stall()
+	return e.Estimator.SigmaBatch(groups)
+}
+
+func (e *slowEstimator) MeanWeights(seeds []diffusion.Seed, users []int) []float64 {
+	e.stall()
+	return e.Estimator.MeanWeights(seeds, users)
+}
+
+// Burst runs fn(0..n-1) concurrently and returns each call's error,
+// index-aligned — the driver behind queue-full burst scenarios, where
+// the interesting signal is the exact mix of accepted and shed
+// submissions.
+func Burst(n int, fn func(i int) error) []error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}

@@ -6,6 +6,14 @@
 # one queue-wait and one solve-wall sample per client, then appends the
 # p50/p99 latency record (kind: "load") to BENCH_serve.json so the
 # perf trajectory tracks tail latency alongside throughput.
+#
+# A second multi-tenant phase (DESIGN.md §12) restarts the daemon with
+# -tenant-quotas: one greedy tenant (weight 1, tiny queue, one job in
+# flight) floods submissions while two light tenants (weight 4) trickle
+# theirs. Asserts the greedy flood is shed with typed quota_exceeded
+# 429s bearing Retry-After, the light tenants' p99 queue wait stays
+# bounded despite the flood, and appends the kind: "load_mt" record so
+# the fairness trajectory is tracked alongside the single-tenant one.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -81,4 +89,94 @@ echo "$METRICS" | jq -c --argjson n "$CLIENTS" '{
     p50_solve_ms: .latency.solve_wall.p50_ms, p99_solve_ms: .latency.solve_wall.p99_ms,
     samples_per_sec, samples_simulated, jobs_completed}' >>BENCH_serve.json
 echo "load smoke OK; appended to BENCH_serve.json:"
+tail -1 BENCH_serve.json
+
+# ---- multi-tenant phase: greedy flood vs light tenants ---------------
+kill "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+
+GREEDY=${GREEDY:-12}
+LIGHT=${LIGHT:-3} # jobs per light tenant
+"$BIN" -addr 127.0.0.1:0 -workers 2 \
+    -tenant-quotas 'greedy:1:4:1,light1:4,light2:4' >"$LOG" 2>&1 &
+PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's#^imdppd listening on ##p' "$LOG")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "multi-tenant imdppd never became ready:" >&2; cat "$LOG" >&2; exit 1; }
+echo "multi-tenant imdppd at $ADDR (greedy flood $GREEDY, light 2x$LIGHT)"
+
+MT_JOBS=()
+SHED=0
+# the greedy tenant floods: weight 1, max_queue 4, one job in flight —
+# admissions beyond its queue bound must shed with typed 429s. The
+# greedy solves are deliberately heavy (big sample counts) so its
+# one-at-a-time drain cannot keep up with the flood
+for i in $(seq 1 "$GREEDY"); do
+    REQ=$(jq -nc --argjson s "$((100 + i))" \
+        '{dataset: "amazon", scale: 0.05, budget: 100, t: 4, mc: 8192, mcsi: 512, candidate_cap: 64, seed: $s}')
+    BODY=$(curl -s -X POST -H 'X-IMDPP-Tenant: greedy' "$ADDR/v1/solve" -d "$REQ")
+    if [ "$(echo "$BODY" | jq -r '.code // empty')" = quota_exceeded ]; then
+        SHED=$((SHED + 1))
+        RA=$(echo "$BODY" | jq -r '.retry_after_seconds // 0')
+        [ "$RA" -ge 1 ] || { echo "shed without Retry-After: $BODY" >&2; exit 1; }
+    else
+        JOB=$(echo "$BODY" | jq -r '.job_id // empty')
+        [ -n "$JOB" ] || { echo "greedy submit neither accepted nor typed-shed: $BODY" >&2; exit 1; }
+        MT_JOBS+=("$JOB")
+    fi
+done
+# the light tenants trickle; all must be admitted despite the flood.
+# Seeds stay distinct across the two tenants — the content address
+# ignores tenancy, so equal-seed requests would coalesce across them
+OFFSET=200
+for TEN in light1 light2; do
+    OFFSET=$((OFFSET + 100))
+    for i in $(seq 1 "$LIGHT"); do
+        REQ=$(jq -nc --argjson s "$((OFFSET + i))" --arg ten "$TEN" \
+            '{dataset: "amazon", scale: 0.05, budget: 100, t: 4, mc: 8, mcsi: 4, candidate_cap: 48, seed: $s, tenant: $ten}')
+        R=$(curl -sf -X POST "$ADDR/v1/solve" -d "$REQ")
+        MT_JOBS+=("$(echo "$R" | jq -r .job_id)")
+    done
+done
+[ "$SHED" -ge 1 ] || { echo "greedy flood of $GREEDY was never shed" >&2; exit 1; }
+echo "greedy shed $SHED of $GREEDY; light tenants all admitted"
+
+for JOB in "${MT_JOBS[@]}"; do
+    ST=""
+    for _ in $(seq 1 600); do
+        ST=$(curl -sf "$ADDR/v1/jobs/$JOB" | jq -r .status)
+        [ "$ST" = done ] && break
+        case "$ST" in
+            failed | cancelled)
+                echo "job $JOB finished $ST" >&2
+                exit 1
+                ;;
+        esac
+        sleep 0.2
+    done
+    [ "$ST" = done ] || { echo "job $JOB never finished" >&2; exit 1; }
+done
+
+MT=$(curl -sf "$ADDR/metrics")
+# per-tenant accounting must be exact, and the light tenants' tail
+# queue wait must stay bounded next to the greedy backlog: weighted
+# fair scheduling is the whole point of the phase
+echo "$MT" | jq -e --argjson shed "$SHED" --argjson light "$LIGHT" '
+    .tenants.greedy.shed_quota == $shed
+    and .tenants.light1.queue_wait.count >= $light
+    and .tenants.light2.queue_wait.count >= $light
+    and ([.tenants.light1.queue_wait.p99_ms, .tenants.light2.queue_wait.p99_ms] | max) <=
+        ([.tenants.greedy.queue_wait.p99_ms, 1000] | max)' >/dev/null ||
+    { echo "tenant fairness assertions failed: $(echo "$MT" | jq .tenants)" >&2; exit 1; }
+
+echo "$MT" | jq -c --argjson greedy "$GREEDY" --argjson shed "$SHED" --argjson light "$((2 * LIGHT))" '{
+    ts: (now | floor), kind: "load_mt", greedy: $greedy, greedy_shed: $shed, light_jobs: $light,
+    greedy_p99_queue_ms: .tenants.greedy.queue_wait.p99_ms,
+    light_p99_queue_ms: ([.tenants.light1.queue_wait.p99_ms, .tenants.light2.queue_wait.p99_ms] | max),
+    samples_per_sec, samples_simulated, jobs_completed}' >>BENCH_serve.json
+echo "multi-tenant load smoke OK; appended to BENCH_serve.json:"
 tail -1 BENCH_serve.json
