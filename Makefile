@@ -3,7 +3,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race bench fmt fmt-check vet lint smoke serve-smoke load-smoke shard-smoke sketch-smoke gridcache-smoke docs-check bench-diff fuzz
+.PHONY: all build test race bench fmt fmt-check vet lint smoke serve-smoke load-smoke shard-smoke fleet-smoke sketch-smoke gridcache-smoke docs-check bench-diff fuzz
 
 all: build test
 
@@ -68,6 +68,15 @@ load-smoke:
 # shard throughput to BENCH_shard.json.
 shard-smoke:
 	./scripts/shard_smoke.sh
+
+# Elastic-fleet smoke (DESIGN.md §13): a dynamic coordinator plus
+# three self-registering workers survive a kill -9 mid-solve, a
+# SIGTERM graceful drain, and a rejoin — every σ bit-identical to a
+# single-process daemon, zero failed jobs, registration-time codec
+# negotiation asserted, SIGHUP quota reload applied live. Appends a
+# kind:"fleet" record to BENCH_shard.json.
+fleet-smoke:
+	./scripts/fleet_smoke.sh
 
 # RR-sketch accuracy/throughput harness (DESIGN.md §9): per synthetic
 # preset, asserts sketch σ within the additive ε·n·W contract of the

@@ -65,7 +65,12 @@ func main() {
 	cacheSize := flag.Int("cache", 128, "content-addressed result cache entries")
 	solveWorkers := flag.Int("solve-workers", 0, "estimator goroutines per solve (0 = GOMAXPROCS)")
 	workerMode := flag.Bool("worker", false, "run as a remote estimator worker (shard RPC only)")
+	register := flag.String("register", "", "coordinator base URL; the worker announces itself on /v1/shard/register and heartbeats until drained (requires -worker, DESIGN.md §13)")
+	advertise := flag.String("advertise", "", "base URL the worker advertises at registration (default: http://<resolved listen address>)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM, how long a draining worker waits for in-flight shards before exiting anyway")
 	shardWorkers := flag.String("shard-workers", "", "comma-separated worker base URLs; fan σ/π estimation out over them")
+	shardDynamic := flag.Bool("shard-dynamic", false, "accept dynamic worker registration on /v1/shard/register; registered workers are heartbeat-monitored and drained gracefully (DESIGN.md §13)")
+	shardHeartbeat := flag.Duration("shard-heartbeat", 2*time.Second, "heartbeat cadence dictated to registered workers; a worker silent for 3 intervals is suspected")
 	shardProbe := flag.Duration("shard-probe", 5*time.Second, "worker health-probe interval")
 	shardCodec := flag.String("shard-codec", "binary", "shard RPC wire codec: binary (DESIGN.md §8) or json; binary falls back to json per worker on mixed-version fleets")
 	shardWeighted := flag.Bool("shard-weighted", true, "size shard ranges proportionally to measured worker throughput")
@@ -91,16 +96,28 @@ func main() {
 
 	var handler http.Handler
 	var cleanup func()
+	var wd *workerDaemon // non-nil in worker mode; drives SIGTERM drain
+	var d *daemon        // non-nil in coordinator mode; drives SIGHUP reload
 	switch {
 	case *workerMode:
 		if *shardWorkers != "" {
 			fatal(logger, "-worker and -shard-workers are mutually exclusive")
 		}
-		w := newWorkerDaemon(*solveWorkers, *gridMB, *gridDir, tracer)
-		handler = w.handler()
+		if *shardDynamic {
+			fatal(logger, "-shard-dynamic is a coordinator flag; a -worker registers with -register instead")
+		}
+		wd = newWorkerDaemon(*solveWorkers, *gridMB, *gridDir, tracer)
+		handler = wd.handler()
 		cleanup = func() {}
 	default:
-		quotas, defQuota, err := imdpp.ParseTenantQuotas(*tenantQuotas)
+		if *register != "" {
+			fatal(logger, "-register requires -worker; a coordinator accepts registrations with -shard-dynamic")
+		}
+		quotaSpec, err := resolveQuotaSpec(*tenantQuotas)
+		if err != nil {
+			fatal(logger, err.Error())
+		}
+		quotas, defQuota, err := imdpp.ParseTenantQuotas(quotaSpec)
 		if err != nil {
 			fatal(logger, err.Error())
 		}
@@ -121,8 +138,11 @@ func main() {
 			cfg.GridCacheMB = -1 // flag 0 means off; Config 0 means default
 		}
 		var pool *imdpp.ShardPool
-		if *shardWorkers != "" {
-			urls := strings.Split(*shardWorkers, ",")
+		if *shardWorkers != "" || *shardDynamic {
+			var urls []string
+			if *shardWorkers != "" {
+				urls = strings.Split(*shardWorkers, ",")
+			}
 			pool = imdpp.NewShardPool(urls, nil)
 			if err := pool.SetCodec(*shardCodec); err != nil {
 				fatal(logger, err.Error())
@@ -130,14 +150,18 @@ func main() {
 			pool.SetWeighted(*shardWeighted)
 			pool.SetSpeculation(*shardSpec)
 			pool.SetLogger(logger)
+			if *shardDynamic {
+				pool.SetHeartbeat(*shardHeartbeat)
+			}
 			healthy := pool.Check(context.Background())
 			logger.Info("shard pool ready",
 				"healthy", healthy, "workers", pool.Size(), "codec", pool.Codec(),
-				"weighted", *shardWeighted, "speculate", *shardSpec)
+				"weighted", *shardWeighted, "speculate", *shardSpec, "dynamic", *shardDynamic)
 			pool.StartHealthLoop(*shardProbe)
 			cfg.Backend = imdpp.ShardBackend(pool)
 		}
-		d := newDaemon(cfg, pool)
+		d = newDaemon(cfg, pool)
+		d.dynamic = *shardDynamic
 		d.heartbeat = *sseHeartbeat
 		handler = d.handler()
 		cleanup = func() {
@@ -170,10 +194,75 @@ func main() {
 	// harness scrapes it to discover the random port
 	fmt.Printf("imdppd listening on http://%s\n", ln.Addr())
 
+	// worker fleet membership (DESIGN.md §13): started only after the
+	// listener is up so the advertised URL is live before the
+	// coordinator hears about it
+	var reg *imdpp.ShardRegistrar
+	if wd != nil && *register != "" {
+		self := *advertise
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		reg, err = imdpp.NewShardRegistrar(imdpp.ShardRegistrarConfig{
+			Coordinator: *register,
+			SelfURL:     self,
+			Logger:      logger,
+		})
+		if err != nil {
+			fatal(logger, "registrar failed", "err", err)
+		}
+		reg.Start()
+		logger.Info("registering with coordinator", "coordinator", *register, "self", self)
+	}
+
+	// SIGHUP reloads the tenant-quota table atomically — queued jobs
+	// keep their slots, only future admissions see the new limits
+	// (DESIGN.md §12). Coordinator mode only; workers hold no queue.
+	if d != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				spec, err := resolveQuotaSpec(*tenantQuotas)
+				if err != nil {
+					logger.Error("quota reload failed", "err", err)
+					continue
+				}
+				quotas, defQuota, err := imdpp.ParseTenantQuotas(spec)
+				if err != nil {
+					logger.Error("quota reload failed", "err", err)
+					continue
+				}
+				d.svc.ReloadQuotas(quotas, defQuota)
+				logger.Info("tenant quotas reloaded", "tenants", len(quotas))
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
+		if wd != nil {
+			// graceful drain (DESIGN.md §13): stop heartbeating, finish
+			// in-flight shard ranges while rejecting new ones with a typed
+			// "draining" error, tell the coordinator, then shut down
+			if reg != nil {
+				reg.Stop()
+			}
+			drained := wd.w.BeginDrain()
+			if reg != nil {
+				deregCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				_ = reg.Deregister(deregCtx)
+				cancel()
+			}
+			select {
+			case <-drained:
+				logger.Info("worker drained: all in-flight shards finished")
+			case <-time.After(*drainTimeout):
+				logger.Warn("drain timeout expired with shards still in flight", "timeout", *drainTimeout)
+			}
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
@@ -233,6 +322,8 @@ type daemon struct {
 	svc     *imdpp.Service
 	pool    *imdpp.ShardPool
 	workers int
+	// dynamic mounts the worker-registration routes (DESIGN.md §13).
+	dynamic bool
 	start   time.Time
 	// heartbeat is the SSE keep-alive comment interval; tests shrink it.
 	heartbeat time.Duration
@@ -285,6 +376,17 @@ func (wd *workerDaemon) handler() http.Handler {
 	mux := http.NewServeMux()
 	wd.w.Mount(mux)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// a draining worker is deliberately unhealthy: probes must stop
+		// routing to it while its in-flight shards finish (DESIGN.md §13)
+		if wd.w.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"ok":             false,
+				"worker":         true,
+				"draining":       true,
+				"uptime_seconds": time.Since(wd.start).Seconds(),
+			})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"ok":             true,
 			"worker":         true,
@@ -312,7 +414,28 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("POST /v1/sigma", d.handleSigma)
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	if d.pool != nil && d.dynamic {
+		// elastic fleet membership (DESIGN.md §13): workers announce,
+		// heartbeat, and take their leave here
+		mux.HandleFunc("POST /v1/shard/register", d.pool.HandleRegister)
+		mux.HandleFunc("POST /v1/shard/heartbeat", d.pool.HandleHeartbeat)
+		mux.HandleFunc("POST /v1/shard/deregister", d.pool.HandleDeregister)
+	}
 	return mux
+}
+
+// resolveQuotaSpec resolves the -tenant-quotas flag value: a literal
+// spec, or "@path" naming a file holding the spec — the indirection
+// that lets SIGHUP pick up edits without a flag change.
+func resolveQuotaSpec(spec string) (string, error) {
+	if !strings.HasPrefix(spec, "@") {
+		return spec, nil
+	}
+	b, err := os.ReadFile(strings.TrimPrefix(spec, "@"))
+	if err != nil {
+		return "", fmt.Errorf("-tenant-quotas: %w", err)
+	}
+	return strings.TrimSpace(string(b)), nil
 }
 
 // problemSpec is the shared problem-defining half of solve and sigma

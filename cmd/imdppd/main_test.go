@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -553,6 +556,32 @@ func TestDaemonMetricsSchema(t *testing.T) {
 	if lat.Latency["sigma"]["count"] < 2 {
 		t.Errorf("two sigma evaluations observed %v in latency.sigma", lat.Latency["sigma"]["count"])
 	}
+
+	// a pool-backed daemon grows the optional "shard" object; pin the
+	// fleet-membership aggregate it carries (DESIGN.md §13)
+	pool := imdpp.NewShardPool(nil, nil)
+	t.Cleanup(pool.Close)
+	pd := newDaemon(imdpp.ServiceConfig{Workers: 1, QueueDepth: 4, CacheSize: 8}, pool)
+	pd.dynamic = true
+	psrv := httptest.NewServer(pd.handler())
+	t.Cleanup(func() {
+		psrv.Close()
+		pd.svc.Close()
+	})
+	var pdoc struct {
+		Shard struct {
+			Fleet map[string]any `json:"fleet"`
+		} `json:"shard"`
+	}
+	if code := getJSON(t, psrv.URL+"/metrics", &pdoc); code != http.StatusOK {
+		t.Fatalf("pool metrics: status %d", code)
+	}
+	for _, k := range []string{"registered", "draining", "suspect", "dead",
+		"heartbeats", "breaker_open", "rejoin_count"} {
+		if _, ok := pdoc.Shard.Fleet[k]; !ok {
+			t.Errorf("shard.fleet missing %q", k)
+		}
+	}
 }
 
 // TestDaemonTracingEndToEnd pins the daemon-level observability
@@ -637,4 +666,144 @@ func mustMarshal(t *testing.T, v any) []byte {
 		t.Fatal(err)
 	}
 	return b
+}
+
+// TestDaemonDynamicFleet walks the elastic-fleet path (DESIGN.md §13)
+// at the daemon level: a coordinator with -shard-dynamic semantics
+// mounts the registration routes, a worker's registrar announces it,
+// negotiation seeds the wire codec without any probe RPC, σ through
+// the registered fleet is bit-identical to local, and a draining
+// worker reports unhealthy before deregistering.
+func TestDaemonDynamicFleet(t *testing.T) {
+	wdd := newWorkerDaemon(2, 16, "", nil)
+	wsrv := httptest.NewServer(wdd.handler())
+	t.Cleanup(wsrv.Close)
+
+	pool := imdpp.NewShardPool(nil, nil)
+	t.Cleanup(pool.Close)
+	pool.SetHeartbeat(50 * time.Millisecond)
+	coord := newDaemon(imdpp.ServiceConfig{
+		Workers: 1, QueueDepth: 8, CacheSize: 32,
+		Backend: imdpp.ShardBackend(pool),
+	}, pool)
+	coord.dynamic = true
+	coordSrv := httptest.NewServer(coord.handler())
+	t.Cleanup(func() {
+		coordSrv.Close()
+		coord.svc.Close()
+	})
+
+	reg, err := imdpp.NewShardRegistrar(imdpp.ShardRegistrarConfig{
+		Coordinator: coordSrv.URL,
+		SelfURL:     wsrv.URL,
+	})
+	if err != nil {
+		t.Fatalf("registrar: %v", err)
+	}
+	reg.Start()
+	t.Cleanup(reg.Stop)
+
+	fleet := func() imdpp.ShardFleetStats {
+		t.Helper()
+		var m struct {
+			Shard *imdpp.ShardPoolStats `json:"shard"`
+		}
+		if code := getJSON(t, coordSrv.URL+"/metrics", &m); code != http.StatusOK {
+			t.Fatalf("metrics: status %d", code)
+		}
+		if m.Shard == nil {
+			t.Fatalf("metrics has no shard block")
+		}
+		return m.Shard.Fleet
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for fleet().Registered < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never registered: %+v", fleet())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// negotiation happened at registration: the remote's codec is
+	// settled before any estimate RPC, no per-request probe needed
+	var m struct {
+		Shard *imdpp.ShardPoolStats `json:"shard"`
+	}
+	if code := getJSON(t, coordSrv.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if len(m.Shard.Remotes) != 1 {
+		t.Fatalf("want 1 remote, got %+v", m.Shard.Remotes)
+	}
+	r := m.Shard.Remotes[0]
+	if !r.Registered || r.State != "alive" || r.Codec != "binary" {
+		t.Fatalf("registration did not negotiate caps: %+v", r)
+	}
+
+	// σ through the dynamically-registered fleet is bit-identical
+	_, localSrv := newTestDaemon(t)
+	body := `{"dataset":"sample","budget":80,"t":3,"mc":64,"seed":5,"seeds":[{"user":0,"item":0,"t":1},{"user":3,"item":1,"t":2}]}`
+	var sharded, local imdpp.Estimate
+	if code := postJSON(t, coordSrv.URL+"/v1/sigma", body, &sharded); code != http.StatusOK {
+		t.Fatalf("sharded sigma: status %d", code)
+	}
+	if code := postJSON(t, localSrv.URL+"/v1/sigma", body, &local); code != http.StatusOK {
+		t.Fatalf("local sigma: status %d", code)
+	}
+	if sharded.Sigma != local.Sigma || sharded.Pi != local.Pi {
+		t.Fatalf("fleet σ differs from local: %+v vs %+v", sharded, local)
+	}
+	for time.Now().Before(deadline) && fleet().Heartbeats < 2 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if hb := fleet().Heartbeats; hb < 2 {
+		t.Fatalf("worker heartbeats not counted: %d", hb)
+	}
+
+	// drain: the worker turns unhealthy (probes must route away) and
+	// rejects new shard dispatches with the typed "draining" error
+	reg.Stop()
+	<-wdd.w.BeginDrain()
+	resp, err := http.Get(wsrv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var hz struct {
+		OK       bool `json:"ok"`
+		Draining bool `json:"draining"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || hz.OK || !hz.Draining {
+		t.Fatalf("draining worker healthz: status %d body %+v", resp.StatusCode, hz)
+	}
+	deregCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := reg.Deregister(deregCtx); err != nil {
+		t.Fatalf("deregister: %v", err)
+	}
+	if f := fleet(); f.Registered != 0 {
+		t.Fatalf("worker still registered after deregister: %+v", f)
+	}
+}
+
+// TestResolveQuotaSpec pins the @file indirection SIGHUP reload rides
+// on: literal specs pass through, @path reads the file, a missing
+// file is an error rather than a silent empty quota table.
+func TestResolveQuotaSpec(t *testing.T) {
+	if got, err := resolveQuotaSpec("pro:4:8"); err != nil || got != "pro:4:8" {
+		t.Fatalf("literal spec: got %q, %v", got, err)
+	}
+	f := filepath.Join(t.TempDir(), "quotas")
+	if err := os.WriteFile(f, []byte("pro:4:8,default:1:2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := resolveQuotaSpec("@" + f); err != nil || got != "pro:4:8,default:1:2" {
+		t.Fatalf("@file spec: got %q, %v", got, err)
+	}
+	if _, err := resolveQuotaSpec("@" + f + ".missing"); err == nil {
+		t.Fatalf("missing quota file silently accepted")
+	}
 }

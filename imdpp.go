@@ -319,6 +319,20 @@ type (
 	ShardWorkerConfig = shard.WorkerConfig
 	// ShardWorkerStats is the worker-side counter snapshot.
 	ShardWorkerStats = shard.WorkerStats
+	// ShardWorkerCaps is the capability advertisement a worker sends at
+	// registration — codec version, traced-frame support, capacity hint
+	// — so mixed fleets negotiate once instead of probing per request
+	// (DESIGN.md §13).
+	ShardWorkerCaps = shard.WorkerCaps
+	// ShardRegistrar is the worker-side fleet-membership loop:
+	// register, heartbeat, re-register across coordinator restarts,
+	// deregister on drain (DESIGN.md §13).
+	ShardRegistrar = shard.Registrar
+	// ShardRegistrarConfig configures a ShardRegistrar.
+	ShardRegistrarConfig = shard.RegistrarConfig
+	// ShardFleetStats is the fleet-membership aggregate inside
+	// ShardPoolStats (/metrics "shard.fleet").
+	ShardFleetStats = shard.FleetStats
 )
 
 // Sharded-estimation constructors.
@@ -337,6 +351,12 @@ var (
 	NewShardWorker = shard.NewWorker
 	// NewShardEstimator creates one sharded estimator directly.
 	NewShardEstimator = shard.NewEstimator
+	// NewShardRegistrar builds the worker-side fleet-membership loop
+	// (imdppd -worker -register wires it).
+	NewShardRegistrar = shard.NewRegistrar
+	// DefaultShardWorkerCaps advertises this binary's native
+	// capabilities: current codec version, traced frames, GOMAXPROCS.
+	DefaultShardWorkerCaps = shard.DefaultWorkerCaps
 )
 
 // Sample-grid memoization (package gridcache, DESIGN.md §10): a

@@ -331,6 +331,33 @@ func (s *scheduler) remove(j *Job) bool {
 	return false
 }
 
+// reload swaps the quota table atomically (DESIGN.md §12): every
+// existing tenant queue is re-derived from the new configuration —
+// configured tenants get their new quota, the rest the new default —
+// and newly configured tenants are materialised so their rows appear
+// in /metrics immediately. Queued jobs are untouched: a tenant whose
+// MaxQueue shrank below its current depth keeps its backlog and simply
+// sheds new admissions until it drains under the new cap. Weight and
+// inflight-cap changes take effect at the next scheduler scan.
+func (s *scheduler) reload(quotas map[string]TenantQuota, def TenantQuota) {
+	s.mu.Lock()
+	s.quotas = quotas
+	s.defQuota = def.withDefaults(s.queueDepth, s.workers)
+	for name, tq := range s.tenants {
+		quota, configured := quotas[name]
+		if !configured {
+			quota = s.defQuota
+		}
+		tq.quota = quota.withDefaults(s.queueDepth, s.workers)
+	}
+	for name := range quotas {
+		s.tenantLocked(name)
+	}
+	s.mu.Unlock()
+	// quota growth may make blocked tenants dispatchable right now
+	s.cond.Broadcast()
+}
+
 // close marks the scheduler closed and wakes every waiter. Queued jobs
 // are still handed out (next drains them) so workers settle each as
 // cancelled rather than stranding pollers.

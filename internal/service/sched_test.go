@@ -191,6 +191,65 @@ func TestTenantQuotaShed(t *testing.T) {
 	}
 }
 
+// TestSchedulerQuotaReload: reload swaps the quota table atomically —
+// queued jobs survive, a tenant whose MaxQueue shrank below its
+// current depth keeps its backlog and sheds only new admissions, and
+// newly configured tenants appear with their quotas.
+func TestSchedulerQuotaReload(t *testing.T) {
+	s := schedFor(1, 64, map[string]TenantQuota{"pro": {Weight: 4, MaxQueue: 8}})
+	for i := 0; i < 4; i++ {
+		if err := s.admit(schedJob("pro", 0)); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+
+	// shrink pro's MaxQueue to 2 — below its current depth of 4 — and
+	// configure a brand-new tenant in the same swap
+	s.reload(map[string]TenantQuota{
+		"pro": {Weight: 1, MaxQueue: 2},
+		"new": {Weight: 2, MaxQueue: 5},
+	}, TenantQuota{})
+
+	m := s.metrics()
+	if m["pro"].Queued != 4 {
+		t.Fatalf("reload dropped queued jobs: %+v", m["pro"])
+	}
+	if m["pro"].MaxQueue != 2 || m["pro"].Weight != 1 {
+		t.Fatalf("pro quota not swapped: %+v", m["pro"])
+	}
+	if m["new"].MaxQueue != 5 || m["new"].Weight != 2 {
+		t.Fatalf("new tenant not materialised: %+v", m["new"])
+	}
+
+	// over the shrunk cap: new admissions shed, the backlog is intact
+	err := s.admit(schedJob("pro", 0))
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Code != ShedQuotaExceeded || qe.Limit != 2 {
+		t.Fatalf("admission over the shrunk cap: %v, want quota_exceeded limit 2", err)
+	}
+	if got := s.metrics()["pro"].Queued; got != 4 {
+		t.Fatalf("shed admission disturbed the backlog: %d queued", got)
+	}
+
+	// drain under the new cap; the queued jobs all dispatch
+	for i := 0; i < 4; i++ {
+		j, ok := s.next()
+		if !ok || j.tenant != "pro" {
+			t.Fatalf("drain %d: ok=%v tenant=%q", i, ok, j.tenant)
+		}
+		s.release(j.tenant, 0, true)
+	}
+	// with the backlog drained below MaxQueue, admission works again
+	if err := s.admit(schedJob("pro", 0)); err != nil {
+		t.Fatalf("admission after draining under the new cap: %v", err)
+	}
+	// a tenant dropped from the config falls back to the new default
+	s.reload(nil, TenantQuota{MaxQueue: 3})
+	if got := s.metrics()["pro"].MaxQueue; got != 3 {
+		t.Fatalf("deconfigured tenant kept its old quota: max_queue %d, want default 3", got)
+	}
+}
+
 // TestGlobalQueueFullTyped: the service-wide bound sheds as queue_full
 // regardless of tenant, and is checked before the tenant bound.
 func TestGlobalQueueFullTyped(t *testing.T) {

@@ -309,6 +309,15 @@ func (s *Service) Close() {
 	s.wg.Wait()
 }
 
+// ReloadQuotas swaps the per-tenant scheduling quotas atomically
+// without dropping queued jobs (DESIGN.md §12) — the daemon's SIGHUP
+// path. A tenant whose MaxQueue shrank below its current depth keeps
+// its backlog and sheds only new admissions until it drains under the
+// new cap.
+func (s *Service) ReloadQuotas(quotas map[string]TenantQuota, def TenantQuota) {
+	s.sched.reload(quotas, def)
+}
+
 // Submit enqueues a solve. The returned job may be shared: an
 // identical request already queued or running is coalesced onto the
 // existing job (coalesced=true), and a cached result completes the

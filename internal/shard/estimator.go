@@ -439,7 +439,7 @@ func pickIdleRemote(remotes []*Remote, avoid int) int {
 		if i == avoid {
 			continue
 		}
-		if r.Healthy() && r.inflight.Load() == 0 {
+		if r.dispatchable() && r.inflight.Load() == 0 {
 			return i
 		}
 	}

@@ -1,0 +1,239 @@
+package shard
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Worker lifecycle states (DESIGN.md §13). A remote is dispatchable
+// only while alive (and its circuit breaker is closed); every other
+// state keeps it out of rotation while the failure detector decides
+// its fate. None of the transitions can affect results: membership
+// only moves work between workers, and every shard is bit-identical
+// wherever it runs (§3/§7), so the state machine is pure ops surface.
+//
+//	alive ──dispatch failure / heartbeat timeout──▶ suspect
+//	suspect ──failure-detector probe fails──▶ probing (backoff grows)
+//	probing ──deadAfter consecutive failures──▶ dead (probed at the cap)
+//	suspect|probing|dead ──probe ok / heartbeat / re-register──▶ alive
+//	any ──typed draining response / deregister──▶ draining
+type remoteState int32
+
+const (
+	stateAlive remoteState = iota
+	stateSuspect
+	stateProbing
+	stateDead
+	stateDraining
+)
+
+func (s remoteState) String() string {
+	switch s {
+	case stateAlive:
+		return "alive"
+	case stateSuspect:
+		return "suspect"
+	case stateProbing:
+		return "probing"
+	case stateDead:
+		return "dead"
+	case stateDraining:
+		return "draining"
+	}
+	return "unknown"
+}
+
+// backoffFor returns the jittered exponential delay before the probe
+// after fails consecutive failures: probeBase doubling per failure,
+// capped at probeCap, drawn uniformly from [d/2, d] so a fleet of
+// coordinators (or one coordinator probing a rack that died together)
+// never hammers a recovering worker in lockstep.
+func (p *Pool) backoffFor(fails int) time.Duration {
+	d := p.probeBase
+	for i := 0; i < fails && d < p.probeCap; i++ {
+		d *= 2
+	}
+	if d > p.probeCap {
+		d = p.probeCap
+	}
+	if d <= 0 {
+		return 0
+	}
+	return jitterHalf(d)
+}
+
+// jitterHalf draws uniformly from [d/2, d] — the jitter shape shared
+// by the failure detector's backoff, its steady-state probe cadence,
+// and the worker-side registrar's register retries.
+func jitterHalf(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+}
+
+// markFailed records a dispatch failure on r: the worker leaves
+// rotation as suspect pending a probe, and breakerTrip consecutive
+// dispatch failures open its circuit breaker — a flapping worker
+// (probes fine, dispatches die) is shed for a full breakerCooldown
+// instead of being re-admitted by the next lucky probe.
+func (p *Pool) markFailed(r *Remote, err error) {
+	r.failures.Add(1)
+	now := time.Now()
+	r.mu.Lock()
+	r.strikes++
+	if r.strikes >= p.breakerTrip && !now.Before(r.breakerUntil) {
+		r.breakerUntil = now.Add(p.breakerCooldown)
+	}
+	if r.state == stateAlive || r.state == stateProbing {
+		r.state = stateSuspect
+		r.probeFails = 0
+		r.nextProbe = now.Add(p.backoffFor(0))
+	}
+	r.lastErr = err.Error()
+	r.mu.Unlock()
+}
+
+// markDraining records a typed draining response: the worker asked to
+// leave rotation gracefully. Not a failure — no strike, no breaker —
+// but no new dispatches either; a probe notices if it restarts.
+func (p *Pool) markDraining(r *Remote) {
+	r.mu.Lock()
+	if r.state != stateDraining {
+		r.state = stateDraining
+		r.lastErr = ""
+		r.probeFails = 0
+		r.nextProbe = time.Now().Add(p.backoffFor(0))
+	}
+	r.mu.Unlock()
+}
+
+// dispatchOK resets the breaker strike count: strikes count
+// *consecutive* dispatch failures, and deliberately survive probe
+// successes — a flapping worker's probes pass while its dispatches
+// fail, which is exactly the pattern the breaker exists to catch.
+func (r *Remote) dispatchOK() {
+	r.mu.Lock()
+	r.strikes = 0
+	r.mu.Unlock()
+}
+
+// dispatchable reports whether r should receive new shard dispatches:
+// in rotation and not shed by its circuit breaker.
+func (r *Remote) dispatchable() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state == stateAlive && !time.Now().Before(r.breakerUntil)
+}
+
+// detectLoop is the failure detector: a cheap periodic scan that turns
+// missed heartbeats into suspicion, fires due probes (jittered
+// exponential backoff for suspects, routine jittered cadence for
+// static-list alive workers), and lets probe outcomes drive the state
+// machine. Registered workers are not probed while alive — their
+// heartbeats are the liveness signal, which is the point of
+// registration: no per-worker probe traffic at fleet scale.
+func (p *Pool) detectLoop() {
+	tick := p.probeBase / 2
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.detectOnce(time.Now())
+		}
+	}
+}
+
+// detectOnce runs one failure-detector scan. At most one probe per
+// remote is in flight (r.probing); probes run concurrently so one
+// unresponsive worker never delays verdicts on the rest.
+func (p *Pool) detectOnce(now time.Time) {
+	p.mu.Lock()
+	remotes := append([]*Remote(nil), p.remotes...)
+	p.mu.Unlock()
+	for _, r := range remotes {
+		r.mu.Lock()
+		if r.probing {
+			r.mu.Unlock()
+			continue
+		}
+		due := false
+		switch r.state {
+		case stateAlive:
+			if r.registered {
+				if now.Sub(r.lastBeat) > p.hbTimeout {
+					r.state = stateSuspect
+					r.probeFails = 0
+					r.lastErr = "heartbeat timeout"
+					r.nextProbe = now
+					due = true
+				}
+			} else {
+				due = r.nextProbe.IsZero() || !now.Before(r.nextProbe)
+			}
+		default:
+			due = !now.Before(r.nextProbe)
+		}
+		if due {
+			r.probing = true
+		}
+		r.mu.Unlock()
+		if due {
+			go func(r *Remote) {
+				p.onProbe(r, p.probe(p.loopCtx, r))
+			}(r)
+		}
+	}
+}
+
+// onProbe folds one probe verdict into r's lifecycle state.
+func (p *Pool) onProbe(r *Remote, err error) {
+	now := time.Now()
+	rejoined := false
+	r.mu.Lock()
+	r.probing = false
+	switch {
+	case err == nil && now.Before(r.breakerUntil):
+		// the worker answers but its breaker is still open: hold it out
+		// of rotation until the cooldown elapses, then re-probe
+		if r.state == stateSuspect || r.state == stateDead {
+			r.state = stateProbing
+		}
+		r.nextProbe = r.breakerUntil
+	case err == nil:
+		rejoined = r.state != stateAlive
+		r.state = stateAlive
+		r.probeFails = 0
+		r.lastErr = ""
+		r.nextProbe = now.Add(jitterHalf(p.probeInterval))
+		if r.registered {
+			// a reachable registered worker counts as heard from, so a
+			// recovered heartbeat path doesn't immediately re-suspect it
+			r.lastBeat = now
+		}
+	default:
+		r.probeFails++
+		if r.state != stateDraining && r.state != stateDead {
+			if r.probeFails >= p.deadAfter {
+				r.state = stateDead
+			} else {
+				r.state = stateProbing
+			}
+		}
+		r.lastErr = err.Error()
+		r.nextProbe = now.Add(p.backoffFor(r.probeFails))
+	}
+	r.mu.Unlock()
+	if rejoined {
+		p.rejoins.Add(1)
+	}
+}

@@ -1,0 +1,358 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"imdpp/internal/diffusion"
+	"imdpp/internal/service"
+)
+
+// checkNoGoroutineLeak polls until the goroutine count returns to
+// (about) the baseline — the goleak-style guard shared with the
+// service tests, here watching probe goroutines, registrar loops and
+// speculative-dispatch losers.
+func checkNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // nudge finished goroutines off the scheduler
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 { // tolerate runtime/test-framework jitter
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d > baseline %d\n%s", n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// leakCheck registers the goroutine-leak assertion *first*, so the
+// LIFO cleanup order runs it *last* — after the pool, servers and
+// registrars the test registers afterwards have shut down.
+func leakCheck(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	t.Cleanup(func() { checkNoGoroutineLeak(t, baseline) })
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	p := NewPool(nil, nil)
+	defer p.Close()
+	p.probeBase = 100 * time.Millisecond
+	p.probeCap = 800 * time.Millisecond
+	for fails := 0; fails < 8; fails++ {
+		want := p.probeBase << min(fails, 10)
+		if want > p.probeCap {
+			want = p.probeCap
+		}
+		for i := 0; i < 50; i++ {
+			d := p.backoffFor(fails)
+			if d < want/2 || d > want {
+				t.Fatalf("backoffFor(%d) = %v outside [%v, %v]", fails, d, want/2, want)
+			}
+		}
+	}
+	// and the cap really caps: far past the doubling range it stays put
+	if d := p.backoffFor(40); d > p.probeCap {
+		t.Fatalf("backoffFor(40) = %v exceeds cap %v", d, p.probeCap)
+	}
+}
+
+// TestRegisterNegotiatesCaps pins the tentpole's negotiation claim: a
+// registered worker's codec and trace modes are settled by its
+// advertisement, so the first RPC already runs the final codec — no
+// per-request fallback probe, no demotion round-trip.
+func TestRegisterNegotiatesCaps(t *testing.T) {
+	leakCheck(t)
+	pool, _, servers := newFleet(t, 0) // empty static list
+	_ = servers
+
+	w := NewWorker(WorkerConfig{Workers: 2})
+	mux := http.NewServeMux()
+	w.Mount(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	// a current-build advertisement settles binary + traced immediately
+	if err := pool.Register(srv.URL, DefaultWorkerCaps()); err != nil {
+		t.Fatal(err)
+	}
+	rs := pool.healthyRemotes()
+	if len(rs) != 1 {
+		t.Fatalf("registered worker not in rotation: %d remotes", len(rs))
+	}
+	if got := rs[0].binMode.Load(); got != codecBinaryOK {
+		t.Fatalf("registered remote binMode %d, want codecBinaryOK", got)
+	}
+	if got := rs[0].traceMode.Load(); got != traceSupported {
+		t.Fatalf("registered remote traceMode %d, want traceSupported", got)
+	}
+
+	// the settled codec carries a real workload bit-identically
+	p := sampleProblem(t, 120, 3)
+	groups := groupsFor(p)
+	const m, seed = 9, 33
+	want := diffusion.NewEstimator(p, m, seed).RunBatch(groups, nil)
+	est := NewEstimator(pool, p, m, seed, 2)
+	requireSameEstimates(t, "registered worker", want, est.RunBatch(groups, nil))
+
+	// a legacy advertisement pins JSON/untraced up front
+	if err := pool.Register(srv.URL, WorkerCaps{CodecVersion: 0, TracedFrames: false}); err != nil {
+		t.Fatal(err)
+	}
+	r := pool.healthyRemotes()[0]
+	if got := r.binMode.Load(); got != codecJSONOnly {
+		t.Fatalf("legacy registration binMode %d, want codecJSONOnly", got)
+	}
+	if got := r.traceMode.Load(); got != traceUnsupported {
+		t.Fatalf("legacy registration traceMode %d, want traceUnsupported", got)
+	}
+	// re-registration forgot the acknowledged uploads (fresh process)
+	if r.knowsProblem(service.HashProblem(p)) {
+		t.Fatal("re-registration kept the stale upload acknowledgement")
+	}
+	requireSameEstimates(t, "legacy re-registration", want, est.RunBatch(groups, nil))
+
+	st := pool.Snapshot()
+	if st.Fleet.Registered != 1 || st.LocalFallbacks != 0 {
+		t.Fatalf("fleet stats after registration: %+v", st.Fleet)
+	}
+	if st.Remotes[0].Codec != "json" || !st.Remotes[0].Registered {
+		t.Fatalf("remote stats %+v want registered json remote", st.Remotes[0])
+	}
+}
+
+func TestRegisterValidatesAndBounds(t *testing.T) {
+	pool := NewPool(nil, nil)
+	defer pool.Close()
+	for _, bad := range []string{"", "not-a-url", "ftp://x", "http://"} {
+		if err := pool.Register(bad, WorkerCaps{}); err == nil {
+			t.Fatalf("Register(%q) accepted a bad URL", bad)
+		}
+	}
+	// the registry is bounded: one past maxRemotes distinct URLs fails
+	for i := 0; i < maxRemotes; i++ {
+		if err := pool.Register(fmt.Sprintf("http://10.0.0.1:%d", 1000+i), WorkerCaps{}); err != nil {
+			t.Fatalf("registration %d rejected below the bound: %v", i, err)
+		}
+	}
+	if err := pool.Register("http://10.0.0.1:9", WorkerCaps{}); err == nil {
+		t.Fatal("registration past the bound accepted")
+	}
+	// re-registering an existing URL still works at the bound
+	if err := pool.Register("http://10.0.0.1:1000", WorkerCaps{}); err != nil {
+		t.Fatalf("re-registration at the bound rejected: %v", err)
+	}
+}
+
+// TestHeartbeatTimeoutSuspectsWorker starves a registered worker of
+// heartbeats and expects the failure detector to suspect it, then a
+// heartbeat to bring it straight back (and count a rejoin).
+func TestHeartbeatTimeoutSuspectsWorker(t *testing.T) {
+	leakCheck(t)
+	pool, _, _ := newFleet(t, 0)
+	pool.hbTimeout = 30 * time.Millisecond
+	pool.probeBase = 5 * time.Millisecond
+	pool.probeCap = 20 * time.Millisecond
+
+	// register a URL nothing listens on: probes fail too, so the worker
+	// must stay out of rotation until a heartbeat arrives
+	const u = "http://127.0.0.1:1" // reserved port, connection refused
+	if err := pool.Register(u, DefaultWorkerCaps()); err != nil {
+		t.Fatal(err)
+	}
+	pool.StartHealthLoop(20 * time.Millisecond)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := pool.Snapshot()
+		if st.Fleet.Suspect+st.Fleet.Dead == 1 && st.Healthy == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("silent worker never suspected: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !pool.Heartbeat(u) {
+		t.Fatal("heartbeat for a registered worker rejected")
+	}
+	st := pool.Snapshot()
+	if st.Healthy != 1 {
+		t.Fatalf("heartbeat did not revive the worker: %+v", st)
+	}
+	if st.Fleet.RejoinCount == 0 || st.Fleet.Heartbeats == 0 {
+		t.Fatalf("rejoin/heartbeat counters flat: %+v", st.Fleet)
+	}
+}
+
+// TestRegistryHTTPRoundTrip drives the lifecycle protocol over real
+// HTTP: register, heartbeat, deregister, and the unknown_worker answer
+// that tells a worker its coordinator restarted.
+func TestRegistryHTTPRoundTrip(t *testing.T) {
+	leakCheck(t)
+	pool := NewPool(nil, nil)
+	t.Cleanup(pool.Close)
+	mux := http.NewServeMux()
+	pool.MountRegistry(mux)
+	coord := httptest.NewServer(mux)
+	t.Cleanup(coord.Close)
+
+	post := func(path string, v any) (*http.Response, []byte) {
+		t.Helper()
+		body, _ := json.Marshal(v)
+		resp, err := http.Post(coord.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	// heartbeat before registration: typed unknown_worker
+	resp, body := post(PathHeartbeat, HeartbeatRequest{URL: "http://10.9.9.9:1234"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pre-registration heartbeat: status %d want 404", resp.StatusCode)
+	}
+	var eb ErrorBody
+	if json.Unmarshal(body, &eb); eb.Code != CodeUnknownWorker {
+		t.Fatalf("pre-registration heartbeat code %q want %q", eb.Code, CodeUnknownWorker)
+	}
+
+	resp, body = post(PathRegister, RegisterRequest{URL: "http://10.9.9.9:1234", Caps: DefaultWorkerCaps()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: status %d body %s", resp.StatusCode, body)
+	}
+	var reg RegisterResponse
+	if err := json.Unmarshal(body, &reg); err != nil || !reg.OK || reg.HeartbeatMillis <= 0 {
+		t.Fatalf("register response %s err %v", body, err)
+	}
+
+	if resp, _ = post(PathHeartbeat, HeartbeatRequest{URL: "http://10.9.9.9:1234"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("heartbeat: status %d", resp.StatusCode)
+	}
+	if resp, _ = post(PathDeregister, DeregisterRequest{URL: "http://10.9.9.9:1234"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("deregister: status %d", resp.StatusCode)
+	}
+	if pool.Size() != 0 {
+		t.Fatalf("deregister left %d remotes", pool.Size())
+	}
+	// malformed body: typed bad_request
+	r2, err := http.Post(coord.URL+PathRegister, "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated register body: status %d want 400", r2.StatusCode)
+	}
+}
+
+// TestRegistrarLoop runs the worker-side registrar against a live
+// coordinator: it registers, heartbeats at the dictated cadence, and
+// re-registers by itself after the coordinator forgets it (restart).
+func TestRegistrarLoop(t *testing.T) {
+	leakCheck(t)
+	pool := NewPool(nil, nil)
+	t.Cleanup(pool.Close)
+	pool.SetHeartbeat(20 * time.Millisecond)
+	mux := http.NewServeMux()
+	pool.MountRegistry(mux)
+	coord := httptest.NewServer(mux)
+	t.Cleanup(coord.Close)
+
+	reg, err := NewRegistrar(RegistrarConfig{Coordinator: coord.URL, SelfURL: "http://127.0.0.1:19999"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Start()
+	t.Cleanup(reg.Stop)
+
+	waitFor := func(what string, ok func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !ok() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitFor("registration", func() bool { return pool.Snapshot().Fleet.Registered == 1 })
+	waitFor("heartbeats", func() bool { return reg.Beats() >= 2 })
+
+	// coordinator "restart": forget the fleet; the next heartbeat's
+	// unknown_worker answer must drive re-registration
+	pool.Deregister("http://127.0.0.1:19999")
+	waitFor("re-registration", func() bool { return pool.Snapshot().Fleet.Registered == 1 })
+
+	// graceful goodbye
+	if err := reg.Deregister(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	reg.Stop()
+	if got := pool.Snapshot().Fleet.Registered; got != 0 {
+		t.Fatalf("deregister left %d registered", got)
+	}
+}
+
+// TestWorkerDrain pins the drain contract: in-flight requests finish,
+// new ones get the typed draining rejection, and the drained channel
+// closes exactly when the last in-flight request ends.
+func TestWorkerDrain(t *testing.T) {
+	leakCheck(t)
+	p := sampleProblem(t, 120, 3)
+	groups := groupsFor(p)
+	const m, seed = 6, 44
+	want := diffusion.NewEstimator(p, m, seed).RunBatch(groups, nil)
+
+	pool, workers, servers := newFleet(t, 1)
+	est := NewEstimator(pool, p, m, seed, 2)
+	requireSameEstimates(t, "pre-drain", want, est.RunBatch(groups, nil))
+
+	// idle worker: drain completes immediately
+	drained := workers[0].BeginDrain()
+	select {
+	case <-drained:
+	case <-time.After(2 * time.Second):
+		t.Fatal("idle worker's drain never completed")
+	}
+	if !workers[0].Stats().Draining {
+		t.Fatal("WorkerStats does not report draining")
+	}
+
+	// new dispatches are rejected with the typed code...
+	body, _ := json.Marshal(&EstimateRequest{Problem: service.HashProblem(p).String(), Lo: 0, Hi: 1, Groups: [][]diffusion.Seed{{}}})
+	resp, err := http.Post(servers[0].URL+PathEstimate, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb ErrorBody
+	json.NewDecoder(resp.Body).Decode(&eb)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || eb.Code != CodeDraining {
+		t.Fatalf("dispatch to draining worker: status %d code %q, want 503 %q", resp.StatusCode, eb.Code, CodeDraining)
+	}
+
+	// ...and the coordinator absorbs that as drain, not failure: the
+	// solve falls back without surfacing an error or a strike
+	requireSameEstimates(t, "during drain", want, est.RunBatch(groups, nil))
+	st := pool.Snapshot()
+	if st.Fleet.Draining != 1 {
+		t.Fatalf("coordinator did not mark the remote draining: %+v", st.Fleet)
+	}
+	if st.Remotes[0].Failures != 0 {
+		t.Fatalf("drain counted as a failure: %+v", st.Remotes[0])
+	}
+}

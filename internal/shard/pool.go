@@ -42,6 +42,22 @@ type Pool struct {
 
 	stopOnce sync.Once
 	stop     chan struct{}
+	loopCtx  context.Context // cancelled by Close; bounds detector probes
+	loopStop context.CancelFunc
+
+	// Failure-detector and lifecycle knobs (DESIGN.md §13; fixed after
+	// NewPool/StartHealthLoop except in tests).
+	probeInterval   time.Duration // routine probe cadence for alive static-list workers
+	probeBase       time.Duration // first backoff step after a failure
+	probeCap        time.Duration // backoff ceiling (dead workers retry at most this often)
+	deadAfter       int           // consecutive probe failures before suspect → dead
+	hbInterval      time.Duration // heartbeat cadence dictated to registering workers
+	hbTimeout       time.Duration // silence beyond this marks a registered worker suspect
+	breakerTrip     int           // consecutive dispatch failures that open the breaker
+	breakerCooldown time.Duration // dispatch shed window once the breaker opens
+
+	heartbeats atomic.Uint64
+	rejoins    atomic.Uint64
 
 	// binary selects the DESIGN.md §8 wire codec (default true; JSON
 	// when false). weighted enables throughput-proportional planning,
@@ -94,14 +110,26 @@ const (
 	traceUnsupported
 )
 
-// Remote is one registered worker.
+// Remote is one registered worker: its lifecycle state (lifecycle.go),
+// negotiated wire capabilities, acknowledged problem uploads and
+// dispatch accounting.
 type Remote struct {
 	url string
 
 	mu       sync.Mutex
-	healthy  bool
+	state    remoteState
 	lastErr  string
 	problems map[service.Key]bool // uploads acknowledged by this worker
+
+	// Lifecycle bookkeeping (guarded by mu; see lifecycle.go).
+	registered   bool       // announced itself via the register RPC
+	caps         WorkerCaps // capability advertisement at registration
+	lastBeat     time.Time  // last heartbeat (or successful probe) seen
+	probeFails   int        // consecutive failure-detector probe failures
+	nextProbe    time.Time  // when the failure detector probes next
+	probing      bool       // a probe is in flight
+	strikes      int        // consecutive dispatch failures (breaker input)
+	breakerUntil time.Time  // circuit breaker open until (zero = closed)
 
 	shards    atomic.Uint64
 	failures  atomic.Uint64
@@ -114,29 +142,14 @@ type Remote struct {
 // URL returns the worker's base URL.
 func (r *Remote) URL() string { return r.url }
 
-// Healthy reports the worker's last known health.
+// Healthy reports whether the worker is in rotation (lifecycle state
+// alive). Suspect, probing, dead and draining workers all report
+// unhealthy; dispatch additionally requires a closed circuit breaker
+// (dispatchable, lifecycle.go).
 func (r *Remote) Healthy() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.healthy
-}
-
-func (r *Remote) setHealth(ok bool, err error) {
-	r.mu.Lock()
-	r.healthy = ok
-	if err != nil {
-		r.lastErr = err.Error()
-	} else if ok {
-		r.lastErr = ""
-	}
-	r.mu.Unlock()
-}
-
-// markFailed records a dispatch failure and takes the worker out of
-// rotation until a health probe restores it.
-func (r *Remote) markFailed(err error) {
-	r.failures.Add(1)
-	r.setHealth(false, err)
+	return r.state == stateAlive
 }
 
 // knowsProblem reports whether this worker acknowledged an upload of
@@ -221,9 +234,20 @@ func NewPool(urls []string, client *http.Client) *Pool {
 		specFactor: 2.0,
 		specMin:    25 * time.Millisecond,
 		specTick:   5 * time.Millisecond,
-		rpcHist:    obs.NewHistogram(),
-		logger:     slog.New(slog.DiscardHandler),
+
+		probeInterval:   5 * time.Second,
+		probeBase:       250 * time.Millisecond,
+		probeCap:        5 * time.Second,
+		deadAfter:       4,
+		hbInterval:      2 * time.Second,
+		hbTimeout:       6 * time.Second,
+		breakerTrip:     3,
+		breakerCooldown: 10 * time.Second,
+
+		rpcHist: obs.NewHistogram(),
+		logger:  slog.New(slog.DiscardHandler),
 	}
+	p.loopCtx, p.loopStop = context.WithCancel(context.Background())
 	p.binary.Store(true)
 	p.weighted.Store(true)
 	p.speculate.Store(true)
@@ -233,12 +257,22 @@ func NewPool(urls []string, client *http.Client) *Pool {
 			continue
 		}
 		p.remotes = append(p.remotes, &Remote{
-			url:      u,
-			healthy:  true,
+			url:      u, // static-list workers start alive (zero state)
 			problems: make(map[service.Key]bool),
 		})
 	}
 	return p
+}
+
+// SetHeartbeat sets the heartbeat cadence dictated to registering
+// workers; a registered worker silent for three beats is suspected.
+// Call during setup, before StartHealthLoop.
+func (p *Pool) SetHeartbeat(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.hbInterval = d
+	p.hbTimeout = 3 * d
 }
 
 // SetCodec selects the shard wire codec: "binary" (default) or "json".
@@ -288,13 +322,14 @@ func (p *Pool) Size() int {
 	return len(p.remotes)
 }
 
-// healthyRemotes snapshots the workers currently in rotation.
+// healthyRemotes snapshots the workers currently accepting dispatches:
+// alive with a closed circuit breaker.
 func (p *Pool) healthyRemotes() []*Remote {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	out := make([]*Remote, 0, len(p.remotes))
 	for _, r := range p.remotes {
-		if r.Healthy() {
+		if r.dispatchable() {
 			out = append(out, r)
 		}
 	}
@@ -303,31 +338,36 @@ func (p *Pool) healthyRemotes() []*Remote {
 
 // Check probes every worker's /healthz concurrently (one slow or dead
 // worker must not delay the rest — a fleet-wide check costs one probe
-// timeout, not one per casualty), updating health both ways: dead
-// workers leave rotation, recovered ones rejoin. It returns the
-// healthy count.
+// timeout, not one per casualty), feeding each verdict through the
+// lifecycle state machine: dead workers leave rotation, recovered ones
+// rejoin. It returns the healthy count.
 func (p *Pool) Check(ctx context.Context) int {
 	p.mu.Lock()
 	remotes := append([]*Remote(nil), p.remotes...)
 	p.mu.Unlock()
-	var (
-		wg      sync.WaitGroup
-		healthy atomic.Int64
-	)
+	var wg sync.WaitGroup
 	for _, r := range remotes {
+		r.mu.Lock()
+		if r.probing {
+			r.mu.Unlock()
+			continue // the failure detector already has a verdict coming
+		}
+		r.probing = true
+		r.mu.Unlock()
 		wg.Add(1)
 		go func(r *Remote) {
 			defer wg.Done()
-			if err := p.probe(ctx, r); err != nil {
-				r.setHealth(false, err)
-			} else {
-				r.setHealth(true, nil)
-				healthy.Add(1)
-			}
+			p.onProbe(r, p.probe(ctx, r))
 		}(r)
 	}
 	wg.Wait()
-	return int(healthy.Load())
+	healthy := 0
+	for _, r := range remotes {
+		if r.Healthy() {
+			healthy++
+		}
+	}
+	return healthy
 }
 
 func (p *Pool) probe(ctx context.Context, r *Remote) error {
@@ -349,45 +389,82 @@ func (p *Pool) probe(ctx context.Context, r *Remote) error {
 	return nil
 }
 
-// StartHealthLoop probes the fleet every interval until Close. A
-// worker that died mid-batch is already out of rotation (markFailed);
-// the loop's job is recovery — restarted workers rejoin without
-// operator action (their problem store is re-filled lazily through the
-// unknown_problem path).
+// StartHealthLoop starts the failure detector (lifecycle.go) until
+// Close. interval is the routine probe cadence for alive static-list
+// workers and the backoff ceiling for down ones: a worker that died
+// mid-batch is already out of rotation (markFailed) and is re-probed
+// on a jittered exponential backoff — fast first retries, bounded by
+// interval — so restarted workers rejoin without operator action
+// (their problem store is re-filled lazily through the unknown_problem
+// path) and a recovering worker is never hammered in lockstep.
+// Registered workers are watched through their heartbeats instead.
 func (p *Pool) StartHealthLoop(interval time.Duration) {
 	if interval <= 0 {
 		interval = 5 * time.Second
 	}
-	go func() {
-		t := time.NewTicker(interval)
-		defer t.Stop()
-		for {
-			select {
-			case <-p.stop:
-				return
-			case <-t.C:
-				p.Check(context.Background())
-			}
-		}
-	}()
+	p.probeInterval = interval
+	p.probeCap = interval
+	if p.probeBase > p.probeCap {
+		p.probeBase = p.probeCap
+	}
+	go p.detectLoop()
 }
 
-// Close stops the health loop. In-flight dispatches are unaffected.
+// Close stops the failure detector and cancels its in-flight probes.
+// In-flight dispatches are unaffected.
 func (p *Pool) Close() {
-	p.stopOnce.Do(func() { close(p.stop) })
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		p.loopStop()
+	})
 }
 
 // RemoteStats is one worker's registry entry in PoolStats.
 type RemoteStats struct {
-	URL     string `json:"url"`
+	URL string `json:"url"`
+	// State is the lifecycle state (alive|suspect|probing|dead|
+	// draining, DESIGN.md §13); Healthy is its state == "alive"
+	// projection, kept for pre-fleet scrapers.
+	State   string `json:"state"`
 	Healthy bool   `json:"healthy"`
-	LastErr string `json:"last_err,omitempty"`
-	Shards  uint64 `json:"shards"`
+	// Registered marks workers that announced themselves via the
+	// register RPC (vs the static -shard-workers list); Capacity echoes
+	// their advertised concurrency hint.
+	Registered bool `json:"registered,omitempty"`
+	Capacity   int  `json:"capacity,omitempty"`
+	// Codec is the per-remote negotiated wire codec: "binary" or
+	// "json" once settled (at registration, or by the first RPC for
+	// static-list workers), "unknown" before.
+	Codec string `json:"codec"`
+	// BreakerOpen reports an open circuit breaker: the worker is shed
+	// from dispatch for the cooldown even if probes pass.
+	BreakerOpen bool   `json:"breaker_open,omitempty"`
+	LastErr     string `json:"last_err,omitempty"`
+	Shards      uint64 `json:"shards"`
 	// EWMASamplesPerSec is the measured per-worker throughput the
 	// weighted planner sizes ranges by; 0 until a shard completes.
 	EWMASamplesPerSec float64 `json:"ewma_samples_per_sec"`
 	Failures          uint64  `json:"failures"`
 	Problems          int     `json:"problems"`
+}
+
+// FleetStats aggregates the lifecycle registry (DESIGN.md §13): the
+// /metrics shard.fleet block.
+type FleetStats struct {
+	// Registered counts workers that announced themselves via the
+	// register RPC (static-list workers are in Workers but not here).
+	Registered int `json:"registered"`
+	// Draining/Suspect/Dead count remotes per lifecycle state (suspect
+	// includes actively-probed suspects).
+	Draining int `json:"draining"`
+	Suspect  int `json:"suspect"`
+	Dead     int `json:"dead"`
+	// Heartbeats counts beats accepted; RejoinCount counts transitions
+	// back into rotation (probe recovery, heartbeat recovery, or
+	// re-registration after a restart).
+	Heartbeats  uint64 `json:"heartbeats"`
+	BreakerOpen int    `json:"breaker_open"`
+	RejoinCount uint64 `json:"rejoin_count"`
 }
 
 // PoolStats is the registry snapshot the coordinator daemon reports
@@ -407,6 +484,7 @@ type PoolStats struct {
 	SpeculativeHits uint64        `json:"speculative_hits"`
 	BytesTx         uint64        `json:"bytes_tx"`
 	BytesRx         uint64        `json:"bytes_rx"`
+	Fleet           FleetStats    `json:"fleet"`
 	Remotes         []RemoteStats `json:"remotes"`
 }
 
@@ -426,15 +504,44 @@ func (p *Pool) Snapshot() PoolStats {
 		BytesTx:         p.bytesTx.Load(),
 		BytesRx:         p.bytesRx.Load(),
 	}
+	st.Fleet.Heartbeats = p.heartbeats.Load()
+	st.Fleet.RejoinCount = p.rejoins.Load()
+	now := time.Now()
 	for _, r := range remotes {
 		r.mu.Lock()
 		rs := RemoteStats{
-			URL:      r.url,
-			Healthy:  r.healthy,
-			LastErr:  r.lastErr,
-			Problems: len(r.problems),
+			URL:         r.url,
+			State:       r.state.String(),
+			Healthy:     r.state == stateAlive,
+			Registered:  r.registered,
+			Capacity:    r.caps.Capacity,
+			BreakerOpen: now.Before(r.breakerUntil),
+			LastErr:     r.lastErr,
+			Problems:    len(r.problems),
+		}
+		switch r.state {
+		case stateDraining:
+			st.Fleet.Draining++
+		case stateSuspect, stateProbing:
+			st.Fleet.Suspect++
+		case stateDead:
+			st.Fleet.Dead++
+		}
+		if r.registered {
+			st.Fleet.Registered++
 		}
 		r.mu.Unlock()
+		switch r.binMode.Load() {
+		case codecBinaryOK:
+			rs.Codec = "binary"
+		case codecJSONOnly:
+			rs.Codec = "json"
+		default:
+			rs.Codec = "unknown"
+		}
+		if rs.BreakerOpen {
+			st.Fleet.BreakerOpen++
+		}
 		rs.Shards = r.shards.Load()
 		rs.Failures = r.failures.Load()
 		rs.EWMASamplesPerSec = r.EWMASamplesPerSec()
@@ -763,6 +870,7 @@ func (p *Pool) estimateOn(ctx context.Context, r *Remote, blob *ProblemBlob, req
 				}
 			}
 			r.shards.Add(1)
+			r.dispatchOK()
 			p.rpcHist.Observe(time.Since(start))
 			sp.Adopt(resp.Spans)
 			r.observeRate(len(req.Groups)*(req.Hi-req.Lo), time.Since(start))
@@ -808,7 +916,7 @@ func (p *Pool) runShard(ctx context.Context, remotes []*Remote, preferred int, b
 		if ctx.Err() != nil {
 			return nil
 		}
-		if !r.Healthy() {
+		if !r.dispatchable() {
 			continue
 		}
 		rows := p.tryShardOn(ctx, r, blob, req, items)
@@ -841,7 +949,15 @@ func (p *Pool) tryShardOn(ctx context.Context, r *Remote, blob *ProblemBlob, req
 	if ctx.Err() != nil {
 		return nil // cancelled mid-request: not the worker's fault
 	}
-	r.markFailed(err)
+	var se *shardError
+	if errors.As(err, &se) && se.code == CodeDraining {
+		// a graceful goodbye, not a failure: take the worker out of
+		// rotation without a strike and let failover re-plan the range
+		p.markDraining(r)
+		p.logger.Info("shard worker draining", "worker", r.url)
+		return nil
+	}
+	p.markFailed(r, err)
 	p.logger.Warn("shard worker failed", "worker", r.url, "err", err)
 	return nil
 }

@@ -1,0 +1,267 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strings"
+	"time"
+
+	"imdpp/internal/service"
+)
+
+// Coordinator side of the worker lifecycle protocol (DESIGN.md §13):
+// workers announce themselves with a capability advertisement, prove
+// liveness with heartbeats, and say goodbye with a deregister. The
+// protocol rides plain JSON — registration is a once-per-process
+// handshake, not a hot path, so the binary codec buys nothing here.
+
+// maxRemotes bounds the dynamic registry so a hostile or buggy client
+// cannot grow the coordinator's probe/planning state without bound.
+const maxRemotes = 256
+
+// WorkerCaps is a worker's capability advertisement, sent once at
+// registration. It settles the codec and trace negotiation up front:
+// a registered worker never pays the per-request fallback probe that
+// static-list workers of unknown build vintage go through.
+type WorkerCaps struct {
+	// CodecVersion is the highest binary frame version the worker
+	// decodes (0 = JSON only); at least the coordinator's frameVersion
+	// pins the remote to the binary codec immediately.
+	CodecVersion int `json:"codec_version"`
+	// TracedFrames reports flagTraced support (DESIGN.md §11).
+	TracedFrames bool `json:"traced_frames"`
+	// Capacity is a concurrency hint (typically GOMAXPROCS), surfaced
+	// in /metrics for operators; the throughput-weighted planner still
+	// sizes ranges by measured EWMA, not by this claim.
+	Capacity int `json:"capacity"`
+}
+
+// DefaultWorkerCaps advertises this build's actual capabilities.
+func DefaultWorkerCaps() WorkerCaps {
+	return WorkerCaps{
+		CodecVersion: frameVersion,
+		TracedFrames: true,
+		Capacity:     runtime.GOMAXPROCS(0),
+	}
+}
+
+// RegisterRequest announces a worker at URL with caps.
+type RegisterRequest struct {
+	URL  string     `json:"url"`
+	Caps WorkerCaps `json:"caps"`
+}
+
+// RegisterResponse acknowledges a registration and dictates the
+// heartbeat cadence; silence for ~3 beats marks the worker suspect.
+type RegisterResponse struct {
+	OK              bool  `json:"ok"`
+	HeartbeatMillis int64 `json:"heartbeat_millis"`
+}
+
+// HeartbeatRequest is one liveness beat from a registered worker.
+type HeartbeatRequest struct {
+	URL string `json:"url"`
+}
+
+// DeregisterRequest removes a worker from the registry — the tail of
+// a graceful drain.
+type DeregisterRequest struct {
+	URL string `json:"url"`
+}
+
+// normalizeWorkerURL validates and canonicalises a worker base URL.
+func normalizeWorkerURL(raw string) (string, error) {
+	raw = strings.TrimSuffix(strings.TrimSpace(raw), "/")
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("shard: bad worker url %q: %w", raw, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("shard: bad worker url %q (want http(s)://host[:port])", raw)
+	}
+	return raw, nil
+}
+
+// Register adds (or re-animates) the worker at rawURL. Registration is
+// idempotent and doubles as crash recovery: a worker that restarts
+// re-registers under the same URL, which resets its lifecycle state,
+// forgets its acknowledged uploads (the new process holds none — the
+// unknown_problem path would also heal this, lazily), and re-seeds the
+// codec/trace negotiation from caps, so no RPC to a registered worker
+// ever needs the mixed-version fallback probe.
+func (p *Pool) Register(rawURL string, caps WorkerCaps) error {
+	u, err := normalizeWorkerURL(rawURL)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	var r *Remote
+	for _, have := range p.remotes {
+		if have.url == u {
+			r = have
+			break
+		}
+	}
+	if r == nil {
+		if len(p.remotes) >= maxRemotes {
+			p.mu.Unlock()
+			return fmt.Errorf("shard: registry full (%d workers)", maxRemotes)
+		}
+		r = &Remote{url: u, problems: make(map[service.Key]bool)}
+		p.remotes = append(p.remotes, r)
+	}
+	p.mu.Unlock()
+
+	now := time.Now()
+	r.mu.Lock()
+	rejoined := r.registered && r.state != stateAlive
+	r.registered = true
+	r.caps = caps
+	r.state = stateAlive
+	r.lastBeat = now
+	r.lastErr = ""
+	r.probeFails = 0
+	r.nextProbe = time.Time{}
+	r.strikes = 0
+	r.breakerUntil = time.Time{}
+	r.problems = make(map[service.Key]bool)
+	r.mu.Unlock()
+
+	// settle the wire negotiation from the advertisement
+	if caps.CodecVersion >= frameVersion {
+		r.binMode.Store(codecBinaryOK)
+	} else {
+		r.binMode.Store(codecJSONOnly)
+	}
+	if caps.TracedFrames {
+		r.traceMode.Store(traceSupported)
+	} else {
+		r.traceMode.Store(traceUnsupported)
+	}
+	if rejoined {
+		p.rejoins.Add(1)
+	}
+	p.logger.Info("shard worker registered", "worker", u,
+		"codec_version", caps.CodecVersion, "capacity", caps.Capacity, "rejoined", rejoined)
+	return nil
+}
+
+// Heartbeat records a liveness beat from a registered worker; a beat
+// from a suspect/probing/dead worker brings it straight back into
+// rotation (the worker itself is the best probe there is). Draining
+// workers stay draining — only re-registration revives those. It
+// returns false when the URL has no live registration, which tells the
+// worker to re-register (the coordinator may have restarted).
+func (p *Pool) Heartbeat(rawURL string) bool {
+	u, err := normalizeWorkerURL(rawURL)
+	if err != nil {
+		return false
+	}
+	p.mu.Lock()
+	var r *Remote
+	for _, have := range p.remotes {
+		if have.url == u {
+			r = have
+			break
+		}
+	}
+	p.mu.Unlock()
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	if !r.registered {
+		r.mu.Unlock()
+		return false
+	}
+	r.lastBeat = time.Now()
+	rejoined := false
+	switch r.state {
+	case stateSuspect, stateProbing, stateDead:
+		r.state = stateAlive
+		r.probeFails = 0
+		r.lastErr = ""
+		rejoined = true
+	}
+	r.mu.Unlock()
+	p.heartbeats.Add(1)
+	if rejoined {
+		p.rejoins.Add(1)
+	}
+	return true
+}
+
+// Deregister removes the worker at rawURL from the registry entirely —
+// the tail of a graceful drain (idempotent: removing an unknown URL is
+// a no-op). Any in-flight dispatch to it finishes or fails over as
+// usual; either way the result is unchanged (§3/§7).
+func (p *Pool) Deregister(rawURL string) {
+	u, err := normalizeWorkerURL(rawURL)
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	for i, have := range p.remotes {
+		if have.url == u {
+			p.remotes = append(p.remotes[:i], p.remotes[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+	p.logger.Info("shard worker deregistered", "worker", u)
+}
+
+// HandleRegister is the POST /v1/shard/register handler.
+func (p *Pool) HandleRegister(rw http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeShardError(rw, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad register request: %w", err))
+		return
+	}
+	if err := p.Register(req.URL, req.Caps); err != nil {
+		writeShardError(rw, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	writeShardJSON(rw, http.StatusOK, RegisterResponse{
+		OK:              true,
+		HeartbeatMillis: p.hbInterval.Milliseconds(),
+	})
+}
+
+// HandleHeartbeat is the POST /v1/shard/heartbeat handler. An unknown
+// URL answers 404 unknown_worker, telling the worker to re-register.
+func (p *Pool) HandleHeartbeat(rw http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeShardError(rw, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad heartbeat: %w", err))
+		return
+	}
+	if !p.Heartbeat(req.URL) {
+		writeShardError(rw, http.StatusNotFound, CodeUnknownWorker,
+			fmt.Errorf("no registration for %q", req.URL))
+		return
+	}
+	writeShardJSON(rw, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// HandleDeregister is the POST /v1/shard/deregister handler.
+func (p *Pool) HandleDeregister(rw http.ResponseWriter, r *http.Request) {
+	var req DeregisterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeShardError(rw, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad deregister: %w", err))
+		return
+	}
+	p.Deregister(req.URL)
+	writeShardJSON(rw, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// MountRegistry mounts the lifecycle endpoints on mux (the coordinator
+// side of dynamic fleets; static-list deployments skip it).
+func (p *Pool) MountRegistry(mux *http.ServeMux) {
+	mux.HandleFunc("POST "+PathRegister, p.HandleRegister)
+	mux.HandleFunc("POST "+PathHeartbeat, p.HandleHeartbeat)
+	mux.HandleFunc("POST "+PathDeregister, p.HandleDeregister)
+}

@@ -42,6 +42,10 @@ func newFleet(t testing.TB, n int) (*Pool, []*Worker, []*httptest.Server) {
 		mux := http.NewServeMux()
 		w.Mount(mux)
 		mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+			if w.Draining() { // a draining worker must not look probe-healthy
+				writeShardJSON(rw, http.StatusServiceUnavailable, map[string]any{"ok": false, "draining": true})
+				return
+			}
 			writeShardJSON(rw, http.StatusOK, map[string]bool{"ok": true})
 		})
 		srv := httptest.NewServer(mux)

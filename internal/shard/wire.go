@@ -19,9 +19,15 @@ import (
 // reuse the PR 3 wire types (diffusion.Seed, diffusion.SampleResult).
 
 // RPC endpoint paths, mounted by Worker.Mount and dialled by Pool.
+// The lifecycle paths (register/heartbeat/deregister, DESIGN.md §13)
+// are mounted by the coordinator and dialled by workers — the reverse
+// direction of the estimate RPCs.
 const (
-	PathProblems = "/v1/shard/problems"
-	PathEstimate = "/v1/shard/estimate"
+	PathProblems   = "/v1/shard/problems"
+	PathEstimate   = "/v1/shard/estimate"
+	PathRegister   = "/v1/shard/register"
+	PathHeartbeat  = "/v1/shard/heartbeat"
+	PathDeregister = "/v1/shard/deregister"
 )
 
 // Typed error codes carried in ErrorBody.Code.
@@ -36,6 +42,13 @@ const (
 	// content address than the bytes imply — codec drift between
 	// coordinator and worker builds.
 	CodeHashMismatch = "hash_mismatch"
+	// CodeDraining: the worker received SIGTERM and is finishing its
+	// in-flight ranges; the coordinator re-plans without a strike.
+	CodeDraining = "draining"
+	// CodeUnknownWorker: a heartbeat or deregister named a URL the
+	// coordinator has no registration for (e.g. the coordinator
+	// restarted); the worker re-registers.
+	CodeUnknownWorker = "unknown_worker"
 )
 
 // ErrorBody is the JSON error payload of every shard RPC failure.

@@ -3,6 +3,7 @@ package shard
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -64,6 +65,15 @@ type Worker struct {
 	problems map[service.Key]*workerProblem
 	order    []service.Key // insertion order, oldest first, for eviction
 
+	// Drain state (DESIGN.md §13): once draining, new RPCs are rejected
+	// with a typed draining response while in-flight ones finish;
+	// drained closes when the last one does.
+	lifeMu        sync.Mutex
+	draining      bool
+	inflightN     int
+	drained       chan struct{}
+	drainedClosed bool
+
 	shardsServed atomic.Uint64
 	samplesDone  atomic.Uint64
 }
@@ -82,7 +92,56 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.MaxUnits <= 0 {
 		cfg.MaxUnits = 1 << 24
 	}
-	return &Worker{cfg: cfg, problems: make(map[service.Key]*workerProblem)}
+	return &Worker{
+		cfg:      cfg,
+		problems: make(map[service.Key]*workerProblem),
+		drained:  make(chan struct{}),
+	}
+}
+
+// beginRequest admits one shard RPC unless the worker is draining.
+func (w *Worker) beginRequest() bool {
+	w.lifeMu.Lock()
+	defer w.lifeMu.Unlock()
+	if w.draining {
+		return false
+	}
+	w.inflightN++
+	return true
+}
+
+func (w *Worker) endRequest() {
+	w.lifeMu.Lock()
+	w.inflightN--
+	if w.draining && w.inflightN == 0 && !w.drainedClosed {
+		w.drainedClosed = true
+		close(w.drained)
+	}
+	w.lifeMu.Unlock()
+}
+
+// BeginDrain puts the worker into drain (DESIGN.md §13): in-flight
+// shard RPCs run to completion, new ones are rejected with the typed
+// draining response (the coordinator re-plans those ranges elsewhere
+// without a strike — bit-identically, §3/§7). The returned channel
+// closes when the last in-flight request finishes; it is closed
+// already if the worker is idle. Draining is one-way and idempotent.
+func (w *Worker) BeginDrain() <-chan struct{} {
+	w.lifeMu.Lock()
+	w.draining = true
+	if w.inflightN == 0 && !w.drainedClosed {
+		w.drainedClosed = true
+		close(w.drained)
+	}
+	w.lifeMu.Unlock()
+	return w.drained
+}
+
+// Draining reports whether BeginDrain was called.
+func (w *Worker) Draining() bool {
+	w.lifeMu.Lock()
+	defer w.lifeMu.Unlock()
+	return w.draining
 }
 
 // Mount registers the shard RPC endpoints on mux.
@@ -97,6 +156,7 @@ type WorkerStats struct {
 	ProblemsCached   int    `json:"problems_cached"`
 	ShardsServed     uint64 `json:"shards_served"`
 	SamplesSimulated uint64 `json:"samples_simulated"`
+	Draining         bool   `json:"draining"`
 	// Grid nests the worker's sample-grid cache counters, mirroring
 	// the coordinator /metrics shape; nil without a cache.
 	Grid *gridcache.Stats `json:"grid,omitempty"`
@@ -111,6 +171,7 @@ func (w *Worker) Stats() WorkerStats {
 		ProblemsCached:   n,
 		ShardsServed:     w.shardsServed.Load(),
 		SamplesSimulated: w.samplesDone.Load(),
+		Draining:         w.Draining(),
 	}
 	if w.cfg.Grid != nil {
 		g := w.cfg.Grid.Stats()
@@ -163,6 +224,11 @@ func wantsBinary(header string) bool {
 // stores it under that key. The ack is always JSON — it is a few
 // dozen bytes either way.
 func (w *Worker) handleUpload(rw http.ResponseWriter, r *http.Request) {
+	if !w.beginRequest() {
+		writeShardError(rw, http.StatusServiceUnavailable, CodeDraining, errDraining)
+		return
+	}
+	defer w.endRequest()
 	body, err := readRequestBody(r)
 	if err != nil {
 		writeShardError(rw, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad problem upload: %w", err))
@@ -208,6 +274,11 @@ func (w *Worker) handleUpload(rw http.ResponseWriter, r *http.Request) {
 // so a coordinator abandoning the request (cancellation, failover
 // timeout) preempts the simulation within about one campaign.
 func (w *Worker) handleEstimate(rw http.ResponseWriter, r *http.Request) {
+	if !w.beginRequest() {
+		writeShardError(rw, http.StatusServiceUnavailable, CodeDraining, errDraining)
+		return
+	}
+	defer w.endRequest()
 	body, err := readRequestBody(r)
 	if err != nil {
 		writeShardError(rw, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad estimate request: %w", err))
@@ -317,6 +388,9 @@ func (w *Worker) handleEstimate(rw http.ResponseWriter, r *http.Request) {
 	}
 	writeShardJSON(rw, http.StatusOK, resp)
 }
+
+// errDraining is the body of every typed draining rejection.
+var errDraining = errors.New("worker draining: finishing in-flight shards, not accepting new ones")
 
 func writeShardJSON(rw http.ResponseWriter, status int, v any) {
 	rw.Header().Set("Content-Type", "application/json")
